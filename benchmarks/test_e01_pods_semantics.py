@@ -1,0 +1,79 @@
+"""E1 — Section 3, the PODS database.
+
+Paper claim: ``M(PODS') = M(PODS) \\ {rejected(m)} ∪ {accepted(m)}`` for an
+insertion of ``accepted(m)``, and symmetrically for a deletion. Every engine
+must realise exactly this net change; the benchmark times the insertion on
+the paper's preferred (cascade) solution against full recomputation.
+"""
+
+from repro.bench.reporting import print_table
+from repro.core.registry import SOUND_ENGINE_NAMES, create_engine
+from repro.datalog.atoms import fact
+from repro.workloads.paper import pods
+
+L = 300
+ACCEPTED = tuple(range(2, L, 3))
+
+
+def test_e01_net_change_shape(benchmark):
+    rows = []
+    for name in SOUND_ENGINE_NAMES:
+        engine = create_engine(name, pods(l=L, accepted=ACCEPTED))
+        result = engine.insert_fact("accepted(1)")
+        rows.append(
+            [
+                name,
+                len(result.net_removed),
+                len(result.net_added),
+                len(result.migrated),
+                "ok" if engine.is_consistent() else "DIVERGED",
+            ]
+        )
+        assert result.net_removed == {fact("rejected", 1)}, name
+        assert result.net_added == {fact("accepted", 1)}, name
+    print_table(
+        ["engine", "net_removed", "net_added", "migrated", "oracle"],
+        rows,
+        f"E1: INSERT accepted(1) into PODS(l={L})",
+    )
+
+    def insert_on_fresh_engine():
+        engine = create_engine("cascade", pods(l=L, accepted=ACCEPTED))
+        return engine.insert_fact("accepted(1)")
+
+    benchmark(insert_on_fresh_engine)
+
+
+def test_e01_deletion_shape(benchmark):
+    rows = []
+    for name in SOUND_ENGINE_NAMES:
+        engine = create_engine(name, pods(l=L, accepted=ACCEPTED))
+        result = engine.delete_fact("accepted(2)")
+        rows.append(
+            [
+                name,
+                len(result.net_removed),
+                len(result.net_added),
+                len(result.migrated),
+                "ok" if engine.is_consistent() else "DIVERGED",
+            ]
+        )
+        assert result.net_removed == {fact("accepted", 2)}, name
+        assert result.net_added == {fact("rejected", 2)}, name
+    print_table(
+        ["engine", "net_removed", "net_added", "migrated", "oracle"],
+        rows,
+        f"E1: DELETE accepted(2) from PODS(l={L})",
+    )
+
+    engine = create_engine("cascade", pods(l=L, accepted=ACCEPTED))
+    toggle = [True]
+
+    def flip():
+        if toggle[0]:
+            engine.delete_fact("accepted(2)")
+        else:
+            engine.insert_fact("accepted(2)")
+        toggle[0] = not toggle[0]
+
+    benchmark(flip)

@@ -1,0 +1,69 @@
+"""E3 — Example 2: the negation chain kills unsigned dynamic supports.
+
+Paper claim: recording only the relations of negative hypotheses loses the
+dependency of p3 on p0 ("the removal of the fact p3 from M(P) is not
+captured"); signing the entries and expanding through the static closures
+("the above modification restores correctness") fixes it. The sweep scales
+the chain: the unsigned variant is wrong at every length, the signed one
+exact; the timing compares a cascaded flip against full recomputation as
+the chain deepens.
+"""
+
+from repro.bench.reporting import print_table
+from repro.core.registry import create_engine
+from repro.workloads.paper import negation_chain
+
+SIZES = (5, 20, 60)
+
+
+def test_e03_signed_vs_unsigned(benchmark):
+    rows = []
+    for n in SIZES:
+        for name in ("dynamic", "dynamic-unsigned"):
+            engine = create_engine(name, negation_chain(n))
+            engine.insert_fact("p0")
+            correct = engine.is_consistent()
+            rows.append([name, n, len(engine.model), correct])
+            if name == "dynamic":
+                assert correct
+            else:
+                assert not correct, "unsigned supports must fail on the chain"
+    print_table(
+        ["engine", "chain_length", "model_size", "correct"],
+        rows,
+        "E3: INSERT p0 into the negation chain",
+    )
+
+    def signed_flip():
+        engine = create_engine("dynamic", negation_chain(SIZES[-1]))
+        return engine.insert_fact("p0")
+
+    benchmark(signed_flip)
+
+
+def test_e03_cascade_vs_recompute_on_chain(benchmark):
+    # The chain is the worst case for everyone: the whole model flips.
+    n = 40
+    rows = []
+    for name in ("cascade", "recompute"):
+        engine = create_engine(name, negation_chain(n))
+        result = engine.insert_fact("p0")
+        rows.append([name, result.duration_s, len(result.added)])
+        assert engine.is_consistent()
+    print_table(
+        ["engine", "update_s", "added"],
+        rows,
+        f"E3: whole-model flip, chain n={n}",
+    )
+
+    engine = create_engine("cascade", negation_chain(n))
+    toggle = [True]
+
+    def flip():
+        if toggle[0]:
+            engine.insert_fact("p0")
+        else:
+            engine.delete_fact("p0")
+        toggle[0] = not toggle[0]
+
+    benchmark(flip)

@@ -1,0 +1,49 @@
+"""E4 — Example 3 (CONGRESS): prefer the pairwise-smaller support.
+
+Paper claim: when a second deduction yields a pairwise smaller (Pos, Neg)
+pair it should replace the recorded one, "because an insertion of a fact
+rejected(i) will not lead then to a migration of the fact accepted(l)".
+The ablation toggles the keep-smaller policy.
+"""
+
+from repro.bench.reporting import print_table
+from repro.core.dynamic_engine import DynamicEngine
+from repro.datalog.atoms import fact
+from repro.workloads.paper import congress
+
+SIZES = (10, 50, 200)
+
+
+def test_e04_keep_smaller_ablation(benchmark):
+    rows = []
+    for l in SIZES:
+        protected = fact("accepted", l)
+        for keep_smaller in (True, False):
+            engine = DynamicEngine(congress(l=l), keep_smaller=keep_smaller)
+            result = engine.insert_fact(f"rejected({l})")
+            migrated = protected in result.migrated
+            rows.append(
+                [
+                    "keep-smaller" if keep_smaller else "keep-first",
+                    l,
+                    len(result.migrated),
+                    migrated,
+                    "ok" if engine.is_consistent() else "DIVERGED",
+                ]
+            )
+            assert engine.is_consistent()
+            if keep_smaller:
+                assert not migrated
+            else:
+                assert migrated
+    print_table(
+        ["policy", "l", "migrated_total", "accepted(l)_migrated", "oracle"],
+        rows,
+        "E4: INSERT rejected(l) into CONGRESS(l)",
+    )
+
+    def update():
+        engine = DynamicEngine(congress(l=SIZES[-1]))
+        return engine.insert_fact(f"rejected({SIZES[-1]})")
+
+    benchmark(update)

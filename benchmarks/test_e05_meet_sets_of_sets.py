@@ -1,0 +1,53 @@
+"""E5 — Example 4 (MEET): one support per fact is not enough.
+
+Paper claim: "only one support is kept for each deduced fact. Thus the
+maintained information can be incomplete" — the PC-authored paper migrates
+under the single-support solution, while keeping Pos/Neg *sets of sets*
+(one element per deduction) saves it. The sweep scales the conference and
+reports the support storage each solution pays.
+"""
+
+from repro.bench.reporting import print_table
+from repro.core.registry import create_engine
+from repro.datalog.atoms import fact
+from repro.workloads.paper import meet
+
+ENGINES = ("dynamic", "setofsets", "setofsets-paired", "cascade", "factlevel")
+SIZES = (10, 50, 150)
+
+
+def test_e05_double_deduction_protection(benchmark):
+    rows = []
+    for l in SIZES:
+        pc_paper = fact("accepted", 1)  # authored by a committee member
+        for name in ENGINES:
+            engine = create_engine(name, meet(l=l))
+            result = engine.insert_fact("rejected(1)")
+            migrated = pc_paper in result.migrated
+            rows.append(
+                [
+                    name,
+                    l,
+                    migrated,
+                    len(result.migrated),
+                    engine.support_entry_count(),
+                    "ok" if engine.is_consistent() else "DIVERGED",
+                ]
+            )
+            assert engine.is_consistent()
+            if name == "dynamic":
+                assert migrated, "single support must migrate the PC paper"
+            else:
+                assert not migrated, f"{name} must keep the PC paper"
+    print_table(
+        ["engine", "l", "pc_paper_migrated", "migrated_total",
+         "support_entries", "oracle"],
+        rows,
+        "E5: INSERT rejected(pc_paper) into MEET(l)",
+    )
+
+    def setofsets_update():
+        engine = create_engine("setofsets", meet(l=SIZES[-1]))
+        return engine.insert_fact("rejected(1)")
+
+    benchmark(setofsets_update)

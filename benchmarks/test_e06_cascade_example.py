@@ -1,0 +1,52 @@
+"""E6 — Section 5.1: the cascade avoids the removal of q.
+
+Paper claim: on P = {r <- p, q <- r, q <- not p}, "INSERT(p) if computed
+using the previous version leads to the removal of q, followed by the
+insertion of p and r and finally the insertion of q. In the above version
+the removal of q does not take place."
+
+The printed pseudocode (REMOVEPOS; REMOVENEG; SATURATE) does *not* realise
+that sentence — it removes q and re-adds it. Saturating first does. Both
+orders are measured; the discrepancy is documented in DESIGN.md
+(faithfulness note 2).
+"""
+
+from repro.bench.reporting import print_table
+from repro.core.registry import create_engine
+from repro.datalog.atoms import fact
+from repro.workloads.paper import cascade_example
+
+ENGINES = ("static", "dynamic", "setofsets", "cascade-paper", "cascade",
+           "factlevel")
+
+
+def test_e06_removal_of_q(benchmark):
+    rows = []
+    for name in ENGINES:
+        engine = create_engine(name, cascade_example())
+        result = engine.insert_fact("p")
+        rows.append(
+            [
+                name,
+                fact("q") in result.removed,
+                fact("q") in result.migrated,
+                "ok" if engine.is_consistent() else "DIVERGED",
+            ]
+        )
+        assert engine.is_consistent()
+    print_table(
+        ["engine", "q_removed", "q_migrated", "oracle"],
+        rows,
+        "E6: INSERT p into {r :- p. q :- r. q :- not p.}",
+    )
+    by_name = {row[0]: row for row in rows}
+    assert by_name["cascade"][1] is False, "saturate-first must not remove q"
+    assert by_name["cascade-paper"][1] is True, "printed order removes q"
+    for older in ("static", "dynamic", "setofsets"):
+        assert by_name[older][2] is True, f"{older} must migrate q"
+
+    def cascade_insert():
+        engine = create_engine("cascade", cascade_example())
+        return engine.insert_fact("p")
+
+    benchmark(cascade_insert)

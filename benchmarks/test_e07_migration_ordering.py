@@ -1,0 +1,101 @@
+"""E7 — the paper's central comparison: who migrates how much.
+
+The successive solutions "rely successively on more dynamic information"
+and migrate less and less: static (4.1) ≥ dynamic (4.2) ≥ sets-of-sets
+(4.3) ≥ cascade (5.1) ≥ fact-level (5.2) = 0. Measured over the realistic
+workload families and the synthetic sweeps; the ordering must hold on
+aggregate for each workload.
+"""
+
+from repro.bench.harness import RUN_HEADERS, compare_engines
+from repro.bench.reporting import print_table
+from repro.datalog.atoms import fact
+from repro.workloads.families import reachability, review_pipeline
+from repro.workloads.synthetic import generate
+from repro.workloads.updates import asserted_facts, flip_sequence, random_updates
+
+ORDERED = ("static", "dynamic", "setofsets-paired", "cascade", "factlevel")
+
+
+def _assert_ordering(runs):
+    migrations = {run.engine: run.migrated for run in runs}
+    chain = [migrations[name] for name in ORDERED]
+    for earlier, later in zip(chain, chain[1:]):
+        assert earlier >= later, migrations
+    assert migrations["factlevel"] == 0
+
+
+def test_e07_review_pipeline(benchmark):
+    program = review_pipeline(papers=25, committee=4, seed=1)
+    updates = [
+        ("insert_fact", fact("negative_review", "pc1", 1)),
+        ("insert_fact", fact("negative_review", "pc2", 5)),
+        ("delete_fact", fact("negative_review", "pc1", 1)),
+        ("insert_fact", fact("negative_review", "pc3", 9)),
+        ("delete_fact", fact("negative_review", "pc2", 5)),
+        ("insert_fact", fact("negative_review", "pc4", 13)),
+    ]
+    runs = compare_engines(program, updates, ORDERED, verify=True)
+    print_table(
+        RUN_HEADERS, [run.row() for run in runs],
+        "E7a: review pipeline, 6 review updates",
+    )
+    for run in runs:
+        assert run.consistent
+    _assert_ordering(runs)
+
+    benchmark(lambda: compare_engines(program, updates[:2], ("cascade",),
+                                      verify=False))
+
+
+def test_e07_reachability(benchmark):
+    program = reachability(nodes=10, edge_probability=0.18, seed=3)
+    updates = flip_sequence(
+        asserted_facts(program, ["link"])[:6], seed=3, count=12
+    )
+    runs = compare_engines(program, updates, ORDERED, verify=True)
+    print_table(
+        RUN_HEADERS, [run.row() for run in runs],
+        "E7b: network reachability, 12 link flaps",
+    )
+    for run in runs:
+        assert run.consistent
+    _assert_ordering(runs)
+
+    benchmark(
+        lambda: compare_engines(program, updates[:3], ("cascade",),
+                                verify=False)
+    )
+
+
+def test_e07_synthetic_aggregate(benchmark):
+    totals = {name: 0 for name in ORDERED}
+    for seed in range(6):
+        syn = generate(seed)
+        updates = random_updates(
+            syn.program, syn.edb_relations, syn.arities, syn.domain,
+            count=8, seed=seed,
+        )
+        runs = compare_engines(syn.program, updates, ORDERED, verify=True)
+        for run in runs:
+            assert run.consistent, f"seed={seed} {run.engine}"
+            totals[run.engine] += run.migrated
+    print_table(
+        ["engine", "total_migrated"],
+        [[name, totals[name]] for name in ORDERED],
+        "E7c: 6 synthetic databases x 8 updates",
+    )
+    chain = [totals[name] for name in ORDERED]
+    for earlier, later in zip(chain, chain[1:]):
+        assert earlier >= later, totals
+    assert totals["factlevel"] == 0
+
+    syn = generate(0)
+    updates = random_updates(
+        syn.program, syn.edb_relations, syn.arities, syn.domain,
+        count=4, seed=0,
+    )
+    benchmark(
+        lambda: compare_engines(syn.program, updates, ("cascade",),
+                                verify=False)
+    )

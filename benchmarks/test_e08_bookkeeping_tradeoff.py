@@ -1,0 +1,71 @@
+"""E8 — the bookkeeping/migration trade-off of section 5.2.
+
+Paper claim: "there is a trade-off between an efficient implementation of
+the supports and the minimization of the migration. Indeed, to maintain
+supports efficiently they should be kept small. But then each fact will be
+more often subject to migration." Support storage must grow
+static (0) < cascade (rule pointers) ≤ dynamic < sets-of-sets < fact-level,
+inversely to migration (E7).
+"""
+
+from repro.bench.harness import compare_engines
+from repro.bench.reporting import print_table
+from repro.core.registry import create_engine
+from repro.workloads.families import review_pipeline
+from repro.workloads.updates import asserted_facts, flip_sequence
+
+ENGINES = ("static", "cascade", "dynamic", "setofsets-paired", "factlevel")
+
+
+def test_e08_storage_vs_migration(benchmark):
+    program = review_pipeline(papers=30, committee=4, seed=2)
+    updates = flip_sequence(
+        asserted_facts(program, ["submitted"])[:6], seed=2, count=12
+    )
+    runs = compare_engines(program, updates, ENGINES, verify=True)
+    rows = [
+        [run.engine, run.support_entries_start, run.support_entries_end,
+         run.migrated, run.duration_s]
+        for run in runs
+    ]
+    print_table(
+        ["engine", "supports_before", "supports_after", "migrated", "time_s"],
+        rows,
+        "E8: support storage vs migration, review pipeline",
+    )
+    entries = {run.engine: run.support_entries_end for run in runs}
+    migrations = {run.engine: run.migrated for run in runs}
+    # storage ordering (the cost axis): the support-free solution is free,
+    # one pair per fact (4.2) is cheaper than one element per deduction
+    # (4.3), and fact-level records dominate the rule pointers they refine.
+    assert entries["static"] == 0
+    assert all(entries[name] > 0 for name in ENGINES if name != "static")
+    assert entries["dynamic"] < entries["setofsets-paired"]
+    assert entries["cascade"] < entries["factlevel"]
+    # migration ordering (the quality axis) — inverse
+    assert migrations["static"] >= migrations["dynamic"]
+    assert migrations["dynamic"] >= migrations["setofsets-paired"]
+    assert migrations["setofsets-paired"] >= migrations["cascade"]
+    assert migrations["factlevel"] == 0
+
+    def build_factlevel():
+        return create_engine("factlevel", program).support_entry_count()
+
+    benchmark(build_factlevel)
+
+
+def test_e08_pruning_keeps_sets_of_sets_small(benchmark):
+    from repro.core.setofsets_engine import SetOfSetsEngine
+
+    program = review_pipeline(papers=20, committee=4, seed=5)
+    pruned = SetOfSetsEngine(program, prune=True)
+    unpruned = SetOfSetsEngine(program, prune=False)
+    print_table(
+        ["variant", "support_entries"],
+        [["pruned (minimal antichains)", pruned.support_entry_count()],
+         ["unpruned (every deduction)", unpruned.support_entry_count()]],
+        "E8b: 'small supports' pruning of section 4.3",
+    )
+    assert pruned.support_entry_count() <= unpruned.support_entry_count()
+
+    benchmark(lambda: SetOfSetsEngine(program, prune=True))

@@ -1,0 +1,100 @@
+"""E10 — section 3's motivation: maintain, don't recompute.
+
+The explicit representation "is more interesting in case of frequent
+queries and infrequent updates"; its price is maintenance work per update,
+which must beat recomputing M(P') from scratch once the database is large
+enough relative to the update's footprint. The sweep grows the database
+and times one small update under the cascade engine vs the recompute
+baseline.
+"""
+
+import time
+
+from repro.bench.reporting import print_table
+from repro.core.cascade_engine import CascadeEngine
+from repro.core.recompute import RecomputeEngine
+from repro.datalog.atoms import fact
+from repro.workloads.families import review_pipeline
+
+SIZES = (20, 80, 240)
+
+
+def test_e10_update_cost_sweep(benchmark):
+    rows = []
+    ratios = []
+    for papers in SIZES:
+        program = review_pipeline(papers=papers, committee=5, seed=4)
+        update = fact("negative_review", "pc1", 1)
+
+        # time only the update, on fresh engines, best of three
+        cascade_s = float("inf")
+        for _ in range(3):
+            engine = CascadeEngine(program)
+            started = time.perf_counter()
+            engine.insert_fact(update)
+            cascade_s = min(cascade_s, time.perf_counter() - started)
+            assert engine.is_consistent()
+
+        recompute_s = float("inf")
+        for _ in range(3):
+            engine = RecomputeEngine(program)
+            started = time.perf_counter()
+            engine.insert_fact(update)
+            recompute_s = min(recompute_s, time.perf_counter() - started)
+
+        ratio = recompute_s / cascade_s if cascade_s else float("inf")
+        ratios.append(ratio)
+        rows.append([papers, cascade_s, recompute_s, ratio])
+    print_table(
+        ["papers", "cascade_s", "recompute_s", "recompute/cascade"],
+        rows,
+        "E10: one review insertion, incremental vs recompute (best of 3)",
+    )
+    # incremental maintenance must clearly win at the largest size
+    assert ratios[-1] > 1.5
+    # and the advantage must not shrink dramatically with the database
+    assert ratios[-1] >= ratios[0] * 0.7
+
+    program = review_pipeline(papers=SIZES[-1], committee=5, seed=4)
+    engine = CascadeEngine(program)
+    toggle = [True]
+
+    def flip():
+        if toggle[0]:
+            engine.insert_fact(fact("negative_review", "pc1", 1))
+        else:
+            engine.delete_fact(fact("negative_review", "pc1", 1))
+        toggle[0] = not toggle[0]
+
+    benchmark(flip)
+
+
+def test_e10_whole_model_flip_favours_recompute(benchmark):
+    """The inverse regime: when one update touches everything (the
+    negation chain), recomputation is competitive — there is a crossover,
+    maintenance is not uniformly better."""
+    from repro.workloads.paper import negation_chain
+
+    n = 60
+    program = negation_chain(n)
+
+    cascade = CascadeEngine(program)
+    started = time.perf_counter()
+    cascade.insert_fact("p0")
+    cascade_s = time.perf_counter() - started
+
+    recompute = RecomputeEngine(program)
+    started = time.perf_counter()
+    recompute.insert_fact("p0")
+    recompute_s = time.perf_counter() - started
+
+    print_table(
+        ["engine", "whole_flip_s"],
+        [["cascade", cascade_s], ["recompute", recompute_s]],
+        f"E10b: whole-model flip (chain n={n})",
+    )
+    # no strict assertion on who wins — the point is the gap collapses;
+    # maintenance must not be an order of magnitude better here
+    assert cascade_s * 50 > recompute_s
+
+    benchmark(lambda: RecomputeEngine(program).insert_fact("p0"))

@@ -1,0 +1,104 @@
+"""E11 — section 5.1's improvements, ablated.
+
+Two knobs the paper proposes for the cascade solution:
+
+* skip-strata: "one can skip the strata in which no relation depends from
+  the set DEC ∪ INC" — measured on a wide database where an update touches
+  one narrow tower of strata;
+* processing order: the printed pseudocode (REMOVEPOS; REMOVENEG; SATURATE)
+  vs saturating first (which realises the paper's no-removal claim, see E6)
+  — measured as migration across a workload.
+"""
+
+import time
+
+from repro.bench.reporting import print_table
+from repro.core.cascade_engine import CascadeEngine
+from repro.datalog.builder import ProgramBuilder
+from repro.workloads.families import review_pipeline
+from repro.workloads.updates import asserted_facts, flip_sequence
+
+
+def _towers(towers: int, height: int):
+    """Many independent negation towers: an update to one tower must not
+    visit the strata of the others."""
+    builder = ProgramBuilder()
+    for t in range(towers):
+        builder.fact(f"base{t}", 1)
+        builder.rule(f"lvl{t}_1", ("X",)).pos(f"base{t}", "X").neg(
+            f"off{t}_0", "X"
+        )
+        for h in range(2, height + 1):
+            builder.rule(f"lvl{t}_{h}", ("X",)).pos(
+                f"lvl{t}_{h-1}", "X"
+            ).neg(f"off{t}_{h-1}", "X")
+    return builder.build()
+
+
+def test_e11_skip_strata(benchmark):
+    # With the finest (scc) stratification the 20 towers occupy disjoint
+    # strata, so an update to one tower can skip every stratum of the other
+    # nineteen. (With level granularity the towers share strata and the
+    # improvement cannot trigger — DESIGN.md discusses the interplay.)
+    program = _towers(towers=20, height=8)
+    rows = []
+    times = {}
+    for skip in (True, False):
+        engine = CascadeEngine(program, skip_strata=skip, granularity="scc")
+        started = time.perf_counter()
+        for t in range(20):
+            engine.insert_fact(f"off{t}_0(1)")
+            engine.delete_fact(f"off{t}_0(1)")
+        elapsed = time.perf_counter() - started
+        times[skip] = elapsed
+        rows.append(["skip" if skip else "no-skip", elapsed])
+        assert engine.is_consistent()
+    print_table(
+        ["variant", "40_updates_s"],
+        rows,
+        "E11a: skip-strata ablation (20 towers x 8 strata, scc granularity)",
+    )
+    assert times[True] < times[False]  # skipping must win here
+
+    engine = CascadeEngine(program, skip_strata=True, granularity="scc")
+    toggle = [True]
+
+    def flip():
+        if toggle[0]:
+            engine.insert_fact("off0_0(1)")
+        else:
+            engine.delete_fact("off0_0(1)")
+        toggle[0] = not toggle[0]
+
+    benchmark(flip)
+
+
+def test_e11_order_ablation(benchmark):
+    program = review_pipeline(papers=20, committee=4, seed=6)
+    updates = flip_sequence(
+        asserted_facts(program, ["submitted"])[:5], seed=6, count=10
+    )
+    rows = []
+    migrations = {}
+    for order in ("saturate_first", "paper"):
+        engine = CascadeEngine(program, order=order)
+        migrated = 0
+        for operation, subject in updates:
+            migrated += len(engine.apply(operation, subject).migrated)
+        assert engine.is_consistent()
+        migrations[order] = migrated
+        rows.append([order, migrated])
+    print_table(
+        ["order", "migrated_total"],
+        rows,
+        "E11b: stratum-processing order ablation",
+    )
+    # saturating first can only reduce removals (fresh records are exempt
+    # from REMOVENEG); it must never migrate more
+    assert migrations["saturate_first"] <= migrations["paper"]
+
+    def one_flip():
+        engine = CascadeEngine(program, order="saturate_first")
+        return engine.apply(*updates[0])
+
+    benchmark(one_flip)

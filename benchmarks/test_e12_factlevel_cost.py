@@ -1,0 +1,89 @@
+"""E12 — section 5.2: why the paper rejects fact-level supports.
+
+Paper claim: recording facts (not relations) with all deductions "would
+lead to a solution with no migration [... but] the computation costs
+incurred in the task of keeping all possible deductions is clearly too
+prohibitive to be of practical interest when many facts are present."
+Measured: migration stays zero while storage and build time grow with the
+number of facts much faster than rule-pointer supports.
+"""
+
+from repro.bench.reporting import print_table
+from repro.core.cascade_engine import CascadeEngine
+from repro.core.factlevel_engine import FactLevelEngine
+from repro.datalog.atoms import fact
+from repro.workloads.families import reachability, review_pipeline
+
+SIZES = (8, 14, 20)
+
+
+def test_e12_storage_growth(benchmark):
+    # Transitive closure is the blow-up case: path(x,z) has one deduction
+    # per intermediate node, and the fact-level solution keeps them all,
+    # while the rule-pointer solution stores at most one pointer per rule
+    # per fact regardless of how many instantiations produced it.
+    rows = []
+    per_fact = []
+    for nodes in SIZES:
+        program = reachability(nodes=nodes, edge_probability=0.3, seed=8)
+        cascade = CascadeEngine(program)
+        factlevel = FactLevelEngine(program)
+        model_size = len(cascade.model)
+        fact_entries = factlevel.support_entry_count()
+        pointer_entries = cascade.support_entry_count()
+        per_fact.append(fact_entries / model_size)
+        rows.append(
+            [
+                nodes,
+                model_size,
+                pointer_entries,
+                pointer_entries / model_size,
+                fact_entries,
+                fact_entries / model_size,
+            ]
+        )
+    print_table(
+        ["nodes", "model_size", "pointer_entries", "pointer/fact",
+         "factlevel_entries", "factlevel/fact"],
+        rows,
+        "E12: support storage on transitive closure",
+    )
+    # rule pointers stay O(1) per fact; fact-level entries per fact grow
+    # with the number of alternative deductions (the "prohibitive" cost)
+    assert all(row[3] <= 3.0 for row in rows)
+    assert per_fact[-1] > per_fact[0] * 1.5
+    assert per_fact[-1] > 4.0
+
+    program = reachability(nodes=SIZES[-1], edge_probability=0.3, seed=8)
+    benchmark(lambda: FactLevelEngine(program).support_entry_count())
+
+
+def test_e12_zero_migration_is_paid_for(benchmark):
+    program = review_pipeline(papers=60, committee=4, seed=8)
+    cascade = CascadeEngine(program)
+    factlevel = FactLevelEngine(program)
+    updates = [
+        ("insert_fact", fact("negative_review", "pc1", 1)),
+        ("insert_fact", fact("negative_review", "pc2", 2)),
+        ("delete_fact", fact("negative_review", "pc1", 1)),
+    ]
+    rows = []
+    for name, engine in (("cascade", cascade), ("factlevel", factlevel)):
+        migrated = 0
+        for operation, subject in updates:
+            migrated += len(engine.apply(operation, subject).migrated)
+        assert engine.is_consistent()
+        rows.append([name, migrated, engine.support_entry_count()])
+    print_table(
+        ["engine", "migrated", "support_entries"],
+        rows,
+        "E12b: zero migration vs bookkeeping, 3 updates",
+    )
+    assert rows[1][1] == 0  # factlevel never migrates
+    assert rows[1][2] > rows[0][2]  # and pays for it in storage
+
+    benchmark(
+        lambda: FactLevelEngine(program).insert_fact(
+            fact("negative_review", "pc3", 3)
+        )
+    )

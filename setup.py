@@ -1,0 +1,5 @@
+"""Legacy shim so `pip install -e .` works without network/wheel support."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,119 @@
+"""repro — Maintenance of stratified databases as a belief revision system.
+
+A complete reproduction of Apt & Pugin, "Maintenance of Stratified Databases
+Viewed as a Belief Revision System" (PODS 1987): a stratified Datalog engine
+with the delta-driven saturation of [RLK], the standard-model semantics of
+[ABW], and one maintenance engine per solution the paper develops, plus the
+JTMS/ATMS substrate the paper draws its ideas from.
+
+Quickstart::
+
+    from repro import CascadeEngine
+
+    engine = CascadeEngine('''
+        submitted(1). submitted(2). submitted(3).
+        rejected(2).
+        accepted(X) :- submitted(X), not rejected(X).
+    ''')
+    print(sorted(map(str, engine.model.facts_of("accepted"))))
+    result = engine.insert_fact("rejected(3)")
+    print(result.summary())
+"""
+
+from .core import (
+    CascadeEngine,
+    DynamicEngine,
+    ENGINE_NAMES,
+    Explanation,
+    ExplanationError,
+    FactLevelEngine,
+    MaintenanceEngine,
+    MaintenanceStats,
+    PAPER_SOLUTION_NAMES,
+    RecomputeEngine,
+    SOUND_ENGINE_NAMES,
+    SetOfSetsEngine,
+    StaticEngine,
+    UpdateResult,
+    create_engine,
+    explain,
+    explain_absence,
+)
+from .datalog import (
+    Atom,
+    Backchainer,
+    Clause,
+    DatalogError,
+    Model,
+    ParseError,
+    Program,
+    ProgramBuilder,
+    SafetyError,
+    StratificationError,
+    StratifiedDatabase,
+    UpdateError,
+    Variable,
+    ask,
+    atom,
+    compute_model,
+    fact,
+    neg,
+    parse_atom,
+    parse_clause,
+    parse_fact,
+    parse_program,
+    pos,
+    query,
+    rule,
+    stratify,
+    variables,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Atom",
+    "Backchainer",
+    "CascadeEngine",
+    "Clause",
+    "DatalogError",
+    "DynamicEngine",
+    "ENGINE_NAMES",
+    "Explanation",
+    "ExplanationError",
+    "FactLevelEngine",
+    "MaintenanceEngine",
+    "MaintenanceStats",
+    "Model",
+    "PAPER_SOLUTION_NAMES",
+    "ParseError",
+    "Program",
+    "ProgramBuilder",
+    "RecomputeEngine",
+    "SOUND_ENGINE_NAMES",
+    "SafetyError",
+    "SetOfSetsEngine",
+    "StaticEngine",
+    "StratificationError",
+    "StratifiedDatabase",
+    "UpdateError",
+    "UpdateResult",
+    "Variable",
+    "ask",
+    "atom",
+    "compute_model",
+    "create_engine",
+    "explain",
+    "explain_absence",
+    "fact",
+    "neg",
+    "parse_atom",
+    "parse_clause",
+    "parse_fact",
+    "parse_program",
+    "pos",
+    "query",
+    "rule",
+    "stratify",
+    "variables",
+]

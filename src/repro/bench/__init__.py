@@ -1,0 +1,13 @@
+"""Benchmark harness utilities: sequence runner and table rendering."""
+
+from .harness import RUN_HEADERS, RunResult, compare_engines, run_sequence
+from .reporting import format_table, print_table
+
+__all__ = [
+    "RUN_HEADERS",
+    "RunResult",
+    "compare_engines",
+    "format_table",
+    "print_table",
+    "run_sequence",
+]

@@ -1,0 +1,54 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The paper reports no numeric tables (it is a 1987 theory paper), so the
+benches print their measured counterparts in a uniform format that
+EXPERIMENTS.md quotes directly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Monospace table with right-aligned numbers."""
+    rendered_rows = [
+        ["%.4g" % cell if isinstance(cell, float) else str(cell) for cell in row]
+        for row in rows
+    ]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            if i == 0:
+                parts.append(cell.ljust(widths[i]))
+            else:
+                parts.append(cell.rjust(widths[i]))
+        return "  ".join(parts)
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(list(headers)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered_rows:
+        lines.append(fmt(row))
+    return "\n".join(lines)
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> None:
+    print()
+    print(format_table(headers, rows, title))
+    print()

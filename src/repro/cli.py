@@ -1,0 +1,227 @@
+"""Interactive console for a maintained stratified database.
+
+    python -m repro [program.dl] [--engine cascade]
+
+Commands (also shown by ``help``)::
+
+    + accepted(7).                insert a fact
+    - accepted(7).                delete a fact
+    + p(X) :- q(X), not r(X).     insert a rule (stratification-checked)
+    - p(X) :- q(X), not r(X).     delete a rule
+    ? accepted(X), not late(X)    query the maintained model
+    why accepted(7)               a non-circular proof tree
+    whynot accepted(9)            why an atom is absent
+    model [relation]              show the model (or one relation)
+    supports accepted(7)          the engine's support structures
+    engine [name]                 show or switch the engine
+    stats                         totals for this session
+    save FILE                     write the current program to FILE
+    help / quit
+
+Every update prints its UpdateResult summary, so the non-monotonic
+consequences (insertions deleting, deletions inserting) are visible live.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from .core.explain import ExplanationError, explain, explain_absence
+from .core.registry import ENGINE_NAMES, create_engine
+from .datalog.errors import DatalogError
+from .datalog.parser import parse_atom, parse_clause
+from .datalog.query import query as run_query
+
+
+class Console:
+    """State and command dispatch of the interactive session."""
+
+    def __init__(self, program_text: str = "", engine_name: str = "cascade"):
+        self.engine_name = engine_name
+        self.engine = create_engine(engine_name, program_text)
+
+    # each handler returns the text to print ------------------------------
+
+    def do_update(self, line: str) -> str:
+        sign, body = line[0], line[1:].strip()
+        if ":-" in body or "<-" in body:
+            clause = parse_clause(body if body.endswith(".") else body + ".")
+            if sign == "+":
+                result = self.engine.insert_rule(clause)
+            else:
+                result = self.engine.delete_rule(clause)
+        else:
+            fact = parse_atom(body.rstrip("."))
+            if sign == "+":
+                result = self.engine.insert_fact(fact)
+            else:
+                result = self.engine.delete_fact(fact)
+        return result.summary()
+
+    def do_query(self, body: str) -> str:
+        rows = run_query(self.engine.model, body)
+        if not rows:
+            return "no"
+        if rows == [()]:
+            return "yes"
+        lines = [", ".join(repr(value) for value in row) for row in rows]
+        return "\n".join(lines) + f"\n({len(rows)} rows)"
+
+    def do_why(self, body: str) -> str:
+        try:
+            return explain(self.engine, body.rstrip(".")).pretty()
+        except ExplanationError as error:
+            return str(error)
+
+    def do_whynot(self, body: str) -> str:
+        atom = parse_atom(body.rstrip("."))
+        if atom in self.engine.model:
+            return f"{atom} IS in the model; use `why`"
+        reasons = explain_absence(self.engine, atom)
+        if not reasons:
+            return f"no rule concludes {atom.relation}, and it is not asserted"
+        return "\n".join(reason.pretty() for reason in reasons)
+
+    def do_model(self, body: str) -> str:
+        if body:
+            facts = sorted(
+                str(fact) for fact in self.engine.model.facts_of(body.strip())
+            )
+            return "\n".join(facts) if facts else f"({body.strip()} is empty)"
+        return self.engine.model.pretty() or "(empty model)"
+
+    def do_supports(self, body: str) -> str:
+        atom = parse_atom(body.rstrip("."))
+        if atom not in self.engine.model:
+            return f"{atom} is not in the model"
+        for accessor in ("records_of", "support_of"):
+            method = getattr(self.engine, accessor, None)
+            if method is not None:
+                try:
+                    value = method(atom)
+                except KeyError:
+                    continue
+                if isinstance(value, (set, frozenset)):
+                    return "\n".join(sorted(map(str, value)))
+                return str(value)
+        return f"the {self.engine.name} engine keeps no per-fact supports"
+
+    def do_engine(self, body: str) -> str:
+        name = body.strip()
+        if not name:
+            return (
+                f"current: {self.engine_name}; available: "
+                + ", ".join(ENGINE_NAMES)
+            )
+        if name not in ENGINE_NAMES:
+            return f"unknown engine {name!r}; available: " + ", ".join(
+                ENGINE_NAMES
+            )
+        self.engine = create_engine(name, self.engine.db.program)
+        self.engine_name = name
+        return f"switched to {name} ({len(self.engine.model)} facts)"
+
+    def do_stats(self, body: str) -> str:
+        totals = self.engine.totals.as_dict()
+        rendered = ", ".join(f"{key}={value}" for key, value in totals.items())
+        return (
+            f"{rendered}\nsupport entries: "
+            f"{self.engine.support_entry_count()}, model: "
+            f"{len(self.engine.model)} facts"
+        )
+
+    def do_save(self, body: str) -> str:
+        path = body.strip()
+        if not path:
+            return "usage: save FILE"
+        with open(path, "w") as handle:
+            handle.write(str(self.engine.db.program) + "\n")
+        return f"wrote {len(self.engine.db.program)} clauses to {path}"
+
+    def do_help(self, body: str) -> str:
+        return __doc__.split("Commands", 1)[1].split("::", 1)[1].strip("\n")
+
+    def dispatch(self, line: str) -> Optional[str]:
+        """Handle one input line; None means quit."""
+        line = line.strip()
+        if not line or line.startswith("%") or line.startswith("#"):
+            return ""
+        if line in ("quit", "exit"):
+            return None
+        if line.startswith(("+", "-")):
+            return self.do_update(line)
+        if line.startswith("?"):
+            return self.do_query(line[1:].strip())
+        command, _, rest = line.partition(" ")
+        handler = getattr(self, f"do_{command}", None)
+        if handler is None:
+            return f"unknown command {command!r}; try `help`"
+        return handler(rest)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Maintained stratified database console (Apt & Pugin 1987)",
+    )
+    parser.add_argument("program", nargs="?", help="program file to load")
+    parser.add_argument(
+        "--engine",
+        default="cascade",
+        choices=ENGINE_NAMES,
+        help="maintenance engine (default: cascade)",
+    )
+    parser.add_argument(
+        "--command",
+        "-c",
+        action="append",
+        default=None,
+        help="run a command and exit (repeatable)",
+    )
+    args = parser.parse_args(argv)
+
+    text = ""
+    if args.program:
+        with open(args.program) as handle:
+            text = handle.read()
+    try:
+        console = Console(text, args.engine)
+    except DatalogError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(
+        f"repro console — {args.engine} engine, "
+        f"{len(console.engine.model)} facts; `help` for commands"
+    )
+
+    if args.command:
+        for command in args.command:
+            output = console.dispatch(command)
+            if output:
+                print(output)
+        return 0
+
+    while True:
+        try:
+            line = input("db> ")
+        except EOFError:
+            print()
+            return 0
+        try:
+            output = console.dispatch(line)
+        except DatalogError as error:
+            print(f"error: {error}")
+            continue
+        except (ValueError, LookupError) as error:
+            print(f"error: {error}")
+            continue
+        if output is None:
+            return 0
+        if output:
+            print(output)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""Denial integrity constraints and transactional updates (extension).
+
+The paper leaves constraint checking to [LST]; this package provides the
+minimal denial-constraint machinery a user of the maintenance engines needs.
+"""
+
+from .checker import (
+    CheckReport,
+    Constraint,
+    ConstraintSet,
+    ConstraintViolation,
+    Transaction,
+)
+
+__all__ = [
+    "CheckReport",
+    "Constraint",
+    "ConstraintSet",
+    "ConstraintViolation",
+    "Transaction",
+]

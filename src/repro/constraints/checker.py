@@ -1,0 +1,236 @@
+"""Denial integrity constraints with transactional updates.
+
+The paper delegates integrity constraint checking to Lloyd, Sonenberg and
+Topor [LST] and keeps it out of scope; this module provides the minimal
+machinery a database built on the maintenance engines needs in practice —
+an extension, clearly marked as such in DESIGN.md.
+
+A constraint is a *denial*: a rule body that must never be satisfiable in
+the maintained model, written ``never(lit1, ..., litk)`` or parsed from the
+conventional headless-rule syntax ``:- lit1, ..., litk.``. Checking a
+constraint is evaluating its body against the model (the explicit
+representation makes this cheap — one of the paper's arguments for it).
+
+:class:`Transaction` wraps a batch of engine updates: all constraints are
+re-checked after the batch and the engine is rolled back to a snapshot when
+any is violated.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, NamedTuple, Sequence, Union
+
+from ..core.base import MaintenanceEngine, Source
+from ..datalog.atoms import Atom, Literal
+from ..datalog.clauses import Clause
+from ..datalog.errors import DatalogError, SafetyError
+from ..datalog.evaluation import _iter_matches
+from ..datalog.model import Model
+from ..datalog.parser import _Parser, ParseError
+from ..datalog.unify import substitute_args
+
+
+class ConstraintViolation(DatalogError):
+    """An integrity constraint is violated by the current model."""
+
+    def __init__(self, constraint: "Constraint", witness: dict):
+        self.constraint = constraint
+        self.witness = witness
+        rendered = ", ".join(
+            f"{var} = {value!r}" for var, value in sorted(
+                ((v.name, val) for v, val in witness.items())
+            )
+        )
+        super().__init__(f"violated: {constraint} [{rendered or 'ground'}]")
+
+
+class Constraint:
+    """A denial constraint: its body must have no satisfying instance."""
+
+    __slots__ = ("body", "name")
+
+    def __init__(self, body: Sequence[Literal], name: str = ""):
+        if not body:
+            raise ValueError("a constraint needs at least one literal")
+        self.body = tuple(body)
+        self.name = name
+        self._check_safety()
+
+    def _check_safety(self) -> None:
+        bound = {
+            var
+            for lit in self.body
+            if lit.positive
+            for var in lit.variables()
+        }
+        for lit in self.body:
+            if lit.positive:
+                continue
+            unbound = [var for var in lit.variables() if var not in bound]
+            if unbound:
+                names = ", ".join(sorted(v.name for v in set(unbound)))
+                raise SafetyError(
+                    f"unsafe constraint {self}: variable(s) {names} of "
+                    f"negative literal {lit} are unrestricted"
+                )
+
+    @classmethod
+    def parse(cls, text: str, name: str = "") -> "Constraint":
+        """Parse ``":- a(X), not b(X)."`` (leading ``:-`` optional)."""
+        stripped = text.strip()
+        if stripped.startswith(":-"):
+            stripped = stripped[2:]
+        if stripped.endswith("."):
+            stripped = stripped[:-1]
+        parser = _Parser(stripped + " .")
+        body = [parser.parse_literal()]
+        while parser._peek() is not None and parser._peek().kind == "COMMA":
+            parser._next("COMMA")
+            body.append(parser.parse_literal())
+        trailing = parser._peek()
+        if trailing is None or trailing.kind != "PERIOD":
+            raise ParseError("malformed constraint body")
+        return cls(body, name)
+
+    def violations(self, model: Model) -> Iterable[dict]:
+        """Yield one substitution per satisfying instance of the body."""
+        probe = Clause(Atom("__constraint__"), self.body)
+        for subst, _facts in _iter_matches(probe, model):
+            blocked = False
+            for lit in probe.negative_body:
+                ground = substitute_args(lit.args, subst)
+                if model.contains(lit.relation, ground):
+                    blocked = True
+                    break
+            if not blocked:
+                yield subst
+
+    def is_satisfied(self, model: Model) -> bool:
+        return next(iter(self.violations(model)), None) is None
+
+    def __str__(self) -> str:
+        label = f"{self.name}: " if self.name else ""
+        return label + ":- " + ", ".join(str(lit) for lit in self.body) + "."
+
+    def __repr__(self) -> str:
+        return f"Constraint({self.body!r})"
+
+
+class CheckReport(NamedTuple):
+    """Outcome of checking a set of constraints against a model."""
+
+    violations: tuple[tuple[Constraint, dict], ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def first_or_raise(self) -> None:
+        if self.violations:
+            constraint, witness = self.violations[0]
+            raise ConstraintViolation(constraint, witness)
+
+
+class ConstraintSet:
+    """A named collection of denial constraints."""
+
+    def __init__(self, constraints: Iterable[Union[Constraint, str]] = ()):
+        self._constraints: list[Constraint] = []
+        for constraint in constraints:
+            self.add(constraint)
+
+    def add(self, constraint: Union[Constraint, str]) -> Constraint:
+        if isinstance(constraint, str):
+            constraint = Constraint.parse(constraint)
+        self._constraints.append(constraint)
+        return constraint
+
+    def __iter__(self):
+        return iter(self._constraints)
+
+    def __len__(self) -> int:
+        return len(self._constraints)
+
+    def check(self, model: Model, limit: int = 10) -> CheckReport:
+        """Evaluate every constraint; collect up to *limit* witnesses each."""
+        found: list[tuple[Constraint, dict]] = []
+        for constraint in self._constraints:
+            for count, witness in enumerate(constraint.violations(model)):
+                if count >= limit:
+                    break
+                found.append((constraint, witness))
+        return CheckReport(tuple(found))
+
+
+class Transaction:
+    """Apply a batch of updates atomically under integrity constraints.
+
+    Snapshot-based: the engine's database, model and supports are rebuilt
+    from the pre-transaction program on rollback. Usage::
+
+        with Transaction(engine, constraints) as txn:
+            txn.insert_fact("accepted(7)")
+            txn.delete_fact("submitted(3)")
+        # commits if all constraints hold, else raises ConstraintViolation
+        # and leaves the engine untouched
+    """
+
+    def __init__(
+        self,
+        engine: MaintenanceEngine,
+        constraints: Union[ConstraintSet, Iterable[Union[Constraint, str]]] = (),
+    ):
+        self.engine = engine
+        self.constraints = (
+            constraints
+            if isinstance(constraints, ConstraintSet)
+            else ConstraintSet(constraints)
+        )
+        self._snapshot = None
+        self.results = []
+
+    def __enter__(self) -> "Transaction":
+        self._snapshot = self.engine.db.program.copy()
+        self.results = []
+        return self
+
+    def insert_fact(self, fact: Union[Atom, str]):
+        result = self.engine.insert_fact(fact)
+        self.results.append(result)
+        return result
+
+    def delete_fact(self, fact: Union[Atom, str]):
+        result = self.engine.delete_fact(fact)
+        self.results.append(result)
+        return result
+
+    def insert_rule(self, rule: Union[Clause, str]):
+        result = self.engine.insert_rule(rule)
+        self.results.append(result)
+        return result
+
+    def delete_rule(self, rule: Union[Clause, str]):
+        result = self.engine.delete_rule(rule)
+        self.results.append(result)
+        return result
+
+    def apply(self, operation: str, subject: Source):
+        result = self.engine.apply(operation, subject)
+        self.results.append(result)
+        return result
+
+    def rollback(self) -> None:
+        """Restore the engine to the pre-transaction program and model."""
+        engine = self.engine
+        engine.db = type(engine.db)(self._snapshot, engine.db.granularity)
+        engine.rebuild()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.rollback()
+            return False  # propagate the original error
+        report = self.constraints.check(self.engine.model)
+        if not report.ok:
+            self.rollback()
+            report.first_or_raise()
+        return False

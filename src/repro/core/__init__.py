@@ -1,0 +1,71 @@
+"""The paper's contribution: maintenance of the standard model under updates.
+
+One engine per solution of sections 4 and 5, plus the full-recomputation
+oracle. All engines implement the same four-operation interface
+(:class:`~repro.core.base.MaintenanceEngine`).
+"""
+
+from .base import MaintenanceEngine
+from .cascade_engine import CascadeEngine
+from .dynamic_engine import DynamicEngine
+from .explain import (
+    AbsenceReason,
+    Explanation,
+    ExplanationError,
+    explain,
+    explain_absence,
+)
+from .factlevel_engine import FactLevelEngine
+from .metrics import MaintenanceStats, UpdateResult
+from .recompute import RecomputeEngine
+from .registry import (
+    ENGINE_NAMES,
+    PAPER_SOLUTION_NAMES,
+    SOUND_ENGINE_NAMES,
+    create_engine,
+)
+from .setofsets_engine import SetOfSetsEngine
+from .static_engine import StaticEngine
+from .supports import (
+    FactRecord,
+    PairSupport,
+    PairedRecord,
+    RuleRecord,
+    SetOfSetsSupport,
+    Signed,
+    combine,
+    expand_neg_element,
+    expand_pos_element,
+    prune_to_minimal,
+)
+
+__all__ = [
+    "AbsenceReason",
+    "CascadeEngine",
+    "DynamicEngine",
+    "ENGINE_NAMES",
+    "Explanation",
+    "ExplanationError",
+    "FactLevelEngine",
+    "FactRecord",
+    "MaintenanceEngine",
+    "MaintenanceStats",
+    "PAPER_SOLUTION_NAMES",
+    "PairSupport",
+    "PairedRecord",
+    "RecomputeEngine",
+    "RuleRecord",
+    "SOUND_ENGINE_NAMES",
+    "SetOfSetsEngine",
+    "SetOfSetsSupport",
+    "Signed",
+    "StaticEngine",
+    "UpdateResult",
+    "combine",
+    "create_engine",
+    "expand_neg_element",
+    "expand_pos_element",
+    "explain",
+    "explain_absence",
+    "prune_to_minimal",
+]

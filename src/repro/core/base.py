@@ -1,0 +1,288 @@
+"""The common shape of every maintenance solution.
+
+Each engine owns a :class:`~repro.datalog.database.StratifiedDatabase` and
+the explicit representation the paper chooses: the standard model ``M(P)``,
+enriched with supports ("we shall actually maintain an enrichment of M(P) in
+which each fact from M(P) is tagged with some additional information").
+
+The four update operations share admission logic and accounting; engines
+implement the removal/addition phases through the ``_apply_*`` hooks. All
+engines accept facts/rules either as AST objects or as source strings.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from typing import ClassVar, Iterable, Union
+
+from ..datalog.atoms import Atom
+from ..datalog.clauses import Clause, Program
+from ..datalog.database import StratifiedDatabase
+from ..datalog.errors import UpdateError
+from ..datalog.evaluation import saturate
+from ..datalog.model import Model
+from ..datalog.parser import parse_clause, parse_fact
+from .metrics import MaintenanceStats, UpdateResult
+
+Source = Union[Atom, Clause, str]
+
+
+def _as_fact(value: Union[Atom, str]) -> Atom:
+    if isinstance(value, str):
+        return parse_fact(value)
+    if isinstance(value, Atom):
+        if not value.is_ground():
+            raise UpdateError(f"fact {value} contains variables")
+        return value
+    raise TypeError(f"expected a fact, got {value!r}")
+
+
+def _as_rule(value: Union[Clause, str]) -> Clause:
+    clause = parse_clause(value) if isinstance(value, str) else value
+    if not isinstance(clause, Clause):
+        raise TypeError(f"expected a rule, got {value!r}")
+    if not clause.body:
+        raise UpdateError(
+            f"{clause} is a fact; use insert_fact/delete_fact for facts"
+        )
+    return clause
+
+
+class MaintenanceEngine(ABC):
+    """Base class of the maintenance solutions of sections 4 and 5."""
+
+    name: ClassVar[str] = "abstract"
+
+    def __init__(
+        self,
+        program: Union[Program, StratifiedDatabase, str],
+        *,
+        method: str = "seminaive",
+        granularity: str = "level",
+    ):
+        if isinstance(program, StratifiedDatabase):
+            self.db = program.copy()
+        else:
+            self.db = StratifiedDatabase(program, granularity)
+        self.method = method
+        self.model = Model()
+        self.totals = MaintenanceStats()
+        self._derivations_fired = 0
+        self._transient = 0  # facts added and evicted within one update
+        self.rebuild()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def rebuild(self) -> None:
+        """Compute the model (and supports) from scratch."""
+        self.model = Model()
+        self._reset_supports()
+        for stratum in self.db.stratification:
+            saturate(
+                stratum.clauses, self.model, self._build_listener(), self.method
+            )
+
+    def _reset_supports(self) -> None:
+        """Clear the support store before a rebuild. Default: nothing."""
+
+    def _build_listener(self):
+        """Derivation listener used during (re)builds. Default: counter only."""
+
+        def listener(derivation, is_new: bool) -> None:
+            self._derivations_fired += 1
+
+        return listener
+
+    # ------------------------------------------------------------------
+    # Public update API
+    # ------------------------------------------------------------------
+
+    def insert_fact(self, fact: Union[Atom, str]) -> UpdateResult:
+        """INSERT(p(t)) — section 4 of the paper."""
+        fact = _as_fact(fact)
+        started = time.perf_counter()
+        self._transient = 0
+        fired_before = self._derivations_fired
+        if self.db.is_asserted(fact):
+            return self._result(
+                "insert_fact", fact, frozenset(), frozenset(), started,
+                fired_before, noop=True,
+            )
+        self.db.assert_fact(fact)
+        if fact in self.model:
+            # The model is unchanged: asserting an already-derived fact adds
+            # a unit clause whose head already holds. Only the support needs
+            # to learn about the trivial deduction.
+            self._register_assertion(fact)
+            return self._result(
+                "insert_fact", fact, frozenset(), frozenset(), started,
+                fired_before,
+            )
+        removed, added = self._apply_insert_fact(fact)
+        return self._result(
+            "insert_fact", fact, removed, added, started, fired_before
+        )
+
+    def delete_fact(self, fact: Union[Atom, str]) -> UpdateResult:
+        """DELETE(p(t)) — only asserted facts may be deleted."""
+        fact = _as_fact(fact)
+        started = time.perf_counter()
+        self._transient = 0
+        fired_before = self._derivations_fired
+        self.db.retract_fact(fact)  # raises when not asserted
+        removed, added = self._apply_delete_fact(fact)
+        return self._result(
+            "delete_fact", fact, removed, added, started, fired_before
+        )
+
+    def insert_rule(self, rule: Union[Clause, str]) -> UpdateResult:
+        """INSERT(p(X) <- L1 & ... & Lk); must keep the program stratified."""
+        rule = _as_rule(rule)
+        started = time.perf_counter()
+        self._transient = 0
+        fired_before = self._derivations_fired
+        self.db.add_rule(rule)  # checks stratification, raises on duplicates
+        removed, added = self._apply_insert_rule(rule)
+        return self._result(
+            "insert_rule", rule, removed, added, started, fired_before
+        )
+
+    def delete_rule(self, rule: Union[Clause, str]) -> UpdateResult:
+        """DELETE(p(X) <- L1 & ... & Lk)."""
+        rule = _as_rule(rule)
+        started = time.perf_counter()
+        self._transient = 0
+        fired_before = self._derivations_fired
+        self.db.remove_rule(rule)  # raises when absent
+        removed, added = self._apply_delete_rule(rule)
+        return self._result(
+            "delete_rule", rule, removed, added, started, fired_before
+        )
+
+    def apply(self, operation: str, subject: Source) -> UpdateResult:
+        """Dispatch by operation name; used by the update-sequence harness."""
+        handler = {
+            "insert_fact": self.insert_fact,
+            "delete_fact": self.delete_fact,
+            "insert_rule": self.insert_rule,
+            "delete_rule": self.delete_rule,
+        }.get(operation)
+        if handler is None:
+            raise ValueError(f"unknown operation {operation!r}")
+        return handler(subject)
+
+    def apply_batch(self, updates) -> UpdateResult:
+        """Apply several updates as one maintenance task.
+
+        The paper frames maintenance as "processing supplementary
+        information"; a batch is simply a larger piece of it. The generic
+        implementation replays the updates one by one and aggregates the
+        accounting; engines may override it with a single-pass treatment
+        (the cascade engine seeds INC/DEC with the whole batch, so a fact
+        removed and re-added by *different* updates of the batch never
+        churns at all).
+        """
+        updates = list(updates)
+        started = time.perf_counter()
+        fired_before = self._derivations_fired
+        removed: set[Atom] = set()
+        added: set[Atom] = set()
+        transient = 0
+        for operation, subject in updates:
+            result = self.apply(operation, subject)
+            removed |= result.removed
+            added |= result.added
+            transient += result.stats.get("transient", 0)
+        self._transient = transient
+        return self._result(
+            "batch", f"{len(updates)} updates", removed, added, started,
+            fired_before,
+        )
+
+    # ------------------------------------------------------------------
+    # Hooks implemented by each solution
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def _apply_insert_fact(self, fact: Atom) -> tuple[set[Atom], set[Atom]]:
+        """Removal + addition phases; returns (removed, added)."""
+
+    @abstractmethod
+    def _apply_delete_fact(self, fact: Atom) -> tuple[set[Atom], set[Atom]]:
+        ...
+
+    @abstractmethod
+    def _apply_insert_rule(self, rule: Clause) -> tuple[set[Atom], set[Atom]]:
+        ...
+
+    @abstractmethod
+    def _apply_delete_rule(self, rule: Clause) -> tuple[set[Atom], set[Atom]]:
+        ...
+
+    def _register_assertion(self, fact: Atom) -> None:
+        """Attach the trivial support to an already-derived, now-asserted fact."""
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def support_entry_count(self) -> int:
+        """Total size of the bookkeeping (0 for support-free solutions)."""
+        return 0
+
+    def oracle_model(self) -> Model:
+        """The standard model recomputed from scratch (for verification)."""
+        return self.db.compute_model(self.method)
+
+    def is_consistent(self) -> bool:
+        """True when the maintained model equals the recomputed one."""
+        return self.model == self.oracle_model()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _resaturate_from(self, index: int, listener=None) -> set[Atom]:
+        """Step (3) of the section 4.1 procedures: M'_j = SAT(P_j, M).
+
+        Recomputes the saturation of every stratum from *index* up over the
+        current model. Returns the union of the added facts.
+        """
+        added: set[Atom] = set()
+        strata = self.db.stratification.strata
+        for stratum in strata[index - 1 :]:
+            added |= saturate(stratum.clauses, self.model, listener, self.method)
+        return added
+
+    def _result(
+        self,
+        operation: str,
+        subject,
+        removed: Iterable[Atom],
+        added: Iterable[Atom],
+        started: float,
+        fired_before: int,
+        noop: bool = False,
+    ) -> UpdateResult:
+        result = UpdateResult(
+            operation=operation,
+            subject=str(subject),
+            removed=frozenset(removed),
+            added=frozenset(added),
+            model_size=len(self.model),
+            duration_s=time.perf_counter() - started,
+            support_entries=self.support_entry_count(),
+            stats={
+                "derivations_fired": self._derivations_fired - fired_before,
+                "transient": self._transient,
+                "noop": noop,
+            },
+        )
+        self.totals.record(result)
+        return result
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({len(self.model)} facts)"

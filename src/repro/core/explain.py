@@ -1,0 +1,205 @@
+"""Explanation of beliefs: the "why" operation of a belief revision system.
+
+A supported model carries, for every fact, "an explanation for it in the
+form of an instance of a clause of P whose body is true in M and whose
+conclusion is A" (section 2). This module materialises those explanations
+as proof trees:
+
+* :func:`explain` — a non-circular proof tree for a fact of the model
+  (positive subgoals recursively explained, negative subgoals shown as
+  "absent" leaves), built by re-deriving against the maintained model in
+  stratum order — it therefore works with *any* engine;
+* :func:`explain_absence` — why an atom is *not* in the model: for every
+  rule that could conclude it, the first failing body literal of each
+  candidate instantiation (or the bare fact that no rule matches).
+
+The trees render as indented text via :meth:`Explanation.pretty`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from ..datalog.atoms import Atom
+from ..datalog.clauses import Clause
+from ..datalog.database import StratifiedDatabase
+from ..datalog.evaluation import iter_derivations
+from ..datalog.model import Model
+from ..datalog.parser import parse_fact
+from ..datalog.unify import substitute_args
+from .base import MaintenanceEngine
+
+
+@dataclass
+class Explanation:
+    """A proof tree node: the fact, its clause, and explained subgoals."""
+
+    fact: Atom
+    clause: Optional[Clause]  # None marks an asserted fact
+    positive: list["Explanation"] = field(default_factory=list)
+    negative: list[Atom] = field(default_factory=list)
+
+    @property
+    def is_assertion(self) -> bool:
+        return self.clause is None
+
+    def pretty(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        if self.is_assertion:
+            lines = [f"{pad}{self.fact}  [asserted]"]
+        else:
+            lines = [f"{pad}{self.fact}  [by: {self.clause}]"]
+        for child in self.positive:
+            lines.append(child.pretty(indent + 1))
+        for atom in self.negative:
+            lines.append(f"{'  ' * (indent + 1)}not {atom}  [absent]")
+        return "\n".join(lines)
+
+    def depth(self) -> int:
+        if not self.positive:
+            return 1
+        return 1 + max(child.depth() for child in self.positive)
+
+    def facts_used(self) -> set[Atom]:
+        used = {self.fact}
+        for child in self.positive:
+            used |= child.facts_used()
+        return used
+
+
+class ExplanationError(LookupError):
+    """The fact cannot be explained (it is not in the model)."""
+
+
+def _resolve(engine_or_parts, fact):
+    if isinstance(engine_or_parts, MaintenanceEngine):
+        db, model = engine_or_parts.db, engine_or_parts.model
+    else:
+        db, model = engine_or_parts
+    if isinstance(fact, str):
+        fact = parse_fact(fact)
+    return db, model, fact
+
+
+def explain(
+    source: Union[MaintenanceEngine, tuple[StratifiedDatabase, Model]],
+    fact: Union[Atom, str],
+    _explaining: Optional[set[Atom]] = None,
+) -> Explanation:
+    """A non-circular proof tree for *fact* against the maintained model.
+
+    Well-foundedness: subgoals are explained recursively and a subgoal may
+    not reuse a fact currently being explained higher up (the chain bottoms
+    out at assertions and lower-stratum facts). Raises
+    :class:`ExplanationError` when the fact is not in the model.
+    """
+    db, model, fact = _resolve(source, fact)
+    if fact not in model:
+        raise ExplanationError(f"{fact} is not in the model")
+    explaining = _explaining if _explaining is not None else set()
+    if db.is_asserted(fact):
+        return Explanation(fact, None)
+    explaining = explaining | {fact}
+    definitions = db.program.definitions().get(fact.relation, ())
+    for clause in definitions:
+        if not clause.body:
+            continue
+        for derivation in iter_derivations(clause, model):
+            if derivation.head != fact:
+                continue
+            if any(body in explaining for body in derivation.positive_facts):
+                continue  # would be circular; try another instance
+            children = []
+            ok = True
+            for body in derivation.positive_facts:
+                try:
+                    children.append(explain((db, model), body, explaining))
+                except ExplanationError:
+                    ok = False
+                    break
+            if ok:
+                return Explanation(
+                    fact, clause, children, list(derivation.negative_atoms)
+                )
+    raise ExplanationError(
+        f"{fact} is in the model but no well-founded deduction was found "
+        "(model and program out of sync?)"
+    )
+
+
+@dataclass
+class AbsenceReason:
+    """Why one candidate rule fails to derive the atom."""
+
+    clause: Clause
+    blocker: Optional[str]  # description of the first failing literal
+
+    def pretty(self) -> str:
+        if self.blocker is None:
+            return f"rule {self.clause} has no matching instance"
+        return f"rule {self.clause} blocked: {self.blocker}"
+
+
+def explain_absence(
+    source: Union[MaintenanceEngine, tuple[StratifiedDatabase, Model]],
+    atom: Union[Atom, str],
+) -> list[AbsenceReason]:
+    """Why *atom* is OUT: one reason per rule that could conclude it.
+
+    For each defining rule, either no instantiation matches the atom at
+    all, or every candidate instantiation fails — the first failing
+    literal of one witness instantiation is reported.
+    """
+    db, model, atom = _resolve(source, atom)
+    if atom in model:
+        raise ValueError(f"{atom} is in the model; use explain()")
+    reasons: list[AbsenceReason] = []
+    definitions = db.program.definitions().get(atom.relation, ())
+    for clause in definitions:
+        if not clause.body:
+            continue
+        reason = _why_rule_fails(clause, atom, model)
+        reasons.append(AbsenceReason(clause, reason))
+    return reasons
+
+
+def _why_rule_fails(clause: Clause, atom: Atom, model: Model) -> Optional[str]:
+    """The first failing literal of a head-unified instantiation, if any."""
+    from ..datalog.unify import match_atom
+
+    head_subst = match_atom(clause.head, atom)
+    if head_subst is None:
+        return None
+    # Walk the body left to right with the head bindings, reporting the
+    # first literal that cannot be satisfied.
+    def walk(index, subst):
+        if index == len(clause.body):
+            return "all literals satisfied (atom should be present!)"
+        lit = clause.body[index]
+        if lit.positive:
+            candidates = []
+            store = model.relation(lit.relation)
+            bound = {}
+            ok_any = False
+            for row in store:
+                trial = dict(subst)
+                from ..datalog.unify import match_tuple
+
+                if len(row) == len(lit.args) and match_tuple(
+                    lit.args, row, trial
+                ):
+                    ok_any = True
+                    result = walk(index + 1, trial)
+                    if result is None:
+                        return None
+            if not ok_any:
+                ground = substitute_args(lit.args, subst)
+                return f"no match for {Atom(lit.relation, ground)}"
+            return f"every match for {lit} fails later in the body"
+        ground = substitute_args(lit.args, subst)
+        if model.contains(lit.relation, ground):
+            return f"{Atom(lit.relation, ground)} is present (negated)"
+        return walk(index + 1, subst)
+
+    return walk(0, head_subst)

@@ -1,0 +1,310 @@
+"""Section 5.2 discussion — fact-level supports, the no-migration solution.
+
+"One might consider a different form of supports in which not relations but
+facts are recorded. [...] In fact, this form of supports combined with an
+appropriate type of a saturation procedure keeping all possible 'original'
+deductions would lead to a solution with no migration. This solution could
+be of interest in the case of Artificial Intelligence applications where
+typically few facts and many rules are used. However, this choice should be
+rejected in the framework of databases [because it defeats the delta-driven
+mechanism and the bookkeeping cost is prohibitive]."
+
+This engine implements that rejected-but-interesting solution so the
+trade-off can be measured (experiments E7, E8, E12):
+
+* every ground deduction is kept as a :class:`~repro.core.supports.FactRecord`
+  (rule, positive body *facts*, negated ground *atoms*) — a ground
+  justification network, exactly a Doyle-style TMS;
+* an update kills precisely the records whose negative facts appeared or
+  whose positive facts disappeared;
+* a fact is evicted only when it has no *well-founded* record left — the
+  groundedness check guards against mutually supporting positive cycles
+  (``p :- q, q :- p``) surviving the loss of their external support;
+* saturation runs before the kills, so a deduction enabled by the same
+  update keeps its fact alive through the transition: **nothing is ever
+  removed and re-added — migration is structurally zero** (asserted by the
+  property tests).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..datalog.atoms import Atom
+from ..datalog.clauses import Clause
+from ..datalog.evaluation import Derivation, semi_naive_saturate
+from ..datalog.stratify import Stratum
+from .base import MaintenanceEngine
+from .supports import FactRecord
+
+
+class FactLevelEngine(MaintenanceEngine):
+    """Fact-level supports keeping all deductions (section 5.2 discussion)."""
+
+    name = "factlevel"
+
+    def __init__(self, program, **kwargs):
+        self._records: dict[Atom, set[FactRecord]] = {}
+        super().__init__(program, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Supports
+    # ------------------------------------------------------------------
+
+    def _reset_supports(self) -> None:
+        self._records.clear()
+
+    def _build_listener(self):
+        def listener(derivation: Derivation, is_new: bool) -> None:
+            self._derivations_fired += 1
+            record = (
+                FactRecord.assertion()
+                if not derivation.clause.body
+                else FactRecord(
+                    derivation.clause,
+                    frozenset(derivation.positive_facts),
+                    frozenset(derivation.negative_atoms),
+                )
+            )
+            self._records.setdefault(derivation.head, set()).add(record)
+
+        return listener
+
+    def _register_assertion(self, fact: Atom) -> None:
+        self._records.setdefault(fact, set()).add(FactRecord.assertion())
+
+    def records_of(self, fact: Atom) -> set[FactRecord]:
+        return self._records[fact]
+
+    def support_entry_count(self) -> int:
+        return sum(
+            record.size()
+            for records in self._records.values()
+            for record in records
+        )
+
+    # ------------------------------------------------------------------
+    # The cascade at fact granularity
+    # ------------------------------------------------------------------
+
+    def _evict(self, fact: Atom) -> None:
+        self.model.discard(fact)
+        self._records.pop(fact, None)
+
+    def _saturate(
+        self,
+        stratum: Stratum,
+        inc_facts: set[Atom],
+        dec_relations: set[str],
+        extra_full_heads: set[str] = frozenset(),
+        seed_rules: Iterable[Clause] = (),
+    ) -> set[Atom]:
+        seed_rules = set(seed_rules)
+        full_fire = {
+            clause
+            for clause in stratum.clauses
+            if clause in seed_rules
+            or clause.head.relation in extra_full_heads
+            or any(
+                lit.relation in dec_relations for lit in clause.negative_body
+            )
+        }
+        delta: dict[str, set[tuple]] = {}
+        for fact in inc_facts:
+            delta.setdefault(fact.relation, set()).add(fact.args)
+        return semi_naive_saturate(
+            stratum.clauses,
+            self.model,
+            self._build_listener(),
+            initial_full=False,
+            delta=delta,
+            full_fire=full_fire,
+        )
+
+    def _kill_records(
+        self, stratum: Stratum, inc_facts: set[Atom], dec_facts: set[Atom]
+    ) -> bool:
+        """Kill exactly the records invalidated by the update. Returns
+        whether anything was killed (triggering a groundedness pass)."""
+        killed = False
+        for relation in stratum.relations:
+            for fact in list(self.model.facts_of(relation)):
+                records = self._records.get(fact)
+                if not records:
+                    continue
+                dead = {
+                    record
+                    for record in records
+                    if record.negative_facts & inc_facts
+                    or record.positive_facts & dec_facts
+                }
+                if dead:
+                    records -= dead
+                    killed = True
+        return killed
+
+    def _well_founded_evictions(self, stratum: Stratum) -> set[Atom]:
+        """Evict the stratum facts with no grounded deduction left.
+
+        A record is grounded when each of its positive body facts either
+        lives in a lower stratum *and is still in the model* (a record can
+        go stale when its body fact died in the same stratum pass that
+        created the dec entry — restratification moves relations between
+        strata, so presence must be checked, not assumed) or has itself
+        been validated. Iterating to a fixpoint from below rejects mutually
+        supporting positive cycles.
+        """
+        index = stratum.index
+        stratum_of = self.db.stratification.stratum_of
+        candidates = [
+            fact
+            for relation in stratum.relations
+            for fact in self.model.facts_of(relation)
+        ]
+        validated: set[Atom] = set()
+        changed = True
+        while changed:
+            changed = False
+            for fact in candidates:
+                if fact in validated:
+                    continue
+                for record in self._records.get(fact, ()):
+                    grounded = all(
+                        body in validated
+                        or (
+                            stratum_of(body.relation) < index
+                            and body in self.model
+                        )
+                        for body in record.positive_facts
+                    )
+                    if grounded:
+                        validated.add(fact)
+                        changed = True
+                        break
+        evicted = {fact for fact in candidates if fact not in validated}
+        for fact in evicted:
+            self._evict(fact)
+        return evicted
+
+    def _run_cascade(
+        self,
+        start: int,
+        inc_facts: set[Atom],
+        dec_facts: set[Atom],
+        seed_rules: Iterable[Clause] = (),
+        forced_check_start: bool = False,
+    ) -> tuple[set[Atom], set[Atom]]:
+        removed_all: set[Atom] = set()
+        added_all: set[Atom] = set()
+        seed_rules = tuple(seed_rules)
+        strata = self.db.stratification.strata
+        for position, stratum in enumerate(strata[start - 1 :]):
+            first = position == 0
+            inc_relations = {fact.relation for fact in inc_facts}
+            dec_relations = {fact.relation for fact in dec_facts}
+            if not first and not self._stratum_depends_on(
+                stratum, inc_relations | dec_relations
+            ):
+                continue
+            if first and not (
+                seed_rules or forced_check_start or inc_facts or dec_facts
+            ):
+                continue
+            # Saturate FIRST: a deduction enabled by this very update keeps
+            # its fact alive through the kills below — this is what makes
+            # migration structurally zero.
+            added = self._saturate(
+                stratum, inc_facts, dec_relations, seed_rules=seed_rules
+                if first
+                else (),
+            )
+            added_all |= added
+            inc_facts |= added
+            killed = self._kill_records(stratum, inc_facts, dec_facts)
+            if killed or (first and forced_check_start):
+                evicted = self._well_founded_evictions(stratum)
+                # Facts added earlier in this very update and evicted now
+                # were never part of the maintained model: churn, not
+                # removal (and certainly not migration).
+                transient = evicted & added_all
+                self._transient += len(transient)
+                added_all -= transient
+                removed_all |= evicted - transient
+                dec_facts |= evicted
+                inc_facts -= evicted
+                if evicted:
+                    # Purge records of surviving same-stratum facts that
+                    # cite the just-evicted ones, so no stale record
+                    # outlives its body fact.
+                    self._kill_records(stratum, inc_facts, dec_facts)
+        return removed_all, added_all
+
+    def _stratum_depends_on(self, stratum: Stratum, active: set[str]) -> bool:
+        if not active:
+            return False
+        for clause in stratum.clauses:
+            for lit in clause.body:
+                if lit.relation in active:
+                    return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Update procedures
+    # ------------------------------------------------------------------
+
+    def _apply_insert_fact(self, fact: Atom) -> tuple[set[Atom], set[Atom]]:
+        self.model.add(fact)
+        self._records[fact] = {FactRecord.assertion()}
+        removed, added = self._run_cascade(
+            self.db.stratum_of(fact.relation), {fact}, set()
+        )
+        return removed, added | {fact}
+
+    def _apply_delete_fact(self, fact: Atom) -> tuple[set[Atom], set[Atom]]:
+        records = self._records.get(fact, set())
+        records.discard(FactRecord.assertion())
+        # The fact may survive through other deductions; the well-founded
+        # check at its stratum decides (and handles positive cycles whose
+        # only external support was this assertion).
+        removed, added = self._run_cascade(
+            self.db.stratum_of(fact.relation),
+            set(),
+            set(),
+            forced_check_start=True,
+        )
+        return removed, added
+
+    def _apply_insert_rule(self, rule: Clause) -> tuple[set[Atom], set[Atom]]:
+        return self._run_cascade(
+            self.db.stratum_of(rule.head.relation),
+            set(),
+            set(),
+            seed_rules=(rule,),
+        )
+
+    def _apply_delete_rule(self, rule: Clause) -> tuple[set[Atom], set[Atom]]:
+        head = rule.head.relation
+        killed = False
+        dec_facts: set[Atom] = set()
+        for fact in list(self.model.facts_of(head)):
+            records = self._records.get(fact)
+            if not records:
+                continue
+            dead = {record for record in records if record.rule == rule}
+            if dead:
+                records -= dead
+                killed = True
+                if not records:
+                    # Evict here rather than in the stratum sweep: deleting
+                    # the relation's last rule can drop it out of the
+                    # stratification entirely, in which case no stratum
+                    # would ever visit these facts again.
+                    self._evict(fact)
+                    dec_facts.add(fact)
+        removed, added = self._run_cascade(
+            self.db.stratum_of(head),
+            set(),
+            dec_facts,
+            forced_check_start=killed,
+        )
+        return removed | dec_facts, added

@@ -1,0 +1,83 @@
+"""Migration and bookkeeping accounting.
+
+The paper compares maintenance solutions by the amount of *migration* — "a
+phenomenon consisting of an erroneous removal of a fact from the model"
+after which "this fact has to be added back" — against the cost of the
+bookkeeping (the supports). These records are what the benchmark harness
+aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MaintenanceStats:
+    """Totals accumulated by one engine over a sequence of updates."""
+
+    updates: int = 0
+    removed: int = 0
+    added: int = 0
+    migrated: int = 0
+    duration_s: float = 0.0
+    derivations_fired: int = 0
+
+    def record(self, result: "UpdateResult") -> None:
+        self.updates += 1
+        self.removed += len(result.removed)
+        self.added += len(result.added)
+        self.migrated += len(result.migrated)
+        self.duration_s += result.duration_s
+        self.derivations_fired += result.stats.get("derivations_fired", 0)
+
+    def as_dict(self) -> dict:
+        return {
+            "updates": self.updates,
+            "removed": self.removed,
+            "added": self.added,
+            "migrated": self.migrated,
+            "duration_s": self.duration_s,
+            "derivations_fired": self.derivations_fired,
+        }
+
+
+@dataclass(frozen=True)
+class UpdateResult:
+    """The outcome of a single maintenance operation.
+
+    ``removed`` is what the removal phase evicted from the model,
+    ``added`` what the addition phase put in; their intersection is the
+    migration of this update. The net model change is
+    ``(added - removed-that-stayed-out)`` — see :attr:`net_added` /
+    :attr:`net_removed`.
+    """
+
+    operation: str
+    subject: str
+    removed: frozenset
+    added: frozenset
+    model_size: int
+    duration_s: float
+    support_entries: int
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def migrated(self) -> frozenset:
+        """Facts erroneously removed and then added back."""
+        return self.removed & self.added
+
+    @property
+    def net_removed(self) -> frozenset:
+        return self.removed - self.added
+
+    @property
+    def net_added(self) -> frozenset:
+        return self.added - self.removed
+
+    def summary(self) -> str:
+        return (
+            f"{self.operation}({self.subject}): "
+            f"-{len(self.net_removed)} +{len(self.net_added)} "
+            f"migrated={len(self.migrated)} model={self.model_size}"
+        )

@@ -1,0 +1,37 @@
+"""Full recomputation — the correctness oracle and cost baseline.
+
+Not one of the paper's solutions: it simply recomputes ``M(P')`` from
+scratch after every update. It never migrates anything (there is no removal
+phase), always produces the exact standard model, and its cost is what the
+incremental solutions must beat (experiment E10 locates the crossover).
+"""
+
+from __future__ import annotations
+
+from ..datalog.atoms import Atom
+from ..datalog.clauses import Clause
+from .base import MaintenanceEngine
+
+
+class RecomputeEngine(MaintenanceEngine):
+    """Recompute M(P') from scratch on every update."""
+
+    name = "recompute"
+
+    def _recompute(self) -> tuple[set[Atom], set[Atom]]:
+        before = self.model.as_set()
+        self.rebuild()
+        after = self.model.as_set()
+        return set(before - after), set(after - before)
+
+    def _apply_insert_fact(self, fact: Atom) -> tuple[set[Atom], set[Atom]]:
+        return self._recompute()
+
+    def _apply_delete_fact(self, fact: Atom) -> tuple[set[Atom], set[Atom]]:
+        return self._recompute()
+
+    def _apply_insert_rule(self, rule: Clause) -> tuple[set[Atom], set[Atom]]:
+        return self._recompute()
+
+    def _apply_delete_rule(self, rule: Clause) -> tuple[set[Atom], set[Atom]]:
+        return self._recompute()

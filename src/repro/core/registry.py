@@ -1,0 +1,67 @@
+"""Engine registry: uniform construction for tests and the bench harness."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .base import MaintenanceEngine
+from .cascade_engine import CascadeEngine
+from .dynamic_engine import DynamicEngine
+from .factlevel_engine import FactLevelEngine
+from .recompute import RecomputeEngine
+from .setofsets_engine import SetOfSetsEngine
+from .static_engine import StaticEngine
+
+_FACTORIES: dict[str, Callable[..., MaintenanceEngine]] = {
+    "recompute": RecomputeEngine,
+    "static": StaticEngine,
+    "dynamic": DynamicEngine,
+    "dynamic-unsigned": lambda program, **kw: DynamicEngine(
+        program, signed_statics=False, **kw
+    ),
+    "setofsets": SetOfSetsEngine,
+    "setofsets-paired": lambda program, **kw: SetOfSetsEngine(
+        program, mode="paired", **kw
+    ),
+    "cascade": CascadeEngine,
+    "cascade-paper": lambda program, **kw: CascadeEngine(
+        program, order="paper", **kw
+    ),
+    "factlevel": FactLevelEngine,
+}
+
+ENGINE_NAMES: tuple[str, ...] = tuple(_FACTORIES)
+
+SOUND_ENGINE_NAMES: tuple[str, ...] = (
+    "recompute",
+    "static",
+    "dynamic",
+    "setofsets-paired",
+    "cascade",
+    "cascade-paper",
+    "factlevel",
+)
+"""Engines that agree with the oracle across arbitrary update sequences.
+
+``setofsets`` (paper mode) is only guaranteed for a single update on a
+freshly built model and ``dynamic-unsigned`` is the deliberately incorrect
+variant of Example 2 — see DESIGN.md.
+"""
+
+PAPER_SOLUTION_NAMES: tuple[str, ...] = (
+    "static",
+    "dynamic",
+    "setofsets",
+    "cascade",
+    "factlevel",
+)
+"""One name per solution the paper presents, in presentation order."""
+
+
+def create_engine(name: str, program, **kwargs) -> MaintenanceEngine:
+    """Instantiate the engine registered under *name*."""
+    factory = _FACTORIES.get(name)
+    if factory is None:
+        known = ", ".join(sorted(_FACTORIES))
+        raise ValueError(f"unknown engine {name!r}; known engines: {known}")
+    return factory(program, **kwargs)

@@ -1,0 +1,271 @@
+"""Section 4.3 — the dynamic solution with Pos and Neg sets of sets.
+
+One support element per deduction: when ``p(t)`` is deduced from positive
+facts with supports ``Pos1..Posi`` / ``Neg1..Negi`` and negated relations
+``r1..rj``, the sets grow by
+
+    Pos := Pos ∪ (Pos1 ⊕ ... ⊕ Posi) ⊕ {{q1,...,qi, -r1,...,-rj}}
+    Neg := Neg ∪ (Neg1 ⊕ ... ⊕ Negi) ⊕ {{+r1,...,+rj}}
+
+A fact is now evicted only when *all* elements of the relevant set fail,
+which keeps Example 4's ``accepted(a)`` alive where the single-support
+solution migrates it.
+
+Two modes:
+
+* ``mode="paper"`` — the sets evolve independently, exactly as printed.
+  Known consequence (DESIGN.md, faithfulness note 1): after a *sequence* of
+  updates the surviving Pos and Neg elements no longer pair up into common
+  deductions and the engine can erroneously retain a fact. Lemma 2 only
+  covers one update on a freshly built model.
+* ``mode="paired"`` — each deduction's (Pos element, Neg element) pair is
+  kept linked in a :class:`~repro.core.supports.PairedRecord`; a record dies
+  when either side fails and the fact is evicted when no record remains.
+  This restores soundness across sequences at the same asymptotic cost.
+"""
+
+from __future__ import annotations
+
+from ..datalog.atoms import Atom
+from ..datalog.clauses import Clause
+from ..datalog.evaluation import Derivation
+from .base import MaintenanceEngine
+from .supports import (
+    PairedRecord,
+    SetOfSetsSupport,
+    Signed,
+    combine,
+    expand_neg_element,
+    expand_pos_element,
+    prune_to_minimal,
+)
+
+
+class SetOfSetsEngine(MaintenanceEngine):
+    """The dynamic solution of section 4.3."""
+
+    name = "setofsets"
+
+    def __init__(
+        self,
+        program,
+        *,
+        mode: str = "paper",
+        prune: bool = True,
+        **kwargs,
+    ):
+        if mode not in ("paper", "paired"):
+            raise ValueError(f"unknown mode {mode!r}; use 'paper' or 'paired'")
+        self.mode = mode
+        self.prune = prune
+        self._supports: dict[Atom, SetOfSetsSupport] = {}
+        self._records: dict[Atom, set[PairedRecord]] = {}
+        super().__init__(program, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Support construction
+    # ------------------------------------------------------------------
+
+    def _reset_supports(self) -> None:
+        self._supports.clear()
+        self._records.clear()
+
+    def _build_listener(self):
+        def listener(derivation: Derivation, is_new: bool) -> None:
+            self._derivations_fired += 1
+            self._note_deduction(derivation)
+
+        return listener
+
+    def _note_deduction(self, derivation: Derivation) -> None:
+        negated = tuple(
+            atom.relation for atom in derivation.negative_atoms
+        )
+        base_pos = frozenset(
+            {fact.relation for fact in derivation.positive_facts}
+            | {Signed("-", relation) for relation in negated}
+        )
+        base_neg = frozenset(Signed("+", relation) for relation in negated)
+        if self.mode == "paper":
+            pos_factors = [
+                self._supports[fact].pos for fact in derivation.positive_facts
+            ]
+            neg_factors = [
+                self._supports[fact].neg for fact in derivation.positive_facts
+            ]
+            support = self._supports.setdefault(
+                derivation.head, SetOfSetsSupport()
+            )
+            support.pos |= combine(pos_factors + [{base_pos}])
+            support.neg |= combine(neg_factors + [{base_neg}])
+            if self.prune:
+                support.pos = prune_to_minimal(support.pos)
+                support.neg = prune_to_minimal(support.neg)
+        else:
+            body_records = [
+                self._records[fact] for fact in derivation.positive_facts
+            ]
+            records = self._records.setdefault(derivation.head, set())
+            self._combine_records(records, body_records, base_pos, base_neg)
+
+    def _combine_records(
+        self,
+        records: set[PairedRecord],
+        body_records: list[set[PairedRecord]],
+        base_pos: frozenset,
+        base_neg: frozenset,
+    ) -> None:
+        """⊕ over linked (Pos, Neg) pairs instead of each side separately."""
+        choices: list[PairedRecord] = [PairedRecord(base_pos, base_neg)]
+        for factor in body_records:
+            choices = [
+                PairedRecord(choice.pos | record.pos, choice.neg | record.neg)
+                for choice in choices
+                for record in factor
+            ]
+        records.update(choices)
+        if self.prune:
+            self._prune_records(records)
+
+    @staticmethod
+    def _prune_records(records: set[PairedRecord]) -> None:
+        ordered = sorted(records, key=lambda r: (len(r.pos) + len(r.neg)))
+        kept: list[PairedRecord] = []
+        for record in ordered:
+            if not any(
+                other.pos <= record.pos and other.neg <= record.neg
+                for other in kept
+            ):
+                kept.append(record)
+        records.clear()
+        records.update(kept)
+
+    def _register_assertion(self, fact: Atom) -> None:
+        if self.mode == "paper":
+            support = self._supports.setdefault(fact, SetOfSetsSupport())
+            support.pos.add(frozenset())
+            support.neg.add(frozenset())
+            if self.prune:
+                support.pos = prune_to_minimal(support.pos)
+                support.neg = prune_to_minimal(support.neg)
+        else:
+            records = self._records.setdefault(fact, set())
+            records.add(PairedRecord.trivial())
+            if self.prune:
+                self._prune_records(records)
+
+    def support_of(self, fact: Atom) -> SetOfSetsSupport:
+        return self._supports[fact]
+
+    def records_of(self, fact: Atom) -> set[PairedRecord]:
+        return self._records[fact]
+
+    def support_entry_count(self) -> int:
+        if self.mode == "paper":
+            return sum(s.size() for s in self._supports.values())
+        return sum(
+            record.size()
+            for records in self._records.values()
+            for record in records
+        )
+
+    # ------------------------------------------------------------------
+    # Removal phases
+    # ------------------------------------------------------------------
+
+    def _evict(self, fact: Atom) -> None:
+        self.model.discard(fact)
+        self._supports.pop(fact, None)
+        self._records.pop(fact, None)
+
+    def _remove_failing(self, relation: str, side: str) -> set[Atom]:
+        """Drop failing elements; evict facts whose *side* set empties.
+
+        ``side="neg"`` is the insertion case (elements whose expanded form
+        contains the increased relation fail), ``side="pos"`` the deletion
+        case.
+        """
+        statics = self.db.statics
+        doomed: list[Atom] = []
+        if self.mode == "paper":
+            for fact, support in self._supports.items():
+                elements = support.neg if side == "neg" else support.pos
+                expand = (
+                    expand_neg_element if side == "neg" else expand_pos_element
+                )
+                failing = {
+                    element
+                    for element in elements
+                    if relation in expand(element, statics)
+                }
+                if not failing:
+                    continue
+                elements -= failing
+                if not elements:
+                    doomed.append(fact)
+        else:
+            for fact, records in self._records.items():
+                failing = {
+                    record
+                    for record in records
+                    if relation
+                    in (
+                        expand_neg_element(record.neg, statics)
+                        if side == "neg"
+                        else expand_pos_element(record.pos, statics)
+                    )
+                }
+                if not failing:
+                    continue
+                records -= failing
+                if not records:
+                    doomed.append(fact)
+        for fact in doomed:
+            self._evict(fact)
+        return set(doomed)
+
+    # ------------------------------------------------------------------
+    # Update procedures
+    # ------------------------------------------------------------------
+
+    def _apply_insert_fact(self, fact: Atom) -> tuple[set[Atom], set[Atom]]:
+        removed = self._remove_failing(fact.relation, "neg")
+        self.model.add(fact)
+        self._register_assertion(fact)
+        added = self._resaturate_from(
+            self.db.stratum_of(fact.relation), self._build_listener()
+        )
+        return removed, added | {fact}
+
+    def _apply_delete_fact(self, fact: Atom) -> tuple[set[Atom], set[Atom]]:
+        removed = self._remove_failing(fact.relation, "pos")
+        if fact in self.model:
+            self._evict(fact)
+            removed.add(fact)
+        added = self._resaturate_from(
+            self.db.stratum_of(fact.relation), self._build_listener()
+        )
+        return removed, added
+
+    def _apply_insert_rule(self, rule: Clause) -> tuple[set[Atom], set[Atom]]:
+        head = rule.head.relation
+        removed = self._remove_failing(head, "neg")
+        added = self._resaturate_from(
+            self.db.stratum_of(head), self._build_listener()
+        )
+        return removed, added
+
+    def _apply_delete_rule(self, rule: Clause) -> tuple[set[Atom], set[Atom]]:
+        head = rule.head.relation
+        removed = self._remove_failing(head, "pos")
+        # Relation-level supports cannot tell which head facts the deleted
+        # rule produced; evict every derived-only fact of the relation and
+        # let re-saturation bring back the survivors.
+        for fact in list(self.model.facts_of(head)):
+            if not self.db.is_asserted(fact):
+                self._evict(fact)
+                removed.add(fact)
+        added = self._resaturate_from(
+            self.db.stratum_of(head), self._build_listener()
+        )
+        return removed, added

@@ -1,0 +1,103 @@
+"""Section 4.1 — the static solution using the dependency graph.
+
+No supports are attached to the facts; the removal phase consults only the
+static closures ``Pos(r)`` / ``Neg(r)`` of the dependency graph:
+
+* inserting a fact about ``p`` may only shrink relations ``r`` with
+  ``p ∈ Neg(r)`` (Lemma 1.i), so all their facts are evicted;
+* deleting a fact about ``p`` may only shrink relations ``r`` with
+  ``p ∈ Pos(r)`` (Lemma 1.ii) — note ``p ∈ Pos(p)``, so the deleted
+  relation's own facts are evicted too;
+
+after which every stratum from the affected one upward is re-saturated
+("the simplest solution and usually the most inefficient one"). The evicted
+facts that re-appear are this solution's migration — Example 1 (CONF) shows
+it migrating a fact the dynamic solutions save.
+"""
+
+from __future__ import annotations
+
+from ..datalog.atoms import Atom
+from ..datalog.clauses import Clause
+from .base import MaintenanceEngine
+
+
+class StaticEngine(MaintenanceEngine):
+    """The static solution of section 4.1."""
+
+    name = "static"
+
+    def _evict_dependents(
+        self, relation: str, via_negative: bool
+    ) -> set[Atom]:
+        """Remove every fact of every relation statically at risk.
+
+        *via_negative* selects Lemma 1.i (insertions: ``p ∈ Neg(r)``) or
+        Lemma 1.ii (deletions: ``p ∈ Pos(r)``).
+        """
+        statics = self.db.statics
+        removed: set[Atom] = set()
+        for name in list(self.model.relation_names()):
+            at_risk = (
+                relation in statics.neg(name)
+                if via_negative
+                else relation in statics.pos(name)
+            )
+            if not at_risk:
+                continue
+            doomed = list(self.model.facts_of(name))
+            for fact in doomed:
+                self.model.discard(fact)
+            removed.update(doomed)
+        return removed
+
+    # ------------------------------------------------------------------
+    # FACT INSERTION (section 4.1)
+    # ------------------------------------------------------------------
+
+    def _apply_insert_fact(self, fact: Atom) -> tuple[set[Atom], set[Atom]]:
+        # 1) remove all facts r(s) such that p belongs to Neg(r)
+        removed = self._evict_dependents(fact.relation, via_negative=True)
+        # 2) add p(t)
+        self.model.add(fact)
+        # 3) recompute the saturation sequence from p's stratum upward
+        added = self._resaturate_from(self.db.stratum_of(fact.relation))
+        return removed, added | {fact}
+
+    # ------------------------------------------------------------------
+    # FACT DELETION
+    # ------------------------------------------------------------------
+
+    def _apply_delete_fact(self, fact: Atom) -> tuple[set[Atom], set[Atom]]:
+        # 1) remove all facts r(s) such that p belongs to Pos(r); since
+        #    p ∈ Pos(p) this evicts p's own facts, including p(t) itself.
+        removed = self._evict_dependents(fact.relation, via_negative=False)
+        # 2) p(t) must stay out; it is no longer asserted.
+        # 3) re-saturate from p's stratum upward.
+        added = self._resaturate_from(self.db.stratum_of(fact.relation))
+        return removed, added
+
+    # ------------------------------------------------------------------
+    # RULE INSERTION
+    # ------------------------------------------------------------------
+
+    def _apply_insert_rule(self, rule: Clause) -> tuple[set[Atom], set[Atom]]:
+        # The database already re-stratified and rebased the static sets
+        # (step 2 of the paper's procedure). The new rule can only increase
+        # its head relation, so only negative dependents are at risk.
+        head = rule.head.relation
+        removed = self._evict_dependents(head, via_negative=True)
+        added = self._resaturate_from(self.db.stratum_of(head))
+        return removed, added
+
+    # ------------------------------------------------------------------
+    # RULE DELETION
+    # ------------------------------------------------------------------
+
+    def _apply_delete_rule(self, rule: Clause) -> tuple[set[Atom], set[Atom]]:
+        # The head relation may shrink: evict the positive dependents
+        # (p ∈ Pos(p) evicts the head's own facts) and re-saturate.
+        head = rule.head.relation
+        removed = self._evict_dependents(head, via_negative=False)
+        added = self._resaturate_from(self.db.stratum_of(head))
+        return removed, added

@@ -1,0 +1,315 @@
+"""Support structures attached to the facts of the maintained model.
+
+The paper's solutions differ exactly in the form of these supports:
+
+* section 4.2 — one pair ``(Pos, Neg)`` of sets of *signed relations* per
+  fact (:class:`PairSupport`);
+* section 4.3 — ``Pos`` and ``Neg`` as *sets of sets* of signed relations,
+  combined across body facts with the ``⊕`` operator (:func:`combine`);
+* section 5.1 — one-level-deep rule pointers (:class:`RuleRecord`);
+* section 5.2 (discussion) — fact-level derivation records keeping every
+  deduction (:class:`FactRecord`).
+
+A *signed* entry ``-r`` inside a Pos set (or ``+r`` inside a Neg set)
+remembers that the deduction passed through the negative hypothesis
+``not r(...)``; at update time it is expanded through the *static*
+dependency sets into the ``Pos'``/``Neg'`` sets of the paper
+(:func:`expand_pos_element`, :func:`expand_neg_element`).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterable, NamedTuple, Optional
+
+from ..datalog.atoms import Atom
+from ..datalog.clauses import Clause
+from ..datalog.dependency import StaticDependencies
+
+# ----------------------------------------------------------------------
+# Signed relation entries
+# ----------------------------------------------------------------------
+
+
+class Signed(NamedTuple):
+    """A signed relation symbol: ``Signed('-', r)`` is the paper's ``-r``."""
+
+    sign: str  # '+' or '-'
+    relation: str
+
+    def __str__(self) -> str:
+        return f"{self.sign}{self.relation}"
+
+
+Entry = "str | Signed"  # a support-set member: plain or signed relation
+
+
+def plain_relations(entries: Iterable) -> set[str]:
+    """The unsigned relation names among *entries*."""
+    return {entry for entry in entries if isinstance(entry, str)}
+
+
+def signed_relations(entries: Iterable) -> set[Signed]:
+    return {entry for entry in entries if isinstance(entry, Signed)}
+
+
+def expand_pos_element(
+    element: frozenset, statics: StaticDependencies
+) -> set[str]:
+    """The paper's ``A'`` for an element of a Pos set.
+
+    ``A' = {q : q ∈ A} ∪ Neg(r1) ∪ ... ∪ Neg(rj)`` where the ``-rk`` are the
+    signed entries of A: a deduction that relied on the *absence* of ``r``
+    facts decreases when anything that ``r`` negatively depends on makes
+    ``r`` grow — hence the static ``Neg(r)`` closure.
+    """
+    expanded = plain_relations(element)
+    for entry in element:
+        if isinstance(entry, Signed):
+            expanded |= statics.neg(entry.relation)
+    return expanded
+
+
+def expand_neg_element(
+    element: frozenset, statics: StaticDependencies
+) -> set[str]:
+    """The paper's ``A'`` for an element of a Neg set.
+
+    ``A' = {q : q ∈ A} ∪ Pos(r1) ∪ ... ∪ Pos(rj) ∪ {r1, ..., rj}`` where the
+    ``+rk`` are the signed entries of A.
+    """
+    expanded = plain_relations(element)
+    for entry in element:
+        if isinstance(entry, Signed):
+            expanded |= statics.pos(entry.relation)
+            expanded.add(entry.relation)
+    return expanded
+
+
+# ----------------------------------------------------------------------
+# Section 4.2: one (Pos, Neg) pair per fact
+# ----------------------------------------------------------------------
+
+
+class PairSupport(NamedTuple):
+    """The single support of the dynamic solution of section 4.2."""
+
+    pos: frozenset  # plain relations and Signed('-', r) entries
+    neg: frozenset  # plain relations and Signed('+', r) entries
+
+    @classmethod
+    def trivial(cls) -> "PairSupport":
+        """The support of an asserted fact: empty Pos and Neg."""
+        return cls(frozenset(), frozenset())
+
+    def is_trivial(self) -> bool:
+        return not self.pos and not self.neg
+
+    def pairwise_smaller(self, other: "PairSupport") -> bool:
+        """True when self ⊆ other componentwise and self ≠ other.
+
+        The paper keeps the old pair "unless the new pair is pairwise
+        smaller than the old one"; smaller supports make fewer updates
+        evict the fact.
+        """
+        return (
+            self.pos <= other.pos
+            and self.neg <= other.neg
+            and (self.pos != other.pos or self.neg != other.neg)
+        )
+
+    def size(self) -> int:
+        return len(self.pos) + len(self.neg)
+
+
+def pair_support_of_derivation(
+    positive_supports: Iterable[PairSupport],
+    positive_relations: Iterable[str],
+    negated_relations: Iterable[str],
+) -> PairSupport:
+    """Build the section 4.2 support of a newly deduced fact.
+
+    ``Pos = Pos1 ∪ ... ∪ Posi ∪ {q1, ..., qi} ∪ {-r1, ..., -rj}`` and
+    ``Neg = Neg1 ∪ ... ∪ Negi ∪ {+r1, ..., +rj}``.
+    """
+    pos: set = set()
+    neg: set = set()
+    for support in positive_supports:
+        pos |= support.pos
+        neg |= support.neg
+    pos.update(positive_relations)
+    negated = tuple(negated_relations)
+    pos.update(Signed("-", relation) for relation in negated)
+    neg.update(Signed("+", relation) for relation in negated)
+    return PairSupport(frozenset(pos), frozenset(neg))
+
+
+# ----------------------------------------------------------------------
+# Section 4.3: sets of sets and the ⊕ operator
+# ----------------------------------------------------------------------
+
+
+def combine(sets_of_sets: Iterable[frozenset | set]) -> set[frozenset]:
+    """The paper's ``B1 ⊕ ... ⊕ Bk = {A1 ∪ ... ∪ Ak : Ai ∈ Bi}``.
+
+    The empty product is ``{∅}``, the neutral element — a deduction with no
+    positive hypotheses contributes only its own relations.
+    """
+    factors = [tuple(factor) for factor in sets_of_sets]
+    result: set[frozenset] = set()
+    for choice in product(*factors):
+        merged: frozenset = frozenset()
+        for element in choice:
+            merged |= element
+        result.add(merged)
+    return result
+
+
+def prune_to_minimal(elements: set[frozenset]) -> set[frozenset]:
+    """Keep only the ⊆-minimal elements (the paper's "small supports").
+
+    "We might remove an element A from Pos (or Neg) each time a proper
+    subset of it has been added" — keeping the antichain of minimal
+    elements bounds the growth of the sets-of-sets supports.
+    """
+    ordered = sorted(elements, key=len)
+    minimal: list[frozenset] = []
+    for element in ordered:
+        if not any(kept <= element for kept in minimal):
+            minimal.append(element)
+    return set(minimal)
+
+
+class SetOfSetsSupport:
+    """The Pos/Neg sets-of-sets of one fact (section 4.3, paper form).
+
+    ``pos`` and ``neg`` evolve independently; the known consequence (see
+    DESIGN.md) is that after several updates their elements no longer pair
+    up into common deductions.
+    """
+
+    __slots__ = ("pos", "neg")
+
+    def __init__(
+        self,
+        pos: Optional[set[frozenset]] = None,
+        neg: Optional[set[frozenset]] = None,
+    ):
+        self.pos: set[frozenset] = pos if pos is not None else set()
+        self.neg: set[frozenset] = neg if neg is not None else set()
+
+    @classmethod
+    def trivial(cls) -> "SetOfSetsSupport":
+        """Support of an asserted fact: both sets contain the empty set."""
+        return cls({frozenset()}, {frozenset()})
+
+    def add_deduction(
+        self,
+        pos_element: frozenset,
+        neg_element: frozenset,
+        prune: bool,
+    ) -> None:
+        self.pos.add(pos_element)
+        self.neg.add(neg_element)
+        if prune:
+            self.pos = prune_to_minimal(self.pos)
+            self.neg = prune_to_minimal(self.neg)
+
+    def size(self) -> int:
+        return sum(len(element) + 1 for element in self.pos) + sum(
+            len(element) + 1 for element in self.neg
+        )
+
+
+class PairedRecord(NamedTuple):
+    """One deduction's (Pos element, Neg element) pair, kept linked.
+
+    Used by ``SetOfSetsEngine(mode="paired")`` — the soundness-restoring
+    variant described in DESIGN.md: a record dies when *either* side fails,
+    and a fact is evicted when no record remains.
+    """
+
+    pos: frozenset
+    neg: frozenset
+
+    @classmethod
+    def trivial(cls) -> "PairedRecord":
+        return cls(frozenset(), frozenset())
+
+    def size(self) -> int:
+        return len(self.pos) + len(self.neg) + 1
+
+
+# ----------------------------------------------------------------------
+# Section 5.1: one-level rule pointers
+# ----------------------------------------------------------------------
+
+
+class RuleRecord(NamedTuple):
+    """A pointer to a rule that triggered the fact (section 5.1).
+
+    The Pos/Neg elements of the fact are recovered from the rule's body:
+    "the actual supports in the form of Pos and Neg sets can be constructed
+    from this set of pointers in an obvious way". ``rule is None`` marks the
+    fact as asserted. The relation sets are precomputed because REMOVEPOS /
+    REMOVENEG test them on every pass.
+    """
+
+    rule: Optional[Clause]
+    positive_relations: frozenset[str]
+    negated_relations: frozenset[str]
+
+    @classmethod
+    def assertion(cls) -> "RuleRecord":
+        return cls(None, frozenset(), frozenset())
+
+    @classmethod
+    def of_rule(cls, rule: Clause) -> "RuleRecord":
+        return cls(
+            rule,
+            frozenset(lit.relation for lit in rule.positive_body),
+            frozenset(lit.relation for lit in rule.negative_body),
+        )
+
+    def size(self) -> int:
+        return 1
+
+    def __str__(self) -> str:
+        if self.rule is None:
+            return "[asserted]"
+        return f"rule: {self.rule}"
+
+
+# ----------------------------------------------------------------------
+# Section 5.2 discussion: fact-level records (the no-migration form)
+# ----------------------------------------------------------------------
+
+
+class FactRecord(NamedTuple):
+    """One deduction recorded at the level of facts, not relations.
+
+    "One might consider a different form of supports in which not relations
+    but facts are recorded. [...] this form of supports combined with an
+    appropriate type of saturation procedure keeping all possible 'original'
+    deductions would lead to a solution with no migration."
+    """
+
+    rule: Optional[Clause]  # None marks an assertion
+    positive_facts: frozenset[Atom]
+    negative_facts: frozenset[Atom]
+
+    @classmethod
+    def assertion(cls) -> "FactRecord":
+        return cls(None, frozenset(), frozenset())
+
+    def size(self) -> int:
+        return 1 + len(self.positive_facts) + len(self.negative_facts)
+
+    def __str__(self) -> str:
+        if self.rule is None:
+            return "[asserted]"
+        used = ", ".join(sorted(map(str, self.positive_facts)))
+        absent = ", ".join(f"not {atom}" for atom in
+                           sorted(map(str, self.negative_facts)))
+        parts = ", ".join(part for part in (used, absent) if part)
+        return f"deduction via {self.rule.head.relation} rule: {{{parts}}}"

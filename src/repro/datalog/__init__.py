@@ -1,0 +1,88 @@
+"""Stratified Datalog substrate.
+
+Everything the maintenance engines (``repro.core``) build upon: the
+function-free language with negation, parsing, dependency analysis,
+stratification, and saturation-based model computation.
+"""
+
+from .atoms import Atom, Literal, atom, fact, neg, pos
+from .backchain import Backchainer
+from .builder import ProgramBuilder, const
+from .clauses import Clause, Program, rule
+from .completion import (
+    active_herbrand_base,
+    completion_violations,
+    enumerate_supported_models,
+    is_model_of_completion,
+)
+from .database import StratifiedDatabase
+from .dependency import DependencyGraph, StaticDependencies
+from .errors import (
+    DatalogError,
+    ParseError,
+    SafetyError,
+    StratificationError,
+    UpdateError,
+)
+from .evaluation import (
+    Derivation,
+    compute_model,
+    iter_derivations,
+    naive_saturate,
+    saturate,
+    semi_naive_saturate,
+)
+from .model import Model
+from .parser import parse_atom, parse_clause, parse_fact, parse_program
+from .query import ask, iter_answers, parse_query, query
+from .relations import Relation
+from .stratify import Stratification, Stratum, stratify
+from .terms import Variable, variables
+
+__all__ = [
+    "Atom",
+    "Backchainer",
+    "Clause",
+    "DatalogError",
+    "DependencyGraph",
+    "Derivation",
+    "Literal",
+    "Model",
+    "ParseError",
+    "Program",
+    "ProgramBuilder",
+    "Relation",
+    "SafetyError",
+    "StaticDependencies",
+    "Stratification",
+    "StratificationError",
+    "StratifiedDatabase",
+    "Stratum",
+    "UpdateError",
+    "Variable",
+    "active_herbrand_base",
+    "ask",
+    "atom",
+    "completion_violations",
+    "compute_model",
+    "const",
+    "enumerate_supported_models",
+    "fact",
+    "is_model_of_completion",
+    "iter_answers",
+    "iter_derivations",
+    "naive_saturate",
+    "neg",
+    "parse_atom",
+    "parse_clause",
+    "parse_fact",
+    "parse_program",
+    "parse_query",
+    "pos",
+    "query",
+    "rule",
+    "saturate",
+    "semi_naive_saturate",
+    "stratify",
+    "variables",
+]

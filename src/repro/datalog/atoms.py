@@ -1,0 +1,133 @@
+"""Atoms and literals.
+
+An :class:`Atom` is a relation name applied to a tuple of terms; a ground
+atom is the paper's notion of a *fact*. A :class:`Literal` is an atom with a
+polarity; rule bodies are sequences of literals, and a negative literal
+``not p(t)`` is the paper's negative hypothesis, read "if so far ``p(t)``
+cannot be confirmed".
+
+Both classes are immutable with cached hashes: the saturation loops use
+facts as set elements and dictionary keys throughout.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .terms import Term, Variable, format_term, is_ground
+
+
+class Atom:
+    """A relation name applied to terms: ``p(t1, ..., tn)``.
+
+    Ground atoms (no variables) are facts. Atom equality is structural.
+    """
+
+    __slots__ = ("relation", "args", "_hash")
+
+    def __init__(self, relation: str, args: tuple[Term, ...] = ()):
+        if not relation:
+            raise ValueError("relation name must be non-empty")
+        self.relation = relation
+        self.args = tuple(args)
+        self._hash = hash((relation, self.args))
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    def is_ground(self) -> bool:
+        """True when the atom contains no variables (i.e. it is a fact)."""
+        return is_ground(self.args)
+
+    def variables(self) -> Iterator[Variable]:
+        """Yield the variables of the atom, in order, with duplicates."""
+        for term in self.args:
+            if isinstance(term, Variable):
+                yield term
+
+    def __repr__(self) -> str:
+        return f"Atom({self.relation!r}, {self.args!r})"
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.relation
+        rendered = ", ".join(format_term(term) for term in self.args)
+        return f"{self.relation}({rendered})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Atom)
+            and other._hash == self._hash
+            and other.relation == self.relation
+            and other.args == self.args
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+
+class Literal:
+    """A signed atom: positive (``p(t)``) or negative (``not p(t)``)."""
+
+    __slots__ = ("atom", "positive", "_hash")
+
+    def __init__(self, atom: Atom, positive: bool = True):
+        self.atom = atom
+        self.positive = positive
+        self._hash = hash((atom, positive))
+
+    @property
+    def relation(self) -> str:
+        return self.atom.relation
+
+    @property
+    def args(self) -> tuple[Term, ...]:
+        return self.atom.args
+
+    def negate(self) -> "Literal":
+        """Return the literal with flipped polarity."""
+        return Literal(self.atom, not self.positive)
+
+    def variables(self) -> Iterator[Variable]:
+        return self.atom.variables()
+
+    def __repr__(self) -> str:
+        return f"Literal({self.atom!r}, positive={self.positive})"
+
+    def __str__(self) -> str:
+        return str(self.atom) if self.positive else f"not {self.atom}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Literal)
+            and other._hash == self._hash
+            and other.positive == self.positive
+            and other.atom == self.atom
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+
+def atom(relation: str, *args: Term) -> Atom:
+    """Convenience constructor: ``atom("edge", "a", X)``."""
+    return Atom(relation, args)
+
+
+def pos(relation: str, *args: Term) -> Literal:
+    """Positive literal constructor for the programmatic API."""
+    return Literal(Atom(relation, args), positive=True)
+
+
+def neg(relation: str, *args: Term) -> Literal:
+    """Negative literal constructor for the programmatic API."""
+    return Literal(Atom(relation, args), positive=False)
+
+
+def fact(relation: str, *args: Term) -> Atom:
+    """Construct a ground atom, raising if any argument is a variable."""
+    built = Atom(relation, args)
+    if not built.is_ground():
+        raise ValueError(f"fact {built} contains variables")
+    return built

@@ -1,0 +1,141 @@
+"""The backchaining interpreter of Theorem (vi).
+
+[ABW]'s theorem, quoted in section 2 of the paper: "there is a backchaining
+interpreter for P using the negation as failure rule and loop checking (but
+working only with fully instantiated clauses) which tests for membership in
+M(P) when P is function-free."
+
+This module implements that interpreter — the *implicit representation*
+alternative the paper decides against (section 3): membership queries
+without materialising the model.
+
+* a ground goal succeeds when it is asserted, or some fully instantiated
+  clause concludes it with every positive subgoal provable and every
+  negative subgoal finitely failing (negation as failure);
+* *loop checking*: a positive subgoal equal to an ancestor goal fails that
+  proof path (positive recursion cannot ground out through itself);
+* negative subgoals start fresh proofs — in a stratified program they only
+  call strictly downward, so the recursion terminates.
+
+Successes are memoised unconditionally. Failures are memoised only when no
+loop check fired on the path (a loop-blocked failure is relative to its
+ancestors), so the interpreter stays sound for every stratified program.
+
+Clause instantiation enumerates the active domain, exactly the "fully
+instantiated clauses" of the theorem — exponential in the per-clause
+variable count, which is the practical argument for the explicit
+representation (benchmarked against it in the test suite).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Union
+
+from .atoms import Atom
+from .clauses import Program
+from .model import Model
+from .parser import parse_fact, parse_program
+from .terms import Variable
+from .unify import match_atom, substitute_args
+
+
+class Backchainer:
+    """Top-down membership tests for the standard model."""
+
+    def __init__(self, program: Union[Program, str]):
+        if isinstance(program, str):
+            program = parse_program(program)
+        self._program = program
+        self._definitions = program.definitions()
+        self._asserted = set(program.facts)
+        self._domain = sorted(
+            {
+                value
+                for clause in program
+                for atom in [clause.head, *[lit.atom for lit in clause.body]]
+                for value in atom.args
+                if not isinstance(value, Variable)
+            },
+            key=repr,
+        )
+        self._proved: set[Atom] = set()
+        self._failed: set[Atom] = set()
+
+    def holds(self, goal: Union[Atom, str]) -> bool:
+        """Is *goal* a member of M(P)?"""
+        if isinstance(goal, str):
+            goal = parse_fact(goal)
+        result, _pure = self._prove(goal, frozenset())
+        return result
+
+    def _prove(
+        self, goal: Atom, ancestors: frozenset[Atom]
+    ) -> tuple[bool, bool]:
+        """Returns (provable, pure).
+
+        *pure* is False when a loop check pruned some path, in which case a
+        failure must not be cached (it may be an artifact of the context).
+        """
+        if goal in self._proved:
+            return True, True
+        if goal in self._failed:
+            return False, True
+        if goal in self._asserted:
+            self._proved.add(goal)
+            return True, True
+        if goal in ancestors:
+            return False, False  # loop check fired
+        below = ancestors | {goal}
+        pure = True
+        for clause in self._definitions.get(goal.relation, ()):
+            if not clause.body:
+                continue  # non-matching assertion handled above
+            head_subst = match_atom(clause.head, goal)
+            if head_subst is None:
+                continue
+            free = sorted(
+                {
+                    var
+                    for lit in clause.body
+                    for var in lit.variables()
+                    if var not in head_subst
+                },
+                key=lambda var: var.name,
+            )
+            for values in product(self._domain, repeat=len(free)):
+                subst = dict(head_subst)
+                subst.update(zip(free, values))
+                ok = True
+                for lit in clause.body:
+                    ground = Atom(
+                        lit.relation, substitute_args(lit.args, subst)
+                    )
+                    if lit.positive:
+                        sub_ok, sub_pure = self._prove(ground, below)
+                        pure = pure and sub_pure
+                        if not sub_ok:
+                            ok = False
+                            break
+                    else:
+                        # negation as failure: a fresh proof, strictly lower
+                        # stratum in a stratified program
+                        sub_ok, sub_pure = self._prove(ground, frozenset())
+                        pure = pure and sub_pure
+                        if sub_ok:
+                            ok = False
+                            break
+                if ok:
+                    self._proved.add(goal)
+                    return True, True
+        if pure:
+            self._failed.add(goal)
+        return False, pure
+
+    def check_against(self, model: Model) -> bool:
+        """Agreement test: every model fact holds, a sample of absent
+        atoms fails. Used by the property tests."""
+        for fact in model.facts():
+            if not self.holds(fact):
+                return False
+        return True

@@ -1,0 +1,100 @@
+"""Fluent programmatic construction of programs.
+
+The parser covers most uses; this builder serves code that generates
+programs (the workload generators) without formatting strings::
+
+    builder = ProgramBuilder()
+    builder.fact("submitted", 1)
+    builder.rule("accepted", ("X",)).pos("submitted", "X").neg("rejected", "X")
+    program = builder.build()
+
+Strings that look like variables (leading uppercase or ``_``) become
+variables, mirroring the textual syntax; everything else is a constant. Use
+:meth:`RuleBuilder.pos_const` / :func:`const` when a constant genuinely
+starts with an uppercase letter.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .atoms import Atom, Literal
+from .clauses import Clause, Program
+from .terms import Term, Variable
+
+
+class const(str):
+    """Marks a string argument as a constant even if it looks like a variable."""
+
+    __slots__ = ()
+
+
+def _term(value: Any) -> Term:
+    if isinstance(value, Variable):
+        return value
+    if isinstance(value, const):
+        return str(value)
+    if isinstance(value, str) and value and (value[0].isupper() or value[0] == "_"):
+        return Variable(value)
+    return value
+
+
+def _atom(relation: str, args: tuple) -> Atom:
+    return Atom(relation, tuple(_term(value) for value in args))
+
+
+class RuleBuilder:
+    """Accumulates the body of one rule; finalised by the owning builder."""
+
+    def __init__(self, owner: "ProgramBuilder", head: Atom):
+        self._owner = owner
+        self._head = head
+        self._body: list[Literal] = []
+
+    def pos(self, relation: str, *args: Any) -> "RuleBuilder":
+        """Append a positive body literal."""
+        self._body.append(Literal(_atom(relation, args), positive=True))
+        return self
+
+    def neg(self, relation: str, *args: Any) -> "RuleBuilder":
+        """Append a negative body literal."""
+        self._body.append(Literal(_atom(relation, args), positive=False))
+        return self
+
+    def clause(self) -> Clause:
+        return Clause(self._head, tuple(self._body))
+
+
+class ProgramBuilder:
+    """Collects facts and rules, then builds a :class:`Program`."""
+
+    def __init__(self):
+        self._clauses: list[Clause] = []
+        self._open_rules: list[RuleBuilder] = []
+
+    def fact(self, relation: str, *args: Any) -> "ProgramBuilder":
+        """Assert a ground fact. Arguments are taken as constants verbatim."""
+        atom = Atom(relation, tuple(args))
+        if not atom.is_ground():
+            raise ValueError(f"fact {atom} contains variables")
+        self._clauses.append(Clause(atom))
+        return self
+
+    def rule(self, relation: str, args: tuple = ()) -> RuleBuilder:
+        """Open a rule with the given head; chain ``.pos/.neg`` calls on it."""
+        builder = RuleBuilder(self, _atom(relation, tuple(args)))
+        self._open_rules.append(builder)
+        return builder
+
+    def clause(self, clause: Clause) -> "ProgramBuilder":
+        """Append an already-built clause."""
+        self._clauses.append(clause)
+        return self
+
+    def build(self) -> Program:
+        program = Program()
+        for clause in self._clauses:
+            program.add(clause)
+        for rule_builder in self._open_rules:
+            program.add(rule_builder.clause())
+        return program

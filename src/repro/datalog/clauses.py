@@ -1,0 +1,215 @@
+"""Clauses (rules) and programs.
+
+A :class:`Clause` is ``head :- body`` where the body is a sequence of
+literals; a clause with an empty body asserts its (ground) head — that is
+how extensional facts live inside a program, exactly as in the paper where
+the database ``P`` "is divided into a set of ground atoms defining
+extensional relations [and] a set of clauses defining intentional
+relations".
+
+A :class:`Program` is an ordered collection of clauses with the derived
+views used everywhere else: the set of asserted facts, the definitions map
+(relation -> clauses concluding it), and the safety check.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from .atoms import Atom, Literal
+from .errors import SafetyError
+from .terms import Variable
+
+
+class Clause:
+    """A rule ``head :- L1, ..., Lk`` (k may be 0, making it a fact)."""
+
+    __slots__ = ("head", "body", "_hash")
+
+    def __init__(self, head: Atom, body: Sequence[Literal] = ()):
+        self.head = head
+        self.body = tuple(body)
+        self._hash = hash((head, self.body))
+
+    @property
+    def is_fact(self) -> bool:
+        """True for a bodiless clause with a ground head."""
+        return not self.body and self.head.is_ground()
+
+    @property
+    def positive_body(self) -> tuple[Literal, ...]:
+        return tuple(lit for lit in self.body if lit.positive)
+
+    @property
+    def negative_body(self) -> tuple[Literal, ...]:
+        return tuple(lit for lit in self.body if not lit.positive)
+
+    def body_relations(self) -> Iterator[tuple[str, bool]]:
+        """Yield ``(relation, positive)`` for every body literal."""
+        for lit in self.body:
+            yield lit.relation, lit.positive
+
+    def head_variables(self) -> set[Variable]:
+        return set(self.head.variables())
+
+    def check_safety(self) -> None:
+        """Raise :class:`SafetyError` unless the clause is range-restricted.
+
+        Safety demands that every variable of the head and of every negative
+        body literal also occurs in some positive body literal. Bodiless
+        clauses must therefore have ground heads.
+        """
+        bound = {
+            var
+            for lit in self.body
+            if lit.positive
+            for var in lit.variables()
+        }
+        unbound_head = [var for var in self.head.variables() if var not in bound]
+        if unbound_head:
+            names = ", ".join(sorted(var.name for var in set(unbound_head)))
+            raise SafetyError(
+                f"unsafe clause {self}: head variable(s) {names} do not occur "
+                "in a positive body literal"
+            )
+        for lit in self.body:
+            if lit.positive:
+                continue
+            unbound = [var for var in lit.variables() if var not in bound]
+            if unbound:
+                names = ", ".join(sorted(var.name for var in set(unbound)))
+                raise SafetyError(
+                    f"unsafe clause {self}: variable(s) {names} of negative "
+                    f"literal {lit} do not occur in a positive body literal"
+                )
+
+    def __repr__(self) -> str:
+        return f"Clause({self.head!r}, {self.body!r})"
+
+    def __str__(self) -> str:
+        if not self.body:
+            return f"{self.head}."
+        rendered = ", ".join(str(lit) for lit in self.body)
+        return f"{self.head} :- {rendered}."
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Clause)
+            and other._hash == self._hash
+            and other.head == self.head
+            and other.body == self.body
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+
+def rule(head: Atom, *body: Literal) -> Clause:
+    """Convenience constructor: ``rule(atom("p", X), pos("q", X))``."""
+    return Clause(head, body)
+
+
+class Program:
+    """An ordered, duplicate-free collection of clauses.
+
+    The order is preserved for reproducibility (the model does not depend on
+    it, but iteration order of dict/set operations downstream does, and we
+    want runs to be deterministic).
+    """
+
+    __slots__ = ("_clauses", "_index")
+
+    def __init__(self, clauses: Iterable[Clause] = ()):
+        self._clauses: list[Clause] = []
+        self._index: dict[Clause, int] = {}
+        for clause in clauses:
+            self.add(clause)
+
+    def add(self, clause: Clause) -> bool:
+        """Add *clause* unless already present. Return True when added."""
+        if clause in self._index:
+            return False
+        clause.check_safety()
+        self._index[clause] = len(self._clauses)
+        self._clauses.append(clause)
+        return True
+
+    def remove(self, clause: Clause) -> bool:
+        """Remove *clause* if present. Return True when removed."""
+        if clause not in self._index:
+            return False
+        del self._index[clause]
+        self._clauses.remove(clause)
+        return True
+
+    def __contains__(self, clause: Clause) -> bool:
+        return clause in self._index
+
+    def __iter__(self) -> Iterator[Clause]:
+        return iter(self._clauses)
+
+    def __len__(self) -> int:
+        return len(self._clauses)
+
+    @property
+    def clauses(self) -> tuple[Clause, ...]:
+        return tuple(self._clauses)
+
+    @property
+    def rules(self) -> tuple[Clause, ...]:
+        """The clauses with non-empty bodies (the intentional part)."""
+        return tuple(clause for clause in self._clauses if clause.body)
+
+    @property
+    def facts(self) -> tuple[Atom, ...]:
+        """The heads of the bodiless clauses (the extensional part)."""
+        return tuple(
+            clause.head for clause in self._clauses if not clause.body
+        )
+
+    def relations(self) -> set[str]:
+        """Every relation name occurring anywhere in the program."""
+        names: set[str] = set()
+        for clause in self._clauses:
+            names.add(clause.head.relation)
+            for lit in clause.body:
+                names.add(lit.relation)
+        return names
+
+    def definitions(self) -> Mapping[str, tuple[Clause, ...]]:
+        """Map each relation to its definition.
+
+        The *definition* of a relation is "the set of clauses using it in
+        its conclusion" (section 2 of the paper). Relations that occur only
+        in bodies map to an empty tuple.
+        """
+        result: dict[str, list[Clause]] = {name: [] for name in self.relations()}
+        for clause in self._clauses:
+            result[clause.head.relation].append(clause)
+        return {name: tuple(defs) for name, defs in result.items()}
+
+    def extensional_relations(self) -> set[str]:
+        """Relations defined exclusively by ground facts (the EDB)."""
+        edb: set[str] = set()
+        idb: set[str] = set()
+        for clause in self._clauses:
+            target = idb if clause.body else edb
+            target.add(clause.head.relation)
+        for clause in self._clauses:
+            for lit in clause.body:
+                if lit.relation not in edb and lit.relation not in idb:
+                    edb.add(lit.relation)  # mentioned but never concluded
+        return edb - idb
+
+    def intensional_relations(self) -> set[str]:
+        """Relations concluded by at least one proper rule (the IDB)."""
+        return {clause.head.relation for clause in self._clauses if clause.body}
+
+    def copy(self) -> "Program":
+        return Program(self._clauses)
+
+    def __repr__(self) -> str:
+        return f"Program({len(self._clauses)} clauses)"
+
+    def __str__(self) -> str:
+        return "\n".join(str(clause) for clause in self._clauses)

@@ -1,0 +1,128 @@
+"""Clark's completion — Theorem (v) of [ABW], quoted in section 2.
+
+"M(P) is a model of comp(P), Clark's completion of P." Over the active
+Herbrand base, comp(P) replaces every definition by an if-and-only-if:
+a ground atom holds exactly when some instance of a defining clause has a
+true body. This module checks both directions against an interpretation:
+
+* the *if* direction is modelhood (a satisfied body forces the head);
+* the *only-if* direction is supportedness (every member has a satisfied
+  defining instance; non-members must have none).
+
+Used by the property tests to certify the models our saturation produces,
+and handy as a standalone sanity check for hand-maintained models.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterator, NamedTuple, Union
+
+from .atoms import Atom
+from .clauses import Program
+from .evaluation import iter_derivations
+from .model import Model
+from .parser import parse_program
+from .terms import Variable
+
+
+class CompletionViolation(NamedTuple):
+    """One counterexample to comp(P) in the checked interpretation."""
+
+    atom: Atom
+    direction: str  # "if" (body true, head absent) or "only-if"
+
+    def __str__(self) -> str:
+        if self.direction == "if":
+            return (
+                f"{self.atom}: a defining instance has a true body but the "
+                "atom is absent"
+            )
+        return f"{self.atom}: present but no defining instance supports it"
+
+
+def _supported_atoms(program: Program, model: Model) -> set[Atom]:
+    """Heads of all clause instances whose bodies hold in *model*."""
+    return {
+        derivation.head
+        for clause in program
+        for derivation in iter_derivations(clause, model)
+    }
+
+
+def active_herbrand_base(program: Program) -> Iterator[Atom]:
+    """Ground atoms over the program's relations and active domain.
+
+    The particularization axioms of the paper close the domain over the
+    constants occurring in the program.
+    """
+    domain = sorted(
+        {
+            value
+            for clause in program
+            for atom in [clause.head, *[lit.atom for lit in clause.body]]
+            for value in atom.args
+            if not isinstance(value, Variable)
+        },
+        key=repr,
+    )
+    arities: dict[str, int] = {}
+    for clause in program:
+        arities[clause.head.relation] = clause.head.arity
+        for lit in clause.body:
+            arities[lit.relation] = lit.atom.arity
+    for relation in sorted(arities):
+        for args in product(domain, repeat=arities[relation]):
+            yield Atom(relation, args)
+
+
+def completion_violations(
+    program: Union[Program, str], model: Model
+) -> list[CompletionViolation]:
+    """Every violation of comp(P) by *model* (empty list = model of comp)."""
+    if isinstance(program, str):
+        program = parse_program(program)
+    supported = _supported_atoms(program, model)
+    violations = [
+        CompletionViolation(atom, "if")
+        for atom in supported
+        if atom not in model
+    ]
+    violations.extend(
+        CompletionViolation(fact, "only-if")
+        for fact in model.facts()
+        if fact not in supported
+    )
+    return violations
+
+
+def is_model_of_completion(
+    program: Union[Program, str], model: Model
+) -> bool:
+    """Does *model* satisfy comp(P) (over the atoms it mentions)?"""
+    return not completion_violations(program, model)
+
+
+def enumerate_supported_models(
+    program: Union[Program, str], limit_atoms: int = 14
+) -> Iterator[frozenset[Atom]]:
+    """Brute-force enumeration of the supported models of a tiny program.
+
+    Used to check Theorem (ii)/(iv)-style minimality claims exactly: among
+    all supported models, ``M(P)`` must be one, and no proper subset of it
+    may be another. Exponential — refuses programs whose active Herbrand
+    base exceeds *limit_atoms*.
+    """
+    if isinstance(program, str):
+        program = parse_program(program)
+    base = list(dict.fromkeys(active_herbrand_base(program)))
+    if len(base) > limit_atoms:
+        raise ValueError(
+            f"Herbrand base has {len(base)} atoms; limit is {limit_atoms}"
+        )
+    for mask in range(2 ** len(base)):
+        candidate = Model(
+            atom for i, atom in enumerate(base) if mask >> i & 1
+        )
+        if is_model_of_completion(program, candidate):
+            yield candidate.as_set()

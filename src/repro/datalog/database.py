@@ -1,0 +1,170 @@
+"""The stratified database: a program plus its update admission rules.
+
+Section 3 of the paper: a stratified database is a function-free stratified
+logic program divided into an extensional part (ground atoms) and an
+intentional part (rules), with two admission rules for updates:
+
+* a rule insertion must leave the program stratified (checked on the
+  dependency graph before the rule is admitted);
+* deletions are only allowed "for the relations defined in the extensional
+  part" — concretely, only an *asserted* fact (a bodiless clause) can be
+  retracted.
+
+The database object owns the program, its dependency graph, its (maximal)
+stratification and the static Pos/Neg cache, keeping them consistent across
+updates; maintenance engines build on top of it.
+"""
+
+from __future__ import annotations
+
+from .atoms import Atom
+from .clauses import Clause, Program
+from .dependency import DependencyGraph, StaticDependencies
+from .errors import StratificationError, UpdateError
+from .evaluation import compute_model
+from .model import Model
+from .parser import parse_program
+from .stratify import Stratification, stratify
+
+
+class StratifiedDatabase:
+    """A stratified program with consistent derived structures."""
+
+    def __init__(self, program: Program | str, granularity: str = "level"):
+        if isinstance(program, str):
+            program = parse_program(program)
+        self._program = program.copy()
+        self._granularity = granularity
+        self._graph = DependencyGraph(self._program)
+        offending = self._graph.negative_arc_in_cycle()
+        if offending is not None:
+            raise StratificationError(
+                f"program is not stratified: negative arc {offending.source} "
+                f"-> {offending.target} lies on a cycle"
+            )
+        self._stratification = stratify(self._program, granularity)
+        self._statics = StaticDependencies(self._graph)
+
+    # ------------------------------------------------------------------
+    # Read access
+    # ------------------------------------------------------------------
+
+    @property
+    def program(self) -> Program:
+        return self._program
+
+    @property
+    def graph(self) -> DependencyGraph:
+        return self._graph
+
+    @property
+    def stratification(self) -> Stratification:
+        return self._stratification
+
+    @property
+    def statics(self) -> StaticDependencies:
+        return self._statics
+
+    @property
+    def granularity(self) -> str:
+        return self._granularity
+
+    def stratum_of(self, relation: str) -> int:
+        return self._stratification.stratum_of(relation)
+
+    def stratum_count(self) -> int:
+        return len(self._stratification)
+
+    def clauses_of_stratum(self, index: int) -> tuple[Clause, ...]:
+        return self._stratification.clauses_at(index)
+
+    def extensional_relations(self) -> set[str]:
+        return self._program.extensional_relations()
+
+    def intensional_relations(self) -> set[str]:
+        return self._program.intensional_relations()
+
+    def is_asserted(self, fact: Atom) -> bool:
+        """True when *fact* is a bodiless clause of the program."""
+        return Clause(fact) in self._program
+
+    def compute_model(self, method: str = "seminaive", listener=None) -> Model:
+        """The standard model M(P), from scratch."""
+        return compute_model(
+            self._program,
+            stratification=self._stratification,
+            method=method,
+            listener=listener,
+        )
+
+    # ------------------------------------------------------------------
+    # Updates (program-level; engines drive the model-level work)
+    # ------------------------------------------------------------------
+
+    def assert_fact(self, fact: Atom) -> bool:
+        """Add *fact* as a bodiless clause. Returns False if already there."""
+        if not fact.is_ground():
+            raise UpdateError(f"cannot assert non-ground atom {fact}")
+        clause = Clause(fact)
+        added = self._program.add(clause)
+        if not added:
+            return False
+        if fact.relation in self._graph.relations:
+            self._stratification.add_clause(clause)
+        else:
+            self._rebuild()
+        return True
+
+    def retract_fact(self, fact: Atom) -> None:
+        """Remove the assertion of *fact*.
+
+        Raises :class:`UpdateError` when the fact was never asserted — a
+        derived fact cannot be deleted directly (the paper only allows
+        deletions in the extensional part).
+        """
+        clause = Clause(fact)
+        if not self._program.remove(clause):
+            raise UpdateError(
+                f"cannot delete {fact}: it is not an asserted fact"
+            )
+        self._stratification.remove_clause(clause)
+
+    def add_rule(self, clause: Clause) -> None:
+        """Admit a rule insertion, re-checking stratifiability first."""
+        if clause in self._program:
+            raise UpdateError(f"rule already present: {clause}")
+        trial = DependencyGraph(self._program)
+        trial.add_clause(clause)
+        offending = trial.negative_arc_in_cycle()
+        if offending is not None:
+            raise StratificationError(
+                "rule insertion would break stratification: negative arc "
+                f"{offending.source} -> {offending.target} lies on a cycle"
+            )
+        self._program.add(clause)
+        self._rebuild()
+
+    def remove_rule(self, clause: Clause) -> None:
+        """Remove a rule; raises :class:`UpdateError` when absent."""
+        if not clause.body:
+            raise UpdateError(
+                f"use retract_fact to delete the asserted fact {clause.head}"
+            )
+        if not self._program.remove(clause):
+            raise UpdateError(f"rule not present: {clause}")
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        """Recompute graph, stratification and statics after a rule change."""
+        self._graph = DependencyGraph(self._program)
+        self._stratification = stratify(self._program, self._granularity)
+        self._statics.rebase(self._graph)
+
+    def copy(self) -> "StratifiedDatabase":
+        return StratifiedDatabase(self._program, self._granularity)
+
+    def __repr__(self) -> str:
+        return (
+            f"StratifiedDatabase({len(self._program)} clauses, "
+            f"{self.stratum_count()} strata)"
+        )

@@ -1,0 +1,298 @@
+"""The dependency graph D_P and the static Pos/Neg closures of section 4.1.
+
+Following the paper: ``(r, q)`` belongs to D_P iff there is a clause using
+``r`` in a conclusion and ``q`` in a hypothesis. Each arc carries whether
+the reference is positive, negative, or both (the same pair of relations may
+be referenced both ways, not necessarily in the same rule).
+
+``Pos(p)`` is the set of relations from which ``p`` depends through an even
+number of negations, ``Neg(p)`` through an odd number. Both are computed by
+a breadth-first search over (relation, parity) states. Note ``p ∈ Pos(p)``
+always (the empty path has zero, hence an even number of, negative arcs) —
+the fact-deletion procedure of section 4.1 relies on this to evict the
+deleted relation's own facts.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Iterator
+
+from .clauses import Clause, Program
+
+
+class Arc:
+    """A labelled arc of the dependency graph."""
+
+    __slots__ = ("source", "target", "positive", "negative")
+
+    def __init__(self, source: str, target: str):
+        self.source = source
+        self.target = target
+        self.positive = False
+        self.negative = False
+
+    def __repr__(self) -> str:
+        signs = []
+        if self.positive:
+            signs.append("+")
+        if self.negative:
+            signs.append("-")
+        return f"Arc({self.source} -> {self.target}, {'/'.join(signs)})"
+
+
+class DependencyGraph:
+    """Relation-level dependency graph of a program.
+
+    Arcs point from the concluding relation to the relations of its
+    hypotheses, so following arcs forward walks *down* the dependency chain.
+    """
+
+    def __init__(self, clauses: Iterable[Clause] = ()):
+        self._arcs: dict[tuple[str, str], Arc] = {}
+        self._successors: dict[str, set[str]] = {}
+        self._predecessors: dict[str, set[str]] = {}
+        self._relations: set[str] = set()
+        for clause in clauses:
+            self.add_clause(clause)
+
+    @classmethod
+    def of_program(cls, program: Program) -> "DependencyGraph":
+        return cls(program)
+
+    def add_clause(self, clause: Clause) -> None:
+        """Record the arcs contributed by *clause*."""
+        head = clause.head.relation
+        self._touch(head)
+        for relation, positive in clause.body_relations():
+            self._touch(relation)
+            arc = self._arcs.get((head, relation))
+            if arc is None:
+                arc = Arc(head, relation)
+                self._arcs[(head, relation)] = arc
+                self._successors[head].add(relation)
+                self._predecessors[relation].add(head)
+            if positive:
+                arc.positive = True
+            else:
+                arc.negative = True
+
+    def _touch(self, relation: str) -> None:
+        if relation not in self._relations:
+            self._relations.add(relation)
+            self._successors[relation] = set()
+            self._predecessors[relation] = set()
+
+    @property
+    def relations(self) -> frozenset[str]:
+        return frozenset(self._relations)
+
+    def arcs(self) -> Iterator[Arc]:
+        return iter(self._arcs.values())
+
+    def arc(self, source: str, target: str) -> Arc | None:
+        return self._arcs.get((source, target))
+
+    def successors(self, relation: str) -> frozenset[str]:
+        """Relations that *relation* references in its defining bodies."""
+        return frozenset(self._successors.get(relation, ()))
+
+    def predecessors(self, relation: str) -> frozenset[str]:
+        """Relations whose definitions reference *relation*."""
+        return frozenset(self._predecessors.get(relation, ()))
+
+    # ------------------------------------------------------------------
+    # Strongly connected components (iterative Tarjan, so deep negation
+    # chains do not hit the Python recursion limit).
+    # ------------------------------------------------------------------
+
+    def sccs(self) -> list[frozenset[str]]:
+        """SCCs in reverse topological order (dependencies first).
+
+        Tarjan emits a component only after all components it depends on
+        (through arcs leaving it) have been emitted, which is exactly the
+        order stratification needs.
+        """
+        index_counter = 0
+        indexes: dict[str, int] = {}
+        lowlinks: dict[str, int] = {}
+        on_stack: set[str] = set()
+        stack: list[str] = []
+        result: list[frozenset[str]] = []
+
+        for root in sorted(self._relations):
+            if root in indexes:
+                continue
+            work: list[tuple[str, Iterator[str]]] = [
+                (root, iter(sorted(self._successors[root])))
+            ]
+            indexes[root] = lowlinks[root] = index_counter
+            index_counter += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, successors = work[-1]
+                advanced = False
+                for succ in successors:
+                    if succ not in indexes:
+                        indexes[succ] = lowlinks[succ] = index_counter
+                        index_counter += 1
+                        stack.append(succ)
+                        on_stack.add(succ)
+                        work.append((succ, iter(sorted(self._successors[succ]))))
+                        advanced = True
+                        break
+                    if succ in on_stack:
+                        lowlinks[node] = min(lowlinks[node], indexes[succ])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlinks[parent] = min(lowlinks[parent], lowlinks[node])
+                if lowlinks[node] == indexes[node]:
+                    component = set()
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.add(member)
+                        if member == node:
+                            break
+                    result.append(frozenset(component))
+        return result
+
+    # ------------------------------------------------------------------
+    # Stratifiability
+    # ------------------------------------------------------------------
+
+    def negative_arc_in_cycle(self) -> Arc | None:
+        """Return a negative arc lying on a cycle, or None when stratified.
+
+        A program is stratified iff no cycle of its dependency graph
+        contains a negative arc, i.e. iff no negative arc connects two
+        relations of the same SCC.
+        """
+        component_of: dict[str, int] = {}
+        for i, component in enumerate(self.sccs()):
+            for relation in component:
+                component_of[relation] = i
+        for arc in self._arcs.values():
+            if not arc.negative:
+                continue
+            if component_of[arc.source] == component_of[arc.target]:
+                return arc
+        return None
+
+    def is_stratified(self) -> bool:
+        return self.negative_arc_in_cycle() is None
+
+    # ------------------------------------------------------------------
+    # Static Pos / Neg closures (section 4.1)
+    # ------------------------------------------------------------------
+
+    def pos_neg_sets(self, relation: str) -> tuple[frozenset[str], frozenset[str]]:
+        """Compute (Pos(relation), Neg(relation)).
+
+        BFS over (relation, parity) states; an arc that is both positive and
+        negative contributes transitions for both parities, exactly as the
+        paper's definition quantifies over *some* path.
+        """
+        # The empty path makes Pos reflexive — for every relation, known to
+        # the graph or not (a relation whose last rule was deleted must
+        # still satisfy p ∈ Pos(p) so its facts are evicted).
+        pos: set[str] = {relation}
+        neg: set[str] = set()
+        seen: set[tuple[str, bool]] = set()
+        queue: deque[tuple[str, bool]] = deque()
+        start = (relation, False)  # False = even number of negative arcs
+        if relation in self._relations:
+            seen.add(start)
+            queue.append(start)
+        while queue:
+            node, odd = queue.popleft()
+            for succ in self._successors.get(node, ()):
+                arc = self._arcs[(node, succ)]
+                for arc_negative in (False, True):
+                    if arc_negative and not arc.negative:
+                        continue
+                    if not arc_negative and not arc.positive:
+                        continue
+                    next_state = (succ, odd != arc_negative)
+                    if next_state in seen:
+                        continue
+                    seen.add(next_state)
+                    (neg if next_state[1] else pos).add(succ)
+                    queue.append(next_state)
+        return frozenset(pos), frozenset(neg)
+
+    def dependents_of(self, relation: str) -> frozenset[str]:
+        """All relations that depend on *relation*, transitively.
+
+        Includes *relation* itself. This is the set whose static Pos/Neg
+        sets must be recomputed after a rule update about *relation*
+        (section 4.1, rule insertion step 2).
+        """
+        seen = {relation}
+        queue = deque([relation])
+        while queue:
+            node = queue.popleft()
+            for pred in self._predecessors.get(node, ()):
+                if pred not in seen:
+                    seen.add(pred)
+                    queue.append(pred)
+        return frozenset(seen)
+
+    def depends_on(self, relation: str) -> frozenset[str]:
+        """All relations that *relation* depends on, transitively (incl. self)."""
+        seen = {relation}
+        queue = deque([relation])
+        while queue:
+            node = queue.popleft()
+            for succ in self._successors.get(node, ()):
+                if succ not in seen:
+                    seen.add(succ)
+                    queue.append(succ)
+        return frozenset(seen)
+
+
+class StaticDependencies:
+    """Cache of the static Pos/Neg sets of every relation.
+
+    The dynamic solutions consult these sets while expanding signed support
+    entries (section 4.2), so lookups must be cheap; the cache is rebuilt
+    only for the relations affected by a rule update.
+    """
+
+    def __init__(self, graph: DependencyGraph):
+        self._graph = graph
+        self._pos: dict[str, frozenset[str]] = {}
+        self._neg: dict[str, frozenset[str]] = {}
+
+    def pos(self, relation: str) -> frozenset[str]:
+        """Static Pos(relation); empty for unknown relations."""
+        if relation not in self._pos:
+            self._compute(relation)
+        return self._pos[relation]
+
+    def neg(self, relation: str) -> frozenset[str]:
+        """Static Neg(relation); empty for unknown relations."""
+        if relation not in self._neg:
+            self._compute(relation)
+        return self._neg[relation]
+
+    def _compute(self, relation: str) -> None:
+        pos, neg = self._graph.pos_neg_sets(relation)
+        self._pos[relation] = pos
+        self._neg[relation] = neg
+
+    def invalidate(self, relations: Iterable[str]) -> None:
+        """Drop cached sets (e.g. for ``dependents_of`` after a rule update)."""
+        for relation in relations:
+            self._pos.pop(relation, None)
+            self._neg.pop(relation, None)
+
+    def rebase(self, graph: DependencyGraph) -> None:
+        """Point at a new graph and drop the whole cache."""
+        self._graph = graph
+        self._pos.clear()
+        self._neg.clear()

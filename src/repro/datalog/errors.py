@@ -1,0 +1,54 @@
+"""Exception hierarchy for the stratified Datalog substrate.
+
+Every error raised by :mod:`repro` derives from :class:`DatalogError`, so
+callers can catch one type to handle any library failure.
+"""
+
+from __future__ import annotations
+
+
+class DatalogError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class ParseError(DatalogError):
+    """The textual program could not be parsed.
+
+    Carries the position of the offending token so callers can point at the
+    source.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"line {line}, column {column}: {message}"
+        super().__init__(message)
+
+
+class SafetyError(DatalogError):
+    """A clause violates the range-restriction (safety) condition.
+
+    Every variable occurring in the head or in a negative body literal must
+    also occur in a positive body literal; otherwise the clause does not have
+    a finite active-domain meaning.
+    """
+
+
+class StratificationError(DatalogError):
+    """The program is not stratified.
+
+    Raised when the dependency graph contains a cycle through a negative
+    arc, i.e. there is recursion "through" negation, or when a rule update
+    would make the database unstratified (the paper requires update
+    admission to check this, section 4).
+    """
+
+
+class UpdateError(DatalogError):
+    """An update is not admissible.
+
+    Examples: deleting a fact that was never asserted (the paper only allows
+    deletions "for the relations defined in the extensional part"), or
+    deleting a rule that is not part of the program.
+    """

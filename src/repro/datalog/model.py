@@ -1,0 +1,127 @@
+"""The maintained Herbrand interpretation.
+
+A :class:`Model` is the explicit representation the paper chooses to
+maintain (section 3): the set of facts of ``M(P)``, stored per relation so
+joins and the per-stratum layers ``N_i = M_i \\ M_{i-1}`` are cheap. Since a
+relation's definition lives in exactly one stratum, the layer of a fact is
+determined by its relation — the model itself does not track strata.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+from .atoms import Atom
+from .relations import Relation
+
+
+class Model:
+    """A set of facts organised per relation."""
+
+    __slots__ = ("_relations",)
+
+    def __init__(self, facts: Iterable[Atom] = ()):
+        self._relations: dict[str, Relation] = {}
+        for fact in facts:
+            self.add(fact)
+
+    def relation(self, name: str, arity: int | None = None) -> Relation:
+        """The store for *name*, created empty on first use."""
+        store = self._relations.get(name)
+        if store is None:
+            store = Relation(name, arity)
+            self._relations[name] = store
+        return store
+
+    def has_relation(self, name: str) -> bool:
+        return name in self._relations
+
+    def relation_names(self) -> Iterator[str]:
+        return iter(self._relations)
+
+    def add(self, fact: Atom) -> bool:
+        """Insert *fact*; return True when it was new."""
+        store = self._relations.get(fact.relation)
+        if store is None:
+            store = Relation(fact.relation, fact.arity)
+            self._relations[fact.relation] = store
+        return store.add(fact.args)
+
+    def discard(self, fact: Atom) -> bool:
+        """Remove *fact*; return True when it was present."""
+        store = self._relations.get(fact.relation)
+        if store is None:
+            return False
+        return store.discard(fact.args)
+
+    def __contains__(self, fact: Atom) -> bool:
+        store = self._relations.get(fact.relation)
+        return store is not None and fact.args in store
+
+    def contains(self, relation: str, args: tuple) -> bool:
+        store = self._relations.get(relation)
+        return store is not None and args in store
+
+    def __len__(self) -> int:
+        return sum(len(store) for store in self._relations.values())
+
+    def __iter__(self) -> Iterator[Atom]:
+        return self.facts()
+
+    def facts(self) -> Iterator[Atom]:
+        """All facts, relation by relation."""
+        for name, store in self._relations.items():
+            for row in store:
+                yield Atom(name, row)
+
+    def facts_of(self, relation: str) -> Iterator[Atom]:
+        store = self._relations.get(relation)
+        if store is None:
+            return iter(())
+        return (Atom(relation, row) for row in store)
+
+    def count_of(self, relation: str) -> int:
+        store = self._relations.get(relation)
+        return 0 if store is None else len(store)
+
+    def per_relation_counts(self) -> dict[str, int]:
+        return {
+            name: len(store)
+            for name, store in self._relations.items()
+            if len(store)
+        }
+
+    def as_set(self) -> frozenset[Atom]:
+        return frozenset(self.facts())
+
+    def restrict(self, predicate: Callable[[str], bool]) -> frozenset[Atom]:
+        """The facts whose relation satisfies *predicate*."""
+        return frozenset(
+            Atom(name, row)
+            for name, store in self._relations.items()
+            if predicate(name)
+            for row in store
+        )
+
+    def copy(self) -> "Model":
+        dup = Model()
+        dup._relations = {
+            name: store.copy() for name, store in self._relations.items()
+        }
+        return dup
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Model):
+            return NotImplemented
+        return self.as_set() == other.as_set()
+
+    def __repr__(self) -> str:
+        return f"Model({len(self)} facts over {len(self._relations)} relations)"
+
+    def pretty(self) -> str:
+        """Multi-line rendering, sorted, for tests and examples."""
+        lines = []
+        for name in sorted(self._relations):
+            for row in sorted(self._relations[name], key=repr):
+                lines.append(str(Atom(name, row)))
+        return "\n".join(lines)

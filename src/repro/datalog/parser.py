@@ -1,0 +1,247 @@
+"""Parser for the textual Datalog syntax.
+
+The accepted syntax is the usual one::
+
+    % a comment (also: # comment)
+    submitted(1).  submitted(2).
+    accepted(X) :- submitted(X), not rejected(X).
+    path(X, Z) <- edge(X, Y), path(Y, Z).   % "<-" is accepted for ":-"
+
+* relation names and constants are lowercase identifiers, integers, or
+  quoted strings (``'paper one'``);
+* variables start with an uppercase letter or ``_``;
+* negation is written ``not``, ``\\+`` or ``~``;
+* every clause ends with a period.
+
+The parser is a hand-rolled tokenizer + recursive descent with position
+tracking, so syntax errors point at the offending token.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, NamedTuple
+
+from .atoms import Atom, Literal
+from .clauses import Clause, Program
+from .errors import ParseError
+from .terms import Term, Variable
+
+_PUNCTUATION = {
+    ":-": "ARROW",
+    "<-": "ARROW",
+    "(": "LPAREN",
+    ")": "RPAREN",
+    ",": "COMMA",
+    ".": "PERIOD",
+    "\\+": "NOT",
+    "~": "NOT",
+}
+
+
+class Token(NamedTuple):
+    kind: str  # NAME, VARIABLE, INTEGER, STRING, ARROW, LPAREN, ...
+    value: object
+    line: int
+    column: int
+
+
+def tokenize(text: str) -> Iterator[Token]:
+    """Yield tokens with 1-based line/column positions."""
+    line = 1
+    column = 1
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        if ch in "%#":
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        two = text[i : i + 2]
+        if two in _PUNCTUATION:
+            yield Token(_PUNCTUATION[two], two, line, column)
+            i += 2
+            column += 2
+            continue
+        if ch in _PUNCTUATION:
+            yield Token(_PUNCTUATION[ch], ch, line, column)
+            i += 1
+            column += 1
+            continue
+        if ch in "'\"":
+            quote = ch
+            j = i + 1
+            chunks: list[str] = []
+            while j < n and text[j] != quote:
+                if text[j] == "\\" and j + 1 < n:
+                    chunks.append(text[j + 1])
+                    j += 2
+                else:
+                    chunks.append(text[j])
+                    j += 1
+            if j >= n:
+                raise ParseError("unterminated string", line, column)
+            yield Token("STRING", "".join(chunks), line, column)
+            width = j + 1 - i
+            i = j + 1
+            column += width
+            continue
+        if ch.isdigit() or (ch == "-" and i + 1 < n and text[i + 1].isdigit()):
+            j = i + 1
+            while j < n and text[j].isdigit():
+                j += 1
+            yield Token("INTEGER", int(text[i:j]), line, column)
+            column += j - i
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            if word == "not":
+                yield Token("NOT", word, line, column)
+            elif word[0].isupper() or word[0] == "_":
+                yield Token("VARIABLE", word, line, column)
+            else:
+                yield Token("NAME", word, line, column)
+            column += j - i
+            i = j
+            continue
+        raise ParseError(f"unexpected character {ch!r}", line, column)
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, text: str):
+        self._tokens = list(tokenize(text))
+        self._pos = 0
+
+    def _peek(self) -> Token | None:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def _next(self, expected: str | None = None) -> Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError(
+                f"unexpected end of input (expected {expected or 'more input'})"
+            )
+        if expected is not None and token.kind != expected:
+            raise ParseError(
+                f"expected {expected}, found {token.value!r}",
+                token.line,
+                token.column,
+            )
+        self._pos += 1
+        return token
+
+    def parse_program(self) -> Program:
+        program = Program()
+        while self._peek() is not None:
+            program.add(self.parse_clause())
+        return program
+
+    def parse_clause(self) -> Clause:
+        head = self.parse_atom()
+        token = self._peek()
+        if token is not None and token.kind == "ARROW":
+            self._next("ARROW")
+            body = [self.parse_literal()]
+            while self._peek() is not None and self._peek().kind == "COMMA":
+                self._next("COMMA")
+                body.append(self.parse_literal())
+        else:
+            body = []
+        self._next("PERIOD")
+        return Clause(head, body)
+
+    def parse_literal(self) -> Literal:
+        token = self._peek()
+        if token is not None and token.kind == "NOT":
+            self._next("NOT")
+            return Literal(self.parse_atom(), positive=False)
+        return Literal(self.parse_atom(), positive=True)
+
+    def parse_atom(self) -> Atom:
+        name_token = self._next("NAME")
+        relation = str(name_token.value)
+        args: list[Term] = []
+        token = self._peek()
+        if token is not None and token.kind == "LPAREN":
+            self._next("LPAREN")
+            args.append(self.parse_term())
+            while self._peek() is not None and self._peek().kind == "COMMA":
+                self._next("COMMA")
+                args.append(self.parse_term())
+            self._next("RPAREN")
+        return Atom(relation, tuple(args))
+
+    def parse_term(self) -> Term:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input (expected a term)")
+        if token.kind == "VARIABLE":
+            self._next()
+            return Variable(str(token.value))
+        if token.kind in ("NAME", "STRING"):
+            self._next()
+            return str(token.value)
+        if token.kind == "INTEGER":
+            self._next()
+            return token.value
+        raise ParseError(
+            f"expected a term, found {token.value!r}", token.line, token.column
+        )
+
+
+def parse_program(text: str) -> Program:
+    """Parse a full program (any number of clauses)."""
+    return _Parser(text).parse_program()
+
+
+def parse_clause(text: str) -> Clause:
+    """Parse exactly one clause; raise if trailing input remains."""
+    parser = _Parser(text)
+    clause = parser.parse_clause()
+    trailing = parser._peek()
+    if trailing is not None:
+        raise ParseError(
+            f"trailing input after clause: {trailing.value!r}",
+            trailing.line,
+            trailing.column,
+        )
+    return clause
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse a single atom, e.g. ``"accepted(5)"`` (no trailing period)."""
+    parser = _Parser(text)
+    atom = parser.parse_atom()
+    trailing = parser._peek()
+    if trailing is not None:
+        raise ParseError(
+            f"trailing input after atom: {trailing.value!r}",
+            trailing.line,
+            trailing.column,
+        )
+    return atom
+
+
+def parse_fact(text: str) -> Atom:
+    """Parse a single ground atom; raise when it contains variables."""
+    atom = parse_atom(text)
+    if not atom.is_ground():
+        raise ParseError(f"fact {atom} contains variables")
+    return atom

@@ -1,0 +1,120 @@
+"""Conjunctive queries over a model.
+
+The paper chooses the *explicit representation* — maintaining ``M(P)`` —
+precisely because it "is more interesting in case of frequent queries and
+infrequent updates": a query is then a plain relational evaluation against
+the materialised model, no deduction needed. This module provides that
+evaluation: a query is a conjunction of literals (negation allowed, safe),
+optionally with distinguished output variables.
+
+    >>> rows = query(model, "accepted(X), not invited(X)")
+    >>> rows = query(model, "author(A, P), accepted(P)", distinct=("A",))
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence, Union
+
+from .atoms import Atom, Literal
+from .clauses import Clause
+from .errors import ParseError, SafetyError
+from .model import Model
+from .evaluation import _iter_matches
+from .parser import _Parser
+from .terms import Variable
+from .unify import substitute_args
+
+QuerySource = Union[str, Sequence[Literal]]
+
+
+def parse_query(text: str) -> tuple[Literal, ...]:
+    """Parse a comma-separated conjunction of literals (no period needed)."""
+    stripped = text.strip()
+    if stripped.endswith("."):
+        stripped = stripped[:-1]
+    parser = _Parser(stripped + " .")
+    literals = [parser.parse_literal()]
+    while parser._peek() is not None and parser._peek().kind == "COMMA":
+        parser._next("COMMA")
+        literals.append(parser.parse_literal())
+    trailing = parser._peek()
+    if trailing is None or trailing.kind != "PERIOD":
+        raise ParseError("malformed query conjunction")
+    return tuple(literals)
+
+
+def _as_literals(source: QuerySource) -> tuple[Literal, ...]:
+    if isinstance(source, str):
+        return parse_query(source)
+    return tuple(source)
+
+
+def _check_safety(literals: Sequence[Literal]) -> None:
+    bound = {
+        var
+        for lit in literals
+        if lit.positive
+        for var in lit.variables()
+    }
+    for lit in literals:
+        if lit.positive:
+            continue
+        unbound = sorted(
+            {var.name for var in lit.variables() if var not in bound}
+        )
+        if unbound:
+            raise SafetyError(
+                f"unsafe query: variable(s) {', '.join(unbound)} occur only "
+                f"in the negative literal {lit}"
+            )
+
+
+def iter_answers(
+    model: Model, source: QuerySource
+) -> Iterator[dict[Variable, object]]:
+    """Yield one substitution per satisfying instance of the conjunction."""
+    literals = _as_literals(source)
+    _check_safety(literals)
+    probe = Clause(Atom("__query__"), literals)
+    for subst, _facts in _iter_matches(probe, model):
+        blocked = False
+        for lit in probe.negative_body:
+            ground = substitute_args(lit.args, subst)
+            if model.contains(lit.relation, ground):
+                blocked = True
+                break
+        if not blocked:
+            yield subst
+
+
+def query(
+    model: Model,
+    source: QuerySource,
+    distinct: Optional[Sequence[str]] = None,
+) -> list[tuple]:
+    """Evaluate a conjunctive query; return sorted, de-duplicated rows.
+
+    *distinct* names the output variables (default: all query variables in
+    first-occurrence order). Rows are tuples of the output variables'
+    values.
+    """
+    literals = _as_literals(source)
+    if distinct is None:
+        seen: list[Variable] = []
+        for lit in literals:
+            for var in lit.variables():
+                if var not in seen:
+                    seen.append(var)
+        outputs = seen
+    else:
+        outputs = [Variable(name) for name in distinct]
+    rows = {
+        tuple(subst.get(var) for var in outputs)
+        for subst in iter_answers(model, literals)
+    }
+    return sorted(rows, key=repr)
+
+
+def ask(model: Model, source: QuerySource) -> bool:
+    """Boolean query: does the conjunction have any satisfying instance?"""
+    return next(iter_answers(model, source), None) is not None

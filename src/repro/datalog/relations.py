@@ -1,0 +1,123 @@
+"""Tuple storage for one relation, with lazy per-column hash indexes.
+
+The saturation loops join rule bodies against relations; a join step asks
+"give me the tuples whose column *i* equals *v*". The store answers from a
+per-column index built lazily the first time a column is used as a join key
+and maintained incrementally afterwards — the delta-driven mechanism of the
+paper is only profitable when those lookups are constant-time.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Mapping
+
+Tuple_ = tuple  # ground tuples are plain Python tuples of constants
+
+
+class Relation:
+    """A named set of ground tuples of a fixed arity.
+
+    The arity may be left unknown (None) and is adopted from the first
+    tuple inserted; afterwards mismatching tuples are rejected.
+    """
+
+    __slots__ = ("name", "arity", "_tuples", "_indexes")
+
+    def __init__(self, name: str, arity: int | None = None):
+        self.name = name
+        self.arity = arity
+        self._tuples: set[tuple] = set()
+        self._indexes: dict[int, dict[Hashable, set[tuple]]] = {}
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self._tuples)
+
+    def __contains__(self, row: tuple) -> bool:
+        return row in self._tuples
+
+    @property
+    def tuples(self) -> frozenset[tuple]:
+        return frozenset(self._tuples)
+
+    def add(self, row: tuple) -> bool:
+        """Insert *row*; return True when it was not present."""
+        if self.arity is None:
+            self.arity = len(row)
+        elif len(row) != self.arity:
+            raise ValueError(
+                f"relation {self.name} has arity {self.arity}, got {row!r}"
+            )
+        if row in self._tuples:
+            return False
+        self._tuples.add(row)
+        for column, index in self._indexes.items():
+            index.setdefault(row[column], set()).add(row)
+        return True
+
+    def discard(self, row: tuple) -> bool:
+        """Remove *row*; return True when it was present."""
+        if row not in self._tuples:
+            return False
+        self._tuples.discard(row)
+        for column, index in self._indexes.items():
+            bucket = index.get(row[column])
+            if bucket is not None:
+                bucket.discard(row)
+                if not bucket:
+                    del index[row[column]]
+        return True
+
+    def clear(self) -> None:
+        self._tuples.clear()
+        self._indexes.clear()
+
+    def _index_on(self, column: int) -> dict[Hashable, set[tuple]]:
+        index = self._indexes.get(column)
+        if index is None:
+            index = {}
+            for row in self._tuples:
+                index.setdefault(row[column], set()).add(row)
+            self._indexes[column] = index
+        return index
+
+    def select(self, bound: Mapping[int, Hashable]) -> Iterable[tuple]:
+        """Tuples matching the given column bindings.
+
+        *bound* maps column positions to required values. With no bindings
+        this is a full scan; otherwise the smallest indexed candidate set is
+        scanned and filtered on the remaining bindings.
+        """
+        if not bound:
+            # Snapshot: saturation adds tuples to a relation while matching
+            # a recursive rule against it.
+            return iter(tuple(self._tuples))
+        # Probe every bound column's index and start from the smallest
+        # bucket; building indexes is amortised over subsequent calls.
+        best_column = None
+        best_bucket: set[tuple] | None = None
+        for column, value in bound.items():
+            bucket = self._index_on(column).get(value)
+            if bucket is None:
+                return iter(())
+            if best_bucket is None or len(bucket) < len(best_bucket):
+                best_bucket = bucket
+                best_column = column
+        rest = [(c, v) for c, v in bound.items() if c != best_column]
+        if not rest:
+            return iter(tuple(best_bucket))
+        return (
+            row
+            for row in tuple(best_bucket)
+            if all(row[column] == value for column, value in rest)
+        )
+
+    def copy(self) -> "Relation":
+        dup = Relation(self.name, self.arity)
+        dup._tuples = set(self._tuples)
+        return dup
+
+    def __repr__(self) -> str:
+        return f"Relation({self.name!r}/{self.arity}, {len(self._tuples)} tuples)"

@@ -1,0 +1,95 @@
+"""Terms of the function-free language.
+
+The language of the paper is function-free (a *Datalog* language): a term is
+either a variable or a constant. Variables are represented by the
+:class:`Variable` class; constants are plain hashable Python values
+(strings and integers when programs come from the parser, but any hashable
+value is accepted from the programmatic API). Keeping constants unwrapped
+makes ground tuples ordinary Python tuples, which the fixpoint loops hash
+millions of times.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, Iterator
+
+Term = Any  # a Variable or any hashable constant
+Constant = Hashable
+
+
+class Variable:
+    """A logical variable, identified by its name.
+
+    Two variables with the same name are equal, so a rule can mention ``X``
+    several times and the occurrences unify.
+    """
+
+    __slots__ = ("name", "_hash")
+
+    def __init__(self, name: str):
+        if not name:
+            raise ValueError("variable name must be non-empty")
+        self.name = name
+        self._hash = hash(("Variable", name))
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Variable) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return self._hash
+
+
+def is_variable(term: Term) -> bool:
+    """Return True when *term* is a :class:`Variable`."""
+    return isinstance(term, Variable)
+
+
+def is_constant(term: Term) -> bool:
+    """Return True when *term* is a constant (anything but a Variable)."""
+    return not isinstance(term, Variable)
+
+
+def is_ground(terms: Iterable[Term]) -> bool:
+    """Return True when no term in *terms* is a variable."""
+    return not any(isinstance(term, Variable) for term in terms)
+
+
+def variables_in(terms: Iterable[Term]) -> Iterator[Variable]:
+    """Yield the variables occurring in *terms*, in order, with duplicates."""
+    for term in terms:
+        if isinstance(term, Variable):
+            yield term
+
+
+def variables(name_spec: str) -> tuple[Variable, ...]:
+    """Create several variables at once: ``X, Y = variables("X Y")``.
+
+    *name_spec* is a whitespace- or comma-separated list of names. This is a
+    convenience for the programmatic API, mirroring ``sympy.symbols``.
+    """
+    names = name_spec.replace(",", " ").split()
+    return tuple(Variable(name) for name in names)
+
+
+def format_term(term: Term) -> str:
+    """Render a term the way the parser would read it back.
+
+    Strings that look like identifiers print bare; anything else is quoted
+    (strings) or printed via ``repr`` (other constants).
+    """
+    if isinstance(term, Variable):
+        return term.name
+    if isinstance(term, str):
+        if term and (term[0].islower() or term[0] == "_") and all(
+            ch.isalnum() or ch == "_" for ch in term
+        ):
+            return term
+        escaped = term.replace("\\", "\\\\").replace("'", "\\'")
+        return f"'{escaped}'"
+    return repr(term)

@@ -1,0 +1,80 @@
+"""Substitutions and matching.
+
+Rule evaluation over a database of ground facts only ever needs *matching*
+(one-sided unification): bind the variables of a rule literal against a
+ground tuple. Substitutions are plain dicts from :class:`Variable` to
+constants.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, MutableMapping, Optional
+
+from .atoms import Atom
+from .terms import Term, Variable
+
+Substitution = Mapping[Variable, Term]
+
+
+def match_tuple(
+    pattern: tuple[Term, ...],
+    ground: tuple[Term, ...],
+    subst: MutableMapping[Variable, Term],
+) -> bool:
+    """Extend *subst* in place so that pattern[subst] == ground.
+
+    Returns False (and may leave *subst* partially extended — callers pass a
+    scratch copy) when the match fails. Constants must be equal; variables
+    must be consistent with existing bindings.
+    """
+    for pat, value in zip(pattern, ground):
+        if isinstance(pat, Variable):
+            bound = subst.get(pat)
+            if bound is None:
+                subst[pat] = value
+            elif bound != value:
+                return False
+        elif pat != value:
+            return False
+    return True
+
+
+def match_atom(
+    pattern: Atom, fact: Atom, subst: Optional[Substitution] = None
+) -> Optional[dict[Variable, Term]]:
+    """Match *pattern* against ground *fact*, extending *subst*.
+
+    Returns the extended substitution as a new dict, or None on failure.
+    """
+    if pattern.relation != fact.relation or pattern.arity != fact.arity:
+        return None
+    scratch: dict[Variable, Term] = dict(subst) if subst else {}
+    if match_tuple(pattern.args, fact.args, scratch):
+        return scratch
+    return None
+
+
+def substitute_args(
+    args: tuple[Term, ...], subst: Substitution
+) -> tuple[Term, ...]:
+    """Apply *subst* to a tuple of terms."""
+    return tuple(
+        subst.get(term, term) if isinstance(term, Variable) else term
+        for term in args
+    )
+
+
+def substitute(atom: Atom, subst: Substitution) -> Atom:
+    """Apply *subst* to an atom."""
+    return Atom(atom.relation, substitute_args(atom.args, subst))
+
+
+def ground_atom(atom: Atom, subst: Substitution) -> Atom:
+    """Apply *subst* and verify that the result is ground."""
+    result = substitute(atom, subst)
+    if not result.is_ground():
+        missing = sorted({var.name for var in result.variables()})
+        raise ValueError(
+            f"atom {atom} not fully instantiated: unbound {', '.join(missing)}"
+        )
+    return result

@@ -1,0 +1,34 @@
+"""Belief revision substrate: Doyle's JTMS, de Kleer's ATMS, and the bridge
+mapping stratified databases onto them (the paper's framing, section 1/6).
+"""
+
+from .atms import ATMS, ATMSJustification, Environment, minimize
+from .bridge import (
+    GroundInstance,
+    absent,
+    ground_instances,
+    model_context,
+    positive_envelope,
+    standard_model_via_jtms,
+    to_atms,
+    to_jtms,
+)
+from .jtms import JTMS, Justification, NonStratifiedNetworkError
+
+__all__ = [
+    "ATMS",
+    "ATMSJustification",
+    "Environment",
+    "GroundInstance",
+    "JTMS",
+    "Justification",
+    "NonStratifiedNetworkError",
+    "absent",
+    "ground_instances",
+    "minimize",
+    "model_context",
+    "positive_envelope",
+    "standard_model_via_jtms",
+    "to_atms",
+    "to_jtms",
+]

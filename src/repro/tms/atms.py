@@ -1,0 +1,206 @@
+"""An assumption-based truth maintenance system (de Kleer 1986).
+
+The paper contrasts its supports with de Kleer's ATMS, which "uses the
+previous form [whole proof structures] which allows him to maintain several
+contexts at the same time". An ATMS node's *label* is the set of minimal
+environments (sets of assumptions) under which the node holds; contexts are
+never committed to, so revising a belief means moving to another
+environment rather than relabelling.
+
+This implementation covers the monotone core of the ATMS: assumptions,
+justifications over nodes, label propagation to a fixpoint, nogoods (an
+inconsistent environment prunes every label containing it), and context
+queries. Negative hypotheses are *not* part of the classical ATMS — which
+is exactly the paper's point when it keeps, for each deduction, the set of
+relations negated inside it; the bridge maps only the positive structure
+and treats negated atoms as extra assumptions ("the fact stays absent").
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+NodeId = Hashable
+
+Environment = frozenset
+"""A set of assumption ids; the empty environment means "always"."""
+
+
+def minimize(environments: set[Environment]) -> set[Environment]:
+    """Keep the ⊆-minimal environments (labels are antichains)."""
+    ordered = sorted(environments, key=len)
+    minimal: list[Environment] = []
+    for environment in ordered:
+        if not any(kept <= environment for kept in minimal):
+            minimal.append(environment)
+    return set(minimal)
+
+
+class ATMSJustification:
+    """``antecedents ⊢ consequent`` — purely positive, as in de Kleer."""
+
+    __slots__ = ("consequent", "antecedents", "informant")
+
+    def __init__(
+        self,
+        consequent: NodeId,
+        antecedents: Iterable[NodeId],
+        informant: object = None,
+    ):
+        self.consequent = consequent
+        self.antecedents = frozenset(antecedents)
+        self.informant = informant
+
+    def __repr__(self) -> str:
+        return (
+            f"ATMSJustification({self.consequent!r} <- "
+            f"{sorted(map(repr, self.antecedents))})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ATMSJustification)
+            and other.consequent == self.consequent
+            and other.antecedents == self.antecedents
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.consequent, self.antecedents))
+
+
+class ATMS:
+    """Assumptions, justifications, labels and nogoods."""
+
+    def __init__(self):
+        self._labels: dict[NodeId, set[Environment]] = {}
+        self._assumptions: set[NodeId] = set()
+        self._justifications: set[ATMSJustification] = set()
+        self._consumers: dict[NodeId, set[ATMSJustification]] = {}
+        self._nogoods: set[Environment] = set()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_node(self, node: NodeId) -> None:
+        self._labels.setdefault(node, set())
+
+    def nodes(self) -> frozenset[NodeId]:
+        return frozenset(self._labels)
+
+    def add_assumption(self, node: NodeId) -> None:
+        """Make *node* an assumption: its label gains ``{{node}}``."""
+        self.add_node(node)
+        if node in self._assumptions:
+            return
+        self._assumptions.add(node)
+        self._add_environments(node, {frozenset({node})})
+
+    def assumptions(self) -> frozenset[NodeId]:
+        return frozenset(self._assumptions)
+
+    def add_premise(self, node: NodeId) -> None:
+        """Give *node* the empty environment: it holds in every context."""
+        self.add_node(node)
+        self._add_environments(node, {frozenset()})
+
+    def justify(
+        self,
+        consequent: NodeId,
+        antecedents: Iterable[NodeId],
+        informant: object = None,
+    ) -> ATMSJustification:
+        """Install a justification and propagate labels."""
+        justification = ATMSJustification(consequent, antecedents, informant)
+        self.add_node(consequent)
+        for node in justification.antecedents:
+            self.add_node(node)
+        if justification in self._justifications:
+            return justification
+        self._justifications.add(justification)
+        for node in justification.antecedents:
+            self._consumers.setdefault(node, set()).add(justification)
+        self._propagate(justification)
+        return justification
+
+    def add_nogood(self, environment: Iterable[NodeId]) -> None:
+        """Declare an environment inconsistent and prune all labels."""
+        nogood = frozenset(environment)
+        self._nogoods.add(nogood)
+        for node, label in self._labels.items():
+            pruned = {env for env in label if not nogood <= env}
+            if pruned != label:
+                self._labels[node] = pruned
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def label(self, node: NodeId) -> frozenset[Environment]:
+        """The minimal environments under which *node* holds."""
+        return frozenset(self._labels.get(node, ()))
+
+    def holds_in(self, node: NodeId, environment: Iterable[NodeId]) -> bool:
+        """Does *node* hold in the context of *environment*?"""
+        context = frozenset(environment)
+        return any(env <= context for env in self._labels.get(node, ()))
+
+    def context(self, environment: Iterable[NodeId]) -> frozenset[NodeId]:
+        """Every node holding under *environment* (de Kleer's context)."""
+        context = frozenset(environment)
+        return frozenset(
+            node
+            for node, label in self._labels.items()
+            if any(env <= context for env in label)
+        )
+
+    def is_nogood(self, environment: Iterable[NodeId]) -> bool:
+        context = frozenset(environment)
+        return any(nogood <= context for nogood in self._nogoods)
+
+    # ------------------------------------------------------------------
+    # Label propagation
+    # ------------------------------------------------------------------
+
+    def _add_environments(
+        self, node: NodeId, environments: set[Environment]
+    ) -> None:
+        environments = {
+            env
+            for env in environments
+            if not any(nogood <= env for nogood in self._nogoods)
+        }
+        label = self._labels[node]
+        fresh = {
+            env
+            for env in environments
+            if not any(existing <= env for existing in label)
+        }
+        if not fresh:
+            return
+        self._labels[node] = minimize(label | fresh)
+        for justification in self._consumers.get(node, ()):
+            self._propagate(justification)
+
+    def _propagate(self, justification: ATMSJustification) -> None:
+        """Recompute the environments *justification* contributes."""
+        combined: set[Environment] = {frozenset()}
+        for antecedent in justification.antecedents:
+            label = self._labels.get(antecedent, set())
+            if not label:
+                return  # some antecedent never holds: nothing to add
+            combined = {
+                env | antecedent_env
+                for env in combined
+                for antecedent_env in label
+            }
+            combined = minimize(combined)
+        self._add_environments(justification.consequent, combined)
+
+    def __repr__(self) -> str:
+        return (
+            f"ATMS({len(self._labels)} nodes, "
+            f"{len(self._assumptions)} assumptions, "
+            f"{len(self._justifications)} justifications, "
+            f"{len(self._nogoods)} nogoods)"
+        )

@@ -1,0 +1,170 @@
+"""The bridge between stratified databases and truth maintenance systems.
+
+The paper's title move: view the maintained database as a belief revision
+system. This module makes the correspondence executable:
+
+* each *ground instance* of a database rule is a justification — positive
+  body facts form the in-list, negated ground atoms the out-list;
+* asserted facts are premises;
+* the network of a stratified database is stratified in the JTMS sense
+  (no out-list edge in a cycle), its well-founded labelling is unique, and
+  the IN nodes are exactly the standard model ``M(P)``
+  (:func:`standard_model_via_jtms`, verified by tests and experiment E13);
+* mapping EDB facts to ATMS assumptions (and negated atoms to explicit
+  "absent" assumptions) makes each fact's ATMS label the fact-level
+  sets-of-sets support of section 5.2 — de Kleer's multiple contexts are
+  the paper's "all possible original deductions".
+
+Grounding enumerates rule instances against the *positive envelope* (the
+model of the program with negative hypotheses dropped): instances whose
+positive body can never hold are irrelevant to every labelling.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, NamedTuple, Union
+
+from ..datalog.atoms import Atom
+from ..datalog.clauses import Clause, Program
+from ..datalog.database import StratifiedDatabase
+from ..datalog.evaluation import _iter_matches, compute_model
+from ..datalog.model import Model
+from ..datalog.parser import parse_program
+from ..datalog.unify import substitute_args
+from .atms import ATMS
+from .jtms import JTMS
+
+
+class GroundInstance(NamedTuple):
+    """One ground instance of a program clause."""
+
+    head: Atom
+    clause: Clause
+    positive_facts: tuple[Atom, ...]
+    negative_atoms: tuple[Atom, ...]
+
+
+def _as_program(source: Union[Program, StratifiedDatabase, str]) -> Program:
+    if isinstance(source, StratifiedDatabase):
+        return source.program
+    if isinstance(source, str):
+        return parse_program(source)
+    return source
+
+
+def positive_envelope(program: Program) -> Model:
+    """The model of the program with negative hypotheses dropped.
+
+    An upper bound on every fact that can ever be derived: negation can
+    only block derivations, never enable facts of new relations... except
+    that dropping ``not r(X)`` *widens* each rule, so the envelope is a
+    superset of the standard model for any update state of the EDB.
+    """
+    widened = Program()
+    for clause in program:
+        widened.add(Clause(clause.head, clause.positive_body))
+    return compute_model(widened)
+
+
+def ground_instances(
+    source: Union[Program, StratifiedDatabase, str]
+) -> Iterator[GroundInstance]:
+    """Enumerate the relevant ground instances of every clause."""
+    program = _as_program(source)
+    envelope = positive_envelope(program)
+    for clause in program:
+        for subst, facts in _iter_matches(clause, envelope):
+            head = Atom(
+                clause.head.relation, substitute_args(clause.head.args, subst)
+            )
+            negatives = tuple(
+                Atom(lit.relation, substitute_args(lit.args, subst))
+                for lit in clause.negative_body
+            )
+            yield GroundInstance(head, clause, facts, negatives)
+
+
+def to_jtms(source: Union[Program, StratifiedDatabase, str]) -> JTMS:
+    """Build the justification network of a stratified database.
+
+    Nodes are ground atoms; one justification per ground rule instance;
+    asserted facts become premises.
+    """
+    jtms = JTMS()
+    for instance in ground_instances(source):
+        jtms.justify(
+            instance.head,
+            in_list=instance.positive_facts,
+            out_list=instance.negative_atoms,
+            informant=instance.clause,
+        )
+    return jtms
+
+
+def standard_model_via_jtms(
+    source: Union[Program, StratifiedDatabase, str]
+) -> frozenset[Atom]:
+    """The IN nodes of the well-founded labelling — equal to M(P)."""
+    return to_jtms(source).in_nodes()
+
+
+def absent(atom: Atom) -> tuple[str, Atom]:
+    """The ATMS assumption standing for "atom stays underivable"."""
+    return ("absent", atom)
+
+
+def to_atms(
+    source: Union[Program, StratifiedDatabase, str]
+) -> ATMS:
+    """Build the assumption network of a stratified database.
+
+    EDB assertions become assumptions (each fact's presence is a choice de
+    Kleer's multiple contexts range over); a negated ground atom becomes the
+    assumption :func:`absent`\\ (atom). A fact's label then enumerates its
+    fact-level supports: the minimal sets of assertions-present and
+    atoms-absent that derive it.
+    """
+    program = _as_program(source)
+    atms = ATMS()
+    for instance in ground_instances(program):
+        if not instance.clause.body:
+            atms.add_assumption(instance.head)
+            continue
+        antecedents: list = list(instance.positive_facts)
+        for atom in instance.negative_atoms:
+            node = absent(atom)
+            atms.add_assumption(node)
+            antecedents.append(node)
+        atms.justify(instance.head, antecedents, informant=instance.clause)
+    # An asserted atom cannot simultaneously be assumed absent. (For
+    # *derived* atoms the inconsistency is context-dependent and the
+    # classical assumption-level nogoods cannot express it; callers pick a
+    # consistent environment with :func:`model_context`.)
+    assumptions = atms.assumptions()
+    for node in assumptions:
+        if isinstance(node, Atom) and absent(node) in assumptions:
+            atms.add_nogood({node, absent(node)})
+    return atms
+
+
+def model_context(
+    atms: ATMS, source: Union[Program, StratifiedDatabase, str]
+) -> frozenset:
+    """The ATMS environment describing the current database state.
+
+    Contains every asserted fact's assumption plus ``absent(a)`` for every
+    assumed-absent atom that is indeed not in the standard model; the ATMS
+    context of this environment restricted to real atoms is M(P).
+    """
+    program = _as_program(source)
+    model = compute_model(program)
+    environment = set()
+    for node in atms.assumptions():
+        if isinstance(node, Atom):
+            if Clause(node) in program:
+                environment.add(node)
+        else:
+            __, atom = node
+            if atom not in model:
+                environment.add(node)
+    return frozenset(environment)

@@ -1,0 +1,314 @@
+"""A justification-based truth maintenance system (Doyle 1979).
+
+The paper positions its supports against Doyle's JTMS: "In [D] the latter
+type of supports is used" — full justification structures rather than the
+one-level rule pointers of section 5.1. This module implements the JTMS the
+comparison refers to, and :mod:`repro.tms.bridge` shows that the standard
+model of a stratified database is exactly the (unique) well-founded
+labelling of its ground justification network.
+
+A :class:`Justification` supports a node when every node of its *in-list*
+is IN and every node of its *out-list* is OUT. A labelling is *admissible*
+when a node is IN iff some justification supports it, and *well-founded*
+when the IN nodes admit an order in which each node's supporting
+justification only uses earlier IN nodes — no mutual support.
+
+Labelling strategy: nodes are assigned levels by the same SCC analysis that
+stratifies a logic program (out-list edges must leave their SCC, mirroring
+"no recursion through negation"); levels are then labelled bottom-up, each
+level by a monotone in-list fixpoint. For such *stratified networks* the
+well-founded labelling exists and is unique. Networks with an out-list edge
+inside a cycle (odd loops, unstable networks) raise
+:class:`NonStratifiedNetworkError` — Doyle resolves those with heuristic
+backtracking, which is out of scope here and irrelevant to the bridge.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Optional
+
+NodeId = Hashable
+
+
+class NonStratifiedNetworkError(Exception):
+    """The justification network has an out-list edge inside a cycle."""
+
+
+class Justification:
+    """A reason to believe *consequent*: in-list all IN, out-list all OUT."""
+
+    __slots__ = ("consequent", "in_list", "out_list", "informant")
+
+    def __init__(
+        self,
+        consequent: NodeId,
+        in_list: Iterable[NodeId] = (),
+        out_list: Iterable[NodeId] = (),
+        informant: object = None,
+    ):
+        self.consequent = consequent
+        self.in_list = frozenset(in_list)
+        self.out_list = frozenset(out_list)
+        self.informant = informant
+
+    def is_premise(self) -> bool:
+        """A justification with empty lists supports unconditionally."""
+        return not self.in_list and not self.out_list
+
+    def __repr__(self) -> str:
+        return (
+            f"Justification({self.consequent!r}, "
+            f"in={sorted(map(repr, self.in_list))}, "
+            f"out={sorted(map(repr, self.out_list))})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Justification)
+            and other.consequent == self.consequent
+            and other.in_list == self.in_list
+            and other.out_list == self.out_list
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.consequent, self.in_list, self.out_list))
+
+
+class JTMS:
+    """Nodes, justifications and well-founded IN/OUT labelling.
+
+    Labels are recomputed lazily: structural changes mark the network dirty
+    and the next label query relabels it.
+    """
+
+    def __init__(self):
+        self._justifications: dict[NodeId, set[Justification]] = {}
+        self._in: set[NodeId] = set()
+        self._support: dict[NodeId, Justification] = {}
+        self._dirty = False
+
+    # ------------------------------------------------------------------
+    # Network construction
+    # ------------------------------------------------------------------
+
+    def add_node(self, node: NodeId) -> None:
+        if node not in self._justifications:
+            self._justifications[node] = set()
+            self._dirty = True
+
+    def nodes(self) -> frozenset[NodeId]:
+        return frozenset(self._justifications)
+
+    def justify(
+        self,
+        consequent: NodeId,
+        in_list: Iterable[NodeId] = (),
+        out_list: Iterable[NodeId] = (),
+        informant: object = None,
+    ) -> Justification:
+        """Install a justification for *consequent*."""
+        justification = Justification(consequent, in_list, out_list, informant)
+        self.add_node(consequent)
+        for node in justification.in_list | justification.out_list:
+            self.add_node(node)
+        if justification not in self._justifications[consequent]:
+            self._justifications[consequent].add(justification)
+            self._dirty = True
+        return justification
+
+    def premise(self, node: NodeId, informant: object = None) -> Justification:
+        """Install an unconditional justification for *node*."""
+        return self.justify(node, informant=informant)
+
+    def retract(self, justification: Justification) -> None:
+        """Remove a justification; labels refresh on the next query."""
+        existing = self._justifications.get(justification.consequent)
+        if existing and justification in existing:
+            existing.discard(justification)
+            self._dirty = True
+
+    def justifications_of(self, node: NodeId) -> frozenset[Justification]:
+        return frozenset(self._justifications.get(node, ()))
+
+    # ------------------------------------------------------------------
+    # Labels
+    # ------------------------------------------------------------------
+
+    def is_in(self, node: NodeId) -> bool:
+        self._ensure_labelled()
+        return node in self._in
+
+    def is_out(self, node: NodeId) -> bool:
+        return not self.is_in(node)
+
+    def in_nodes(self) -> frozenset[NodeId]:
+        self._ensure_labelled()
+        return frozenset(self._in)
+
+    def supporting_justification(
+        self, node: NodeId
+    ) -> Optional[Justification]:
+        """The justification supporting an IN node (None for OUT nodes)."""
+        self._ensure_labelled()
+        return self._support.get(node)
+
+    def well_founded_support_chain(self, node: NodeId) -> list[NodeId]:
+        """The IN nodes reachable through supporting justifications.
+
+        Doyle's non-circular argument for believing *node*: follow each
+        node's supporting justification through its in-list, recursively.
+        """
+        self._ensure_labelled()
+        chain: list[NodeId] = []
+        stack = [node]
+        visited: set[NodeId] = set()
+        while stack:
+            current = stack.pop()
+            if current in visited or current not in self._in:
+                continue
+            visited.add(current)
+            chain.append(current)
+            support = self._support.get(current)
+            if support is not None:
+                stack.extend(support.in_list)
+        return chain
+
+    # ------------------------------------------------------------------
+    # Well-founded labelling
+    # ------------------------------------------------------------------
+
+    def _sccs(self) -> list[frozenset[NodeId]]:
+        """SCCs of the node dependency graph, dependencies first.
+
+        A node depends on every node of every in/out list of its
+        justifications. Iterative Tarjan, deterministic via repr order.
+        """
+        successors: dict[NodeId, list[NodeId]] = {}
+        for node, justifications in self._justifications.items():
+            deps: set[NodeId] = set()
+            for justification in justifications:
+                deps |= justification.in_list
+                deps |= justification.out_list
+            successors[node] = sorted(deps, key=repr)
+
+        index_counter = 0
+        indexes: dict[NodeId, int] = {}
+        lowlinks: dict[NodeId, int] = {}
+        on_stack: set[NodeId] = set()
+        stack: list[NodeId] = []
+        result: list[frozenset[NodeId]] = []
+        for root in sorted(self._justifications, key=repr):
+            if root in indexes:
+                continue
+            work: list[tuple[NodeId, Iterator[NodeId]]] = [
+                (root, iter(successors[root]))
+            ]
+            indexes[root] = lowlinks[root] = index_counter
+            index_counter += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, children = work[-1]
+                advanced = False
+                for child in children:
+                    if child not in indexes:
+                        indexes[child] = lowlinks[child] = index_counter
+                        index_counter += 1
+                        stack.append(child)
+                        on_stack.add(child)
+                        work.append((child, iter(successors[child])))
+                        advanced = True
+                        break
+                    if child in on_stack:
+                        lowlinks[node] = min(lowlinks[node], indexes[child])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlinks[parent] = min(lowlinks[parent], lowlinks[node])
+                if lowlinks[node] == indexes[node]:
+                    component = set()
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.add(member)
+                        if member == node:
+                            break
+                    result.append(frozenset(component))
+        return result
+
+    def _levels(self) -> dict[NodeId, int]:
+        """Level of each node; out-list edges must go strictly down."""
+        sccs = self._sccs()
+        component_of: dict[NodeId, int] = {}
+        for i, component in enumerate(sccs):
+            for node in component:
+                component_of[node] = i
+        level_of_component = [0] * len(sccs)
+        for i, component in enumerate(sccs):
+            level = 0
+            for node in component:
+                for justification in self._justifications[node]:
+                    for dep in justification.in_list:
+                        j = component_of[dep]
+                        if j != i:
+                            level = max(level, level_of_component[j])
+                    for dep in justification.out_list:
+                        j = component_of[dep]
+                        if j == i:
+                            raise NonStratifiedNetworkError(
+                                f"out-list edge {node!r} -> {dep!r} lies on "
+                                "a cycle; the well-founded labelling is not "
+                                "defined"
+                            )
+                        level = max(level, level_of_component[j] + 1)
+            level_of_component[i] = level
+        return {
+            node: level_of_component[component_of[node]]
+            for node in self._justifications
+        }
+
+    def _ensure_labelled(self) -> None:
+        if not self._dirty:
+            return
+        levels = self._levels()
+        self._in.clear()
+        self._support.clear()
+        by_level: dict[int, list[NodeId]] = {}
+        for node, level in levels.items():
+            by_level.setdefault(level, []).append(node)
+        for level in sorted(by_level):
+            # Within a level only in-list edges remain (out-lists point
+            # strictly down, already settled): a monotone fixpoint.
+            pending = by_level[level]
+            changed = True
+            while changed:
+                changed = False
+                for node in pending:
+                    if node in self._in:
+                        continue
+                    for justification in self._justifications[node]:
+                        holds = all(
+                            dep in self._in for dep in justification.in_list
+                        ) and all(
+                            dep not in self._in
+                            for dep in justification.out_list
+                        )
+                        if holds:
+                            self._in.add(node)
+                            self._support[node] = justification
+                            changed = True
+                            break
+        self._dirty = False
+
+    def relabel(self) -> None:
+        """Force an immediate relabelling."""
+        self._dirty = True
+        self._ensure_labelled()
+
+    def __repr__(self) -> str:
+        total = sum(len(js) for js in self._justifications.values())
+        return (
+            f"JTMS({len(self._justifications)} nodes, {total} justifications)"
+        )

@@ -1,0 +1,48 @@
+"""Workload generators: the paper's examples, realistic families, random
+stratified programs and update sequences."""
+
+from .families import (
+    FAMILY_BUILDERS,
+    access_control,
+    bill_of_materials,
+    reachability,
+    review_pipeline,
+)
+from .paper import (
+    cascade_example,
+    conf,
+    congress,
+    meet,
+    negation_chain,
+    pods,
+    staleness_counterexample,
+)
+from .synthetic import SyntheticProgram, SyntheticSpec, generate
+from .updates import (
+    asserted_facts,
+    flip_sequence,
+    mixed_updates,
+    random_updates,
+)
+
+__all__ = [
+    "FAMILY_BUILDERS",
+    "SyntheticProgram",
+    "SyntheticSpec",
+    "access_control",
+    "asserted_facts",
+    "bill_of_materials",
+    "cascade_example",
+    "conf",
+    "congress",
+    "flip_sequence",
+    "generate",
+    "meet",
+    "mixed_updates",
+    "negation_chain",
+    "pods",
+    "random_updates",
+    "reachability",
+    "review_pipeline",
+    "staleness_counterexample",
+]

@@ -1,0 +1,178 @@
+"""Scalable workload families exercising stratified negation.
+
+Four realistic shapes, each the kind of database the paper's introduction
+motivates (incomplete information, hypothetical reasoning, rule-based
+applications), with seeded generators so every run is reproducible:
+
+* :func:`review_pipeline` — the MEET example grown into a conference:
+  submissions, reviews, conflicts, a committee, default-accept semantics.
+* :func:`reachability` — network monitoring: links, reachability closure,
+  and an ``unreachable`` default via negation; updates are link flaps.
+* :func:`bill_of_materials` — parts explosion with missing-part exceptions:
+  an assembly is buildable unless some transitive part is missing.
+* :func:`access_control` — default-deny policy: grants, role inheritance,
+  revocations; ``allowed`` holds unless an explicit ``revoked`` applies.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ..datalog.builder import ProgramBuilder
+from ..datalog.clauses import Program
+
+
+def review_pipeline(
+    papers: int = 20,
+    committee: int = 4,
+    reviews_per_paper: int = 2,
+    seed: int = 0,
+) -> Program:
+    """A conference pipeline generalising MEET (Example 4).
+
+    Relations: ``submitted/1``, ``reviewer/2``, ``in_pc/1``, ``author/2``,
+    ``negative_review/2`` (EDB) and ``has_negative/1``, ``rejected/1``,
+    ``accepted/1`` (IDB; accepted has the two MEET deductions).
+    """
+    rng = random.Random(seed)
+    builder = ProgramBuilder()
+    members = [f"pc{i}" for i in range(1, committee + 1)]
+    for member in members:
+        builder.fact("in_pc", member)
+    for paper in range(1, papers + 1):
+        builder.fact("submitted", paper)
+        for reviewer in rng.sample(members, min(reviews_per_paper, committee)):
+            builder.fact("reviewer", reviewer, paper)
+    # A few committee members author papers (the MEET situation).
+    for paper in range(1, papers + 1):
+        if rng.random() < 0.15:
+            builder.fact("author", rng.choice(members), paper)
+    builder.rule("has_negative", ("P",)).pos("negative_review", "R", "P").pos(
+        "reviewer", "R", "P"
+    )
+    builder.rule("rejected", ("P",)).pos("submitted", "P").pos(
+        "has_negative", "P"
+    )
+    builder.rule("accepted", ("P",)).pos("submitted", "P").neg("rejected", "P")
+    builder.rule("accepted", ("P",)).pos("author", "A", "P").pos("in_pc", "A")
+    return builder.build()
+
+
+def reachability(
+    nodes: int = 12,
+    edge_probability: float = 0.2,
+    monitor_from: int = 0,
+    seed: int = 0,
+) -> Program:
+    """Network monitoring: reach/2 closure and unreachable/2 by negation.
+
+    ``unreachable`` pairs are the alarms a monitoring system maintains;
+    link insertions *remove* alarms and link deletions *add* them — the
+    non-monotonicity the paper is about, at scale.
+    """
+    rng = random.Random(seed)
+    builder = ProgramBuilder()
+    names = [f"n{i}" for i in range(nodes)]
+    for name in names:
+        builder.fact("node", name)
+    for source in names:
+        for target in names:
+            if source != target and rng.random() < edge_probability:
+                builder.fact("link", source, target)
+    builder.rule("reach", ("X", "Y")).pos("link", "X", "Y")
+    builder.rule("reach", ("X", "Z")).pos("link", "X", "Y").pos(
+        "reach", "Y", "Z"
+    )
+    builder.rule("unreachable", ("X", "Y")).pos("node", "X").pos(
+        "node", "Y"
+    ).neg("reach", "X", "Y")
+    return builder.build()
+
+
+def bill_of_materials(
+    assemblies: int = 6,
+    depth: int = 3,
+    fanout: int = 2,
+    missing: Sequence[str] = (),
+    seed: int = 0,
+) -> Program:
+    """Parts explosion with exceptions.
+
+    ``uses/2`` is a forest of part trees; ``requires/2`` its closure;
+    ``blocked/1`` holds for assemblies requiring a ``missing/1`` part and
+    ``buildable/1`` is the default-positive complement.
+    """
+    rng = random.Random(seed)
+    builder = ProgramBuilder()
+    counter = 0
+
+    def grow(parent: str, level: int) -> None:
+        nonlocal counter
+        if level >= depth:
+            return
+        for _ in range(rng.randint(1, fanout)):
+            counter += 1
+            child = f"part{counter}"
+            builder.fact("uses", parent, child)
+            grow(child, level + 1)
+
+    for index in range(1, assemblies + 1):
+        root = f"asm{index}"
+        builder.fact("assembly", root)
+        grow(root, 0)
+    for part in missing:
+        builder.fact("missing", part)
+    builder.rule("requires", ("X", "Y")).pos("uses", "X", "Y")
+    builder.rule("requires", ("X", "Z")).pos("uses", "X", "Y").pos(
+        "requires", "Y", "Z"
+    )
+    builder.rule("blocked", ("A",)).pos("assembly", "A").pos(
+        "requires", "A", "P"
+    ).pos("missing", "P")
+    builder.rule("buildable", ("A",)).pos("assembly", "A").neg("blocked", "A")
+    return builder.build()
+
+
+def access_control(
+    users: int = 10,
+    roles: int = 4,
+    resources: int = 6,
+    seed: int = 0,
+) -> Program:
+    """Default-deny policy with role inheritance and revocations.
+
+    ``member/2``, ``subrole/2``, ``grant/2``, ``revoked/2`` (EDB);
+    ``role_of/2`` (membership through inheritance), ``granted/2`` and
+    ``allowed/2`` = granted unless revoked (IDB).
+    """
+    rng = random.Random(seed)
+    builder = ProgramBuilder()
+    role_names = [f"role{i}" for i in range(1, roles + 1)]
+    for i, role in enumerate(role_names[1:], start=1):
+        builder.fact("subrole", role, role_names[rng.randrange(i)])
+    for u in range(1, users + 1):
+        builder.fact("member", f"user{u}", rng.choice(role_names))
+    for r in range(1, resources + 1):
+        for role in role_names:
+            if rng.random() < 0.4:
+                builder.fact("grant", role, f"res{r}")
+    builder.rule("role_of", ("U", "R")).pos("member", "U", "R")
+    builder.rule("role_of", ("U", "S")).pos("role_of", "U", "R").pos(
+        "subrole", "R", "S"
+    )
+    builder.rule("granted", ("U", "X")).pos("role_of", "U", "R").pos(
+        "grant", "R", "X"
+    )
+    builder.rule("allowed", ("U", "X")).pos("granted", "U", "X").neg(
+        "revoked", "U", "X"
+    )
+    return builder.build()
+
+
+FAMILY_BUILDERS = {
+    "review_pipeline": review_pipeline,
+    "reachability": reachability,
+    "bill_of_materials": bill_of_materials,
+    "access_control": access_control,
+}

@@ -1,0 +1,134 @@
+"""The six databases of the paper, parameterised by scale.
+
+Each function reproduces one of the paper's worked examples exactly at its
+original shape and extrapolates it to any size, so the benchmarks can sweep
+over ``l`` while the unit tests pin the paper's own instances.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..datalog.builder import ProgramBuilder
+from ..datalog.clauses import Program
+
+
+def pods(l: int = 10, accepted: Sequence[int] = (2, 4)) -> Program:
+    """Section 3: PODS = {submitted(1..l), accepted(n1..nk),
+    rejected(x) <- not accepted(x) [& submitted(x)]}.
+
+    The paper's rule is ``rejected(x) <- ¬accepted(x)`` with the domain
+    closed by the particularization axioms; range restriction expresses the
+    same meaning with an explicit ``submitted(x)`` hypothesis.
+    """
+    if not all(1 <= n <= l for n in accepted):
+        raise ValueError("accepted papers must lie in 1..l")
+    builder = ProgramBuilder()
+    for i in range(1, l + 1):
+        builder.fact("submitted", i)
+    for n in accepted:
+        builder.fact("accepted", n)
+    builder.rule("rejected", ("X",)).neg("accepted", "X").pos("submitted", "X")
+    return builder.build()
+
+
+def conf(l: int = 3) -> Program:
+    """Example 1: CONF = {submitted(1..l), late(l+1),
+    accepted(x) <- submitted(x) & not rejected(x), accepted(l+1)}.
+
+    The asserted ``accepted(l+1)`` is the fact the static solution migrates
+    on an insertion of ``rejected(l+1)`` and the dynamic solutions save.
+    """
+    builder = ProgramBuilder()
+    for i in range(1, l + 1):
+        builder.fact("submitted", i)
+    builder.fact("late", l + 1)
+    builder.rule("accepted", ("X",)).pos("submitted", "X").neg("rejected", "X")
+    builder.fact("accepted", l + 1)
+    return builder.build()
+
+
+def negation_chain(n: int = 3) -> Program:
+    """Example 2: P = {p1 <- not p0, p2 <- not p1, ..., pn <- not p(n-1)}.
+
+    ``M(P) = {p1, p3, p5, ...}``. The insertion of ``p0`` flips the whole
+    chain, which is what defeats unsigned dynamic supports.
+    """
+    if n < 1:
+        raise ValueError("chain length must be at least 1")
+    builder = ProgramBuilder()
+    for i in range(1, n + 1):
+        builder.rule(f"p{i}", ()).neg(f"p{i - 1}")
+    return builder.build()
+
+
+def congress(l: int = 2) -> Program:
+    """Example 3: CONGRESS = {submitted(1..l),
+    accepted(x) <- submitted(x) & not rejected(x),
+    accepted(l) <- submitted(l)}.
+
+    The second rule gives ``accepted(l)`` a pairwise-smaller support
+    ``({submitted}, ∅)``; keeping it prevents the migration of
+    ``accepted(l)`` when some ``rejected(i)`` is inserted.
+    """
+    builder = ProgramBuilder()
+    for i in range(1, l + 1):
+        builder.fact("submitted", i)
+    builder.rule("accepted", ("X",)).pos("submitted", "X").neg("rejected", "X")
+    builder.rule("accepted", (l,)).pos("submitted", l)
+    return builder.build()
+
+
+def meet(
+    l: int = 3,
+    committee: Sequence[str] = ("name1", "name2"),
+    authored: Sequence[tuple[str, int]] = (("name2", 1),),
+) -> Program:
+    """Example 4: MEET — two independent deductions of acceptance.
+
+    ``accepted(x) <- submitted(x) & not rejected(x)`` and
+    ``accepted(y) <- author(x, y) & in_program_committee(x)``. A paper
+    authored by a committee member stays accepted when rejected — the
+    sets-of-sets solution keeps both supports, the single-support solution
+    migrates.
+    """
+    builder = ProgramBuilder()
+    for i in range(1, l + 1):
+        builder.fact("submitted", i)
+    for member in committee:
+        builder.fact("in_program_committee", member)
+    for author, paper in authored:
+        builder.fact("author", author, paper)
+    builder.rule("accepted", ("X",)).pos("submitted", "X").neg("rejected", "X")
+    builder.rule("accepted", ("Y",)).pos("author", "X", "Y").pos(
+        "in_program_committee", "X"
+    )
+    return builder.build()
+
+
+def cascade_example() -> Program:
+    """Section 5.1: P = {r <- p, q <- r, q <- not p}; M(P) = {q}.
+
+    ``INSERT(p)`` is the update on which the older solutions remove and
+    re-insert ``q`` while the cascade (saturating before REMOVENEG) never
+    removes it.
+    """
+    builder = ProgramBuilder()
+    builder.rule("r", ()).pos("p")
+    builder.rule("q", ()).pos("r")
+    builder.rule("q", ()).neg("p")
+    return builder.build()
+
+
+def staleness_counterexample() -> Program:
+    """DESIGN.md faithfulness note 1: {a, c, b <- a, b <- c & not d}.
+
+    ``INSERT(d)`` then ``DELETE(a)`` leaves the paper-mode sets-of-sets
+    engine holding ``b`` with a stale Pos element {c, -d}.
+    """
+    builder = ProgramBuilder()
+    builder.fact("a")
+    builder.fact("c")
+    builder.rule("b", ()).pos("a")
+    builder.rule("b", ()).pos("c").neg("d")
+    return builder.build()

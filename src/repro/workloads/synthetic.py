@@ -1,0 +1,139 @@
+"""Seeded random stratified programs.
+
+The property tests and the migration/bookkeeping sweeps need arbitrary
+stratified databases. The generator builds programs that are *stratified by
+construction*: relations are created in levels and a rule's negated
+hypotheses only reference strictly lower levels, while its positive
+hypotheses reference lower-or-equal levels — recursion stays positive.
+Every clause is safe by construction (head and negated variables are drawn
+from the positive body's variables).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..datalog.atoms import Atom, Literal
+from ..datalog.clauses import Clause, Program
+from ..datalog.terms import Variable
+
+
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """Knobs of the random program generator."""
+
+    levels: int = 3
+    relations_per_level: int = 3
+    rules_per_relation: int = 2
+    max_body_positive: int = 2
+    negation_probability: float = 0.5
+    edb_relations: int = 3
+    edb_facts_per_relation: int = 8
+    domain_size: int = 8
+    max_arity: int = 2
+
+
+def _relation_name(level: int, index: int) -> str:
+    return f"r{level}_{index}"
+
+
+class SyntheticProgram:
+    """A generated program plus the metadata update generators need."""
+
+    def __init__(self, program: Program, edb: list[str], arities: dict[str, int]):
+        self.program = program
+        self.edb_relations = edb
+        self.arities = arities
+        self.domain: list = sorted(
+            {
+                value
+                for clause in program
+                if not clause.body
+                for value in clause.head.args
+            },
+            key=repr,
+        )
+
+
+def generate(seed: int = 0, spec: SyntheticSpec | None = None) -> SyntheticProgram:
+    """Generate a random stratified program (deterministic per seed)."""
+    spec = spec or SyntheticSpec()
+    rng = random.Random(seed)
+    program = Program()
+    arities: dict[str, int] = {}
+    domain = list(range(spec.domain_size))
+
+    # Level 0: extensional relations with random facts.
+    edb = [f"e{i}" for i in range(spec.edb_relations)]
+    for name in edb:
+        arities[name] = rng.randint(1, spec.max_arity)
+        rows = {
+            tuple(rng.choice(domain) for _ in range(arities[name]))
+            for _ in range(spec.edb_facts_per_relation)
+        }
+        for row in rows:
+            program.add(Clause(Atom(name, row)))
+
+    available = list(edb)  # relations usable in bodies, by level
+    strictly_lower = list(edb)
+    for level in range(1, spec.levels + 1):
+        created: list[str] = []
+        for index in range(spec.relations_per_level):
+            name = _relation_name(level, index)
+            arities[name] = rng.randint(1, spec.max_arity)
+            created.append(name)
+        for name in created:
+            for _ in range(spec.rules_per_relation):
+                clause = _random_rule(
+                    rng,
+                    name,
+                    arities,
+                    positives=available + created,
+                    negatives=strictly_lower,
+                    spec=spec,
+                )
+                if clause is not None:
+                    program.add(clause)
+        strictly_lower = strictly_lower + created
+        available = strictly_lower
+    return SyntheticProgram(program, edb, arities)
+
+
+def _random_rule(
+    rng: random.Random,
+    head_name: str,
+    arities: dict[str, int],
+    positives: list[str],
+    negatives: list[str],
+    spec: SyntheticSpec,
+) -> Clause | None:
+    """One random safe rule for *head_name*, or None when impossible."""
+    body_count = rng.randint(1, spec.max_body_positive)
+    chosen = [rng.choice(positives) for _ in range(body_count)]
+    # Fresh variables per positive literal position, shared with probability
+    # 1/2 to make joins non-trivial.
+    variables: list[Variable] = []
+    body: list[Literal] = []
+    for i, relation in enumerate(chosen):
+        args = []
+        for j in range(arities[relation]):
+            if variables and rng.random() < 0.5:
+                args.append(rng.choice(variables))
+            else:
+                var = Variable(f"V{i}_{j}")
+                variables.append(var)
+                args.append(var)
+        body.append(Literal(Atom(relation, tuple(args)), positive=True))
+    if not variables:
+        return None
+    if negatives and rng.random() < spec.negation_probability:
+        relation = rng.choice(negatives)
+        args = tuple(
+            rng.choice(variables) for _ in range(arities[relation])
+        )
+        body.append(Literal(Atom(relation, args), positive=False))
+    head_args = tuple(
+        rng.choice(variables) for _ in range(arities[head_name])
+    )
+    return Clause(Atom(head_name, head_args), tuple(body))

@@ -1,0 +1,171 @@
+"""Seeded update-sequence generators.
+
+An update sequence is a list of ``(operation, subject)`` pairs consumable by
+:meth:`repro.core.base.MaintenanceEngine.apply`. The generator draws
+insertions of new extensional facts and deletions of currently asserted
+ones, against either a :class:`~repro.workloads.synthetic.SyntheticProgram`
+or any program with known extensional relations.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+from ..datalog.atoms import Atom
+from ..datalog.clauses import Clause, Program
+
+Update = tuple[str, object]  # (operation, Atom or Clause)
+
+
+def _edb_state(
+    program: Program, edb_relations: Sequence[str]
+) -> dict[str, set[tuple]]:
+    state: dict[str, set[tuple]] = {name: set() for name in edb_relations}
+    for clause in program:
+        if not clause.body and clause.head.relation in state:
+            state[clause.head.relation].add(clause.head.args)
+    return state
+
+
+def random_updates(
+    program: Program,
+    edb_relations: Sequence[str],
+    arities: dict[str, int],
+    domain: Sequence,
+    count: int = 10,
+    insert_ratio: float = 0.5,
+    seed: int = 0,
+) -> list[Update]:
+    """A sequence of insert_fact/delete_fact updates over the EDB.
+
+    Deletions always target a fact asserted at that point of the sequence
+    (tracked through the sequence itself), so replaying the sequence on an
+    engine never raises. Insertions draw fresh tuples from the domain.
+    """
+    rng = random.Random(seed)
+    state = _edb_state(program, edb_relations)
+    updates: list[Update] = []
+    domain = list(domain) or [0, 1]
+    for _ in range(count):
+        deletable = [
+            (name, row) for name, rows in state.items() for row in rows
+        ]
+        do_insert = rng.random() < insert_ratio or not deletable
+        if do_insert:
+            fresh = _fresh_row(rng, state, edb_relations, arities, domain)
+            if fresh is None:  # every relation is full: delete instead
+                do_insert = False
+            else:
+                name, row = fresh
+                state[name].add(row)
+                updates.append(("insert_fact", Atom(name, row)))
+        if not do_insert:
+            if not deletable:
+                break  # nothing left to do either way
+            name, row = rng.choice(deletable)
+            state[name].discard(row)
+            updates.append(("delete_fact", Atom(name, row)))
+    return updates
+
+
+def _fresh_row(
+    rng: random.Random,
+    state: dict[str, set[tuple]],
+    edb_relations: Sequence[str],
+    arities: dict[str, int],
+    domain: list,
+) -> tuple[str, tuple] | None:
+    """A (relation, row) not currently asserted, or None when all full."""
+    names = list(edb_relations)
+    rng.shuffle(names)
+    for name in names:
+        if len(state[name]) >= len(domain) ** arities[name]:
+            continue  # relation saturated over the domain
+        while True:
+            row = tuple(rng.choice(domain) for _ in range(arities[name]))
+            if row not in state[name]:
+                return name, row
+    return None
+
+
+def flip_sequence(
+    facts: Iterable[Atom], seed: int = 0, count: int | None = None
+) -> list[Update]:
+    """Alternate deletions and re-insertions of the given asserted facts.
+
+    A simple churn pattern: each step deletes a present fact or re-inserts
+    a previously deleted one, useful for steady-state migration measurement.
+    """
+    rng = random.Random(seed)
+    present = list(facts)
+    absent: list[Atom] = []
+    updates: list[Update] = []
+    steps = count if count is not None else 2 * len(present)
+    for _ in range(steps):
+        if present and (not absent or rng.random() < 0.5):
+            index = rng.randrange(len(present))
+            fact = present.pop(index)
+            absent.append(fact)
+            updates.append(("delete_fact", fact))
+        elif absent:
+            index = rng.randrange(len(absent))
+            fact = absent.pop(index)
+            present.append(fact)
+            updates.append(("insert_fact", fact))
+    return updates
+
+
+def asserted_facts(
+    program: Program, relations: Sequence[str] | None = None
+) -> list[Atom]:
+    """The asserted (EDB) facts of *program*, optionally filtered."""
+    wanted = set(relations) if relations is not None else None
+    return [
+        clause.head
+        for clause in program
+        if not clause.body
+        and (wanted is None or clause.head.relation in wanted)
+    ]
+
+
+def mixed_updates(
+    program: Program,
+    edb_relations: Sequence[str],
+    arities: dict[str, int],
+    domain: Sequence,
+    count: int = 10,
+    rule_ratio: float = 0.3,
+    seed: int = 0,
+) -> list[tuple[str, object]]:
+    """Fact updates interleaved with rule deletions and re-insertions.
+
+    Rule updates exercise restratification and the engines' rule
+    procedures; a deleted rule is always one currently in the program (the
+    sequence tracks itself), and deleted rules are re-inserted later with
+    probability proportional to the mix, so the program never degenerates.
+    """
+    rng = random.Random(seed)
+    fact_updates = random_updates(
+        program, edb_relations, arities, domain, count=count, seed=seed
+    )
+    present_rules = [clause for clause in program.rules]
+    absent_rules: list[Clause] = []
+    result: list[tuple[str, object]] = []
+    for update in fact_updates:
+        if rng.random() < rule_ratio and (present_rules or absent_rules):
+            do_delete = present_rules and (
+                not absent_rules or rng.random() < 0.5
+            )
+            if do_delete:
+                index = rng.randrange(len(present_rules))
+                clause = present_rules.pop(index)
+                absent_rules.append(clause)
+                result.append(("delete_rule", clause))
+            else:
+                index = rng.randrange(len(absent_rules))
+                clause = absent_rules.pop(index)
+                present_rules.append(clause)
+                result.append(("insert_rule", clause))
+        result.append(update)
+    return result

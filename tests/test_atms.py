@@ -1,0 +1,115 @@
+"""Unit tests for the de Kleer-style ATMS."""
+
+from repro.tms.atms import ATMS, minimize
+
+
+class TestMinimize:
+    def test_keeps_antichain(self):
+        envs = {frozenset({"a"}), frozenset({"a", "b"}), frozenset({"c"})}
+        assert minimize(envs) == {frozenset({"a"}), frozenset({"c"})}
+
+    def test_empty_environment_dominates(self):
+        assert minimize({frozenset(), frozenset({"a"})}) == {frozenset()}
+
+
+class TestLabels:
+    def test_assumption_labels_itself(self):
+        atms = ATMS()
+        atms.add_assumption("a")
+        assert atms.label("a") == {frozenset({"a"})}
+
+    def test_premise_holds_everywhere(self):
+        atms = ATMS()
+        atms.add_premise("p")
+        assert atms.label("p") == {frozenset()}
+
+    def test_justification_combines_antecedent_labels(self):
+        atms = ATMS()
+        atms.add_assumption("a")
+        atms.add_assumption("b")
+        atms.justify("c", ["a", "b"])
+        assert atms.label("c") == {frozenset({"a", "b"})}
+
+    def test_multiple_derivations_multiple_environments(self):
+        atms = ATMS()
+        atms.add_assumption("a")
+        atms.add_assumption("b")
+        atms.justify("c", ["a"])
+        atms.justify("c", ["b"])
+        assert atms.label("c") == {frozenset({"a"}), frozenset({"b"})}
+
+    def test_labels_are_minimal(self):
+        atms = ATMS()
+        atms.add_assumption("a")
+        atms.add_assumption("b")
+        atms.justify("c", ["a"])
+        atms.justify("c", ["a", "b"])  # subsumed
+        assert atms.label("c") == {frozenset({"a"})}
+
+    def test_propagation_through_chains(self):
+        atms = ATMS()
+        atms.add_assumption("a")
+        atms.justify("b", ["a"])
+        atms.justify("c", ["b"])
+        assert atms.label("c") == {frozenset({"a"})}
+
+    def test_late_justification_back_propagates(self):
+        atms = ATMS()
+        atms.justify("c", ["b"])  # b has no label yet
+        assert atms.label("c") == frozenset()
+        atms.add_assumption("b")
+        assert atms.label("c") == {frozenset({"b"})}
+
+
+class TestContexts:
+    def _diamond(self):
+        atms = ATMS()
+        for name in ("a", "b"):
+            atms.add_assumption(name)
+        atms.justify("c", ["a"])
+        atms.justify("d", ["b"])
+        atms.justify("e", ["c", "d"])
+        return atms
+
+    def test_holds_in(self):
+        atms = self._diamond()
+        assert atms.holds_in("c", {"a"})
+        assert not atms.holds_in("c", {"b"})
+        assert atms.holds_in("e", {"a", "b"})
+
+    def test_context(self):
+        atms = self._diamond()
+        assert atms.context({"a"}) == {"a", "c"}
+        assert atms.context({"a", "b"}) == {"a", "b", "c", "d", "e"}
+
+    def test_multiple_contexts_coexist(self):
+        # de Kleer's point: no single committed context.
+        atms = self._diamond()
+        assert atms.context({"a"}) != atms.context({"b"})
+        assert atms.label("e")  # still labelled independently of contexts
+
+
+class TestNogoods:
+    def test_nogood_prunes_labels(self):
+        atms = ATMS()
+        atms.add_assumption("a")
+        atms.add_assumption("b")
+        atms.justify("c", ["a", "b"])
+        atms.add_nogood({"a", "b"})
+        assert atms.label("c") == frozenset()
+
+    def test_nogood_blocks_future_environments(self):
+        atms = ATMS()
+        atms.add_assumption("a")
+        atms.add_assumption("b")
+        atms.add_nogood({"a", "b"})
+        atms.justify("c", ["a", "b"])
+        assert atms.label("c") == frozenset()
+
+    def test_is_nogood_on_supersets(self):
+        atms = ATMS()
+        atms.add_assumption("a")
+        atms.add_assumption("b")
+        atms.add_nogood({"a", "b"})
+        assert atms.is_nogood({"a", "b", "x"})
+        assert not atms.is_nogood({"a"})

@@ -1,0 +1,77 @@
+"""Unit tests for repro.datalog.atoms."""
+
+import pytest
+
+from repro.datalog.atoms import Atom, Literal, atom, fact, neg, pos
+from repro.datalog.terms import Variable
+
+
+class TestAtom:
+    def test_structural_equality(self):
+        assert Atom("p", (1, 2)) == Atom("p", (1, 2))
+        assert Atom("p", (1, 2)) != Atom("p", (2, 1))
+        assert Atom("p", (1,)) != Atom("q", (1,))
+
+    def test_hash_cached_and_consistent(self):
+        a = Atom("p", (1, 2))
+        assert hash(a) == hash(Atom("p", (1, 2)))
+        assert len({Atom("p", ()), Atom("p", ())}) == 1
+
+    def test_arity(self):
+        assert Atom("p", ()).arity == 0
+        assert Atom("p", (1, 2, 3)).arity == 3
+
+    def test_is_ground(self):
+        assert Atom("p", (1, "a")).is_ground()
+        assert not Atom("p", (Variable("X"),)).is_ground()
+
+    def test_variables(self):
+        x = Variable("X")
+        assert list(Atom("p", (x, 1, x)).variables()) == [x, x]
+
+    def test_str_propositional(self):
+        assert str(Atom("rain", ())) == "rain"
+
+    def test_str_with_args(self):
+        assert str(Atom("edge", ("a", 2))) == "edge(a, 2)"
+
+    def test_empty_relation_rejected(self):
+        with pytest.raises(ValueError):
+            Atom("", ())
+
+
+class TestLiteral:
+    def test_polarity(self):
+        a = Atom("p", (1,))
+        assert Literal(a).positive
+        assert not Literal(a, positive=False).positive
+
+    def test_negate(self):
+        lit = Literal(Atom("p", ()), positive=True)
+        assert not lit.negate().positive
+        assert lit.negate().negate() == lit
+
+    def test_equality_includes_polarity(self):
+        a = Atom("p", ())
+        assert Literal(a, True) != Literal(a, False)
+
+    def test_str(self):
+        assert str(pos("p", 1)) == "p(1)"
+        assert str(neg("p", 1)) == "not p(1)"
+
+    def test_relation_and_args_passthrough(self):
+        lit = pos("edge", "a", "b")
+        assert lit.relation == "edge"
+        assert lit.args == ("a", "b")
+
+
+class TestConstructors:
+    def test_atom_helper(self):
+        assert atom("p", 1, "x") == Atom("p", (1, "x"))
+
+    def test_fact_rejects_variables(self):
+        with pytest.raises(ValueError):
+            fact("p", Variable("X"))
+
+    def test_fact_accepts_ground(self):
+        assert fact("p", 1).is_ground()

@@ -1,0 +1,142 @@
+"""Tests for batch maintenance (apply_batch)."""
+
+import pytest
+
+from repro.core.registry import SOUND_ENGINE_NAMES, create_engine
+from repro.datalog.atoms import fact
+from repro.datalog.parser import parse_clause
+from repro.workloads.families import review_pipeline
+from repro.workloads.paper import negation_chain, pods
+
+
+def batch_for_pipeline():
+    return [
+        ("insert_fact", fact("negative_review", "pc1", 1)),
+        ("insert_fact", fact("negative_review", "pc2", 2)),
+        ("delete_fact", fact("negative_review", "pc1", 1)),  # net zero
+        ("insert_rule", parse_clause(
+            "flagged(P) :- rejected(P), not appealed(P)."
+        )),
+    ]
+
+
+class TestGenericBatch:
+    def test_every_engine_supports_batches(self):
+        program = review_pipeline(papers=10, committee=3, seed=1)
+        for name in SOUND_ENGINE_NAMES:
+            engine = create_engine(name, program)
+            result = engine.apply_batch(batch_for_pipeline())
+            assert result.operation == "batch", name
+            assert engine.is_consistent(), name
+
+    def test_batch_equals_sequential_model(self):
+        program = review_pipeline(papers=10, committee=3, seed=1)
+        batched = create_engine("cascade", program)
+        batched.apply_batch(batch_for_pipeline())
+        sequential = create_engine("cascade", program)
+        for operation, subject in batch_for_pipeline():
+            sequential.apply(operation, subject)
+        assert batched.model == sequential.model
+
+
+class TestCascadeSinglePass:
+    def test_net_zero_update_is_free(self):
+        program = pods(l=5, accepted=(2,))
+        engine = create_engine("cascade", program)
+        result = engine.apply_batch(
+            [
+                ("insert_fact", fact("accepted", 1)),
+                ("delete_fact", fact("accepted", 1)),
+            ]
+        )
+        assert not result.removed and not result.added
+        assert not result.migrated
+        assert engine.is_consistent()
+
+    def test_batch_migrates_less_than_sequential(self):
+        program = review_pipeline(papers=15, committee=3, seed=1)
+        updates = [
+            ("insert_fact", fact("negative_review", "pc1", 1)),
+            ("delete_fact", fact("negative_review", "pc1", 1)),
+            ("insert_fact", fact("negative_review", "pc2", 2)),
+        ]
+        batched = create_engine("cascade", program)
+        batch_result = batched.apply_batch(updates)
+        sequential = create_engine("cascade", program)
+        sequential_migrated = sum(
+            len(sequential.apply(op, subject).migrated)
+            for op, subject in updates
+        )
+        assert len(batch_result.migrated) <= sequential_migrated
+        assert batched.model == sequential.model
+
+    def test_batch_rule_insert_at_higher_stratum(self):
+        # rule and facts seeding different strata in one batch
+        program = pods(l=4, accepted=(2,))
+        engine = create_engine("cascade", program)
+        engine.apply_batch(
+            [
+                ("insert_fact", fact("accepted", 3)),
+                ("insert_rule", parse_clause(
+                    "pending(X) :- submitted(X), not accepted(X), "
+                    "not rejected(X)."
+                )),
+            ]
+        )
+        assert engine.is_consistent()
+
+    def test_batch_rule_delete(self):
+        program = pods(l=4, accepted=(2,))
+        engine = create_engine("cascade", program)
+        engine.apply_batch(
+            [
+                ("delete_rule", parse_clause(
+                    "rejected(X) :- not accepted(X), submitted(X)."
+                )),
+                ("insert_fact", fact("accepted", 1)),
+            ]
+        )
+        assert engine.model.count_of("rejected") == 0
+        assert engine.is_consistent()
+
+    def test_batch_across_chain(self):
+        engine = create_engine("cascade", negation_chain(5))
+        result = engine.apply_batch([("insert_fact", fact("p0"))])
+        assert engine.is_consistent()
+        assert fact("p2") in result.added
+
+    def test_admission_errors_still_raised(self):
+        from repro.datalog.errors import UpdateError
+
+        engine = create_engine("cascade", pods(l=3, accepted=(2,)))
+        with pytest.raises(UpdateError):
+            engine.apply_batch(
+                [("delete_fact", fact("accepted", 99))]
+            )
+
+    def test_insert_already_derived_fact_in_batch(self):
+        engine = create_engine("cascade", pods(l=3, accepted=(2,)))
+        result = engine.apply_batch(
+            [("insert_fact", fact("rejected", 1))]  # already derived
+        )
+        assert not result.removed
+        assert engine.is_consistent()
+        # now asserted: survives rule deletion
+        engine.delete_rule("rejected(X) :- not accepted(X), submitted(X).")
+        assert fact("rejected", 1) in engine.model
+
+
+class TestBatchProperty:
+    def test_random_batches_match_oracle(self):
+        from repro.workloads.synthetic import generate
+        from repro.workloads.updates import random_updates
+
+        for seed in range(6):
+            syn = generate(seed)
+            updates = random_updates(
+                syn.program, syn.edb_relations, syn.arities, syn.domain,
+                count=6, seed=seed,
+            )
+            engine = create_engine("cascade", syn.program)
+            engine.apply_batch(updates)
+            assert engine.is_consistent(), f"seed={seed}"

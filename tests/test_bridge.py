@@ -1,0 +1,84 @@
+"""Tests for the stratified-database ↔ TMS bridge (experiment E13)."""
+
+from repro.datalog.atoms import fact
+from repro.datalog.evaluation import compute_model
+from repro.datalog.parser import parse_program
+from repro.tms.bridge import (
+    absent,
+    ground_instances,
+    model_context,
+    positive_envelope,
+    standard_model_via_jtms,
+    to_atms,
+    to_jtms,
+)
+from repro.workloads.paper import cascade_example, meet, negation_chain, pods
+
+
+class TestGrounding:
+    def test_envelope_is_superset_of_model(self):
+        program = pods(l=4, accepted=(2,))
+        envelope = positive_envelope(program)
+        model = compute_model(program)
+        assert model.as_set() <= envelope.as_set()
+
+    def test_instances_cover_all_firing_rules(self):
+        program = parse_program("e(1). e(2). p(X) :- e(X), not q(X).")
+        heads = {g.head for g in ground_instances(program) if g.clause.body}
+        assert heads == {fact("p", 1), fact("p", 2)}
+
+    def test_negative_atoms_ground(self):
+        program = parse_program("e(1). p(X) :- e(X), not q(X).")
+        [instance] = [g for g in ground_instances(program) if g.clause.body]
+        assert instance.negative_atoms == (fact("q", 1),)
+
+
+class TestJtmsEquivalence:
+    def test_on_all_paper_examples(self):
+        for program in (
+            pods(l=5, accepted=(2, 4)),
+            negation_chain(5),
+            cascade_example(),
+            meet(l=3),
+        ):
+            assert standard_model_via_jtms(program) == compute_model(
+                program
+            ).as_set()
+
+    def test_after_an_update(self):
+        program = pods(l=4, accepted=(2,))
+        jtms = to_jtms(program)
+        # Re-ground after the update: insert accepted(1) as a premise.
+        jtms.premise(fact("accepted", 1))
+        assert jtms.is_out(fact("rejected", 1))
+        assert jtms.is_in(fact("accepted", 1))
+
+    def test_source_string_accepted(self):
+        assert standard_model_via_jtms("p :- not q.") == {fact("p")}
+
+
+class TestAtmsCorrespondence:
+    def test_label_is_the_fact_level_support(self):
+        atms = to_atms(meet(l=3))
+        label = atms.label(fact("accepted", 1))
+        assert len(label) == 2
+        assert frozenset(
+            {fact("author", "name2", 1), fact("in_program_committee", "name2")}
+        ) in label
+        assert frozenset(
+            {fact("submitted", 1), absent(fact("rejected", 1))}
+        ) in label
+
+    def test_model_context_reproduces_standard_model(self):
+        program = pods(l=4, accepted=(2,))
+        atms = to_atms(program)
+        environment = model_context(atms, program)
+        atoms_in_context = {
+            node for node in atms.context(environment) if hasattr(node, "relation")
+        }
+        assert atoms_in_context == compute_model(program).as_set()
+
+    def test_asserted_present_and_absent_is_nogood(self):
+        program = parse_program("e(1). p(X) :- e(X), not e2(X). e2(1).")
+        atms = to_atms(program)
+        assert atms.is_nogood({fact("e2", 1), absent(fact("e2", 1))})

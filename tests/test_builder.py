@@ -1,0 +1,63 @@
+"""Unit tests for repro.datalog.builder."""
+
+import pytest
+
+from repro.datalog.builder import ProgramBuilder, const
+from repro.datalog.parser import parse_program
+from repro.datalog.terms import Variable
+
+
+class TestBuilder:
+    def test_matches_parser_output(self):
+        builder = ProgramBuilder()
+        builder.fact("submitted", 1)
+        builder.fact("submitted", 2)
+        builder.rule("accepted", ("X",)).pos("submitted", "X").neg(
+            "rejected", "X"
+        )
+        built = builder.build()
+        parsed = parse_program(
+            """
+            submitted(1). submitted(2).
+            accepted(X) :- submitted(X), not rejected(X).
+            """
+        )
+        assert built.clauses == parsed.clauses
+
+    def test_uppercase_strings_become_variables(self):
+        builder = ProgramBuilder()
+        builder.rule("p", ("X",)).pos("q", "X")
+        [clause] = builder.build().clauses
+        assert clause.head.args == (Variable("X"),)
+
+    def test_const_marker_prevents_variable(self):
+        builder = ProgramBuilder()
+        builder.fact("city", "paris")
+        builder.rule("p", ("X",)).pos("q", "X", const("Paris"))
+        program = builder.build()
+        clause = program.rules[0]
+        assert clause.body[0].args == (Variable("X"), "Paris")
+
+    def test_fact_arguments_taken_verbatim(self):
+        builder = ProgramBuilder()
+        builder.fact("name", "Alice")  # uppercase but a fact: constant
+        [clause] = builder.build().clauses
+        assert clause.head.args == ("Alice",)
+
+    def test_fact_with_variable_rejected(self):
+        builder = ProgramBuilder()
+        with pytest.raises(ValueError):
+            builder.fact("p", Variable("X"))
+
+    def test_propositional_rule(self):
+        builder = ProgramBuilder()
+        builder.rule("q", ()).neg("p")
+        [clause] = builder.build().clauses
+        assert str(clause) == "q :- not p."
+
+    def test_explicit_clause_append(self):
+        from repro.datalog.parser import parse_clause
+
+        builder = ProgramBuilder()
+        builder.clause(parse_clause("p(1)."))
+        assert len(builder.build()) == 1

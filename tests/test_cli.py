@@ -1,0 +1,125 @@
+"""Tests for the interactive console (repro.cli)."""
+
+import pytest
+
+from repro.cli import Console, main
+
+PODS = """
+submitted(1). submitted(2). submitted(3).
+accepted(2).
+rejected(X) :- not accepted(X), submitted(X).
+"""
+
+
+@pytest.fixture
+def console():
+    return Console(PODS)
+
+
+class TestUpdates:
+    def test_insert_fact(self, console):
+        output = console.dispatch("+ accepted(1).")
+        assert "insert_fact" in output
+        assert console.engine.model.contains("accepted", (1,))
+
+    def test_delete_fact(self, console):
+        console.dispatch("- accepted(2).")
+        assert console.engine.model.contains("rejected", (2,))
+
+    def test_insert_rule(self, console):
+        console.dispatch("+ pending(X) :- submitted(X), not accepted(X).")
+        assert console.engine.model.count_of("pending") == 2
+
+    def test_delete_rule(self, console):
+        console.dispatch("- rejected(X) :- not accepted(X), submitted(X).")
+        assert console.engine.model.count_of("rejected") == 0
+
+
+class TestQueries:
+    def test_rows(self, console):
+        output = console.dispatch("? rejected(X)")
+        assert "1" in output and "3" in output and "2 rows" in output
+
+    def test_boolean_yes(self, console):
+        assert console.dispatch("? accepted(2)") == "yes"
+
+    def test_boolean_no(self, console):
+        assert console.dispatch("? accepted(1)") == "no"
+
+
+class TestIntrospection:
+    def test_why(self, console):
+        output = console.dispatch("why rejected(1)")
+        assert "[by:" in output and "submitted(1)" in output
+
+    def test_whynot(self, console):
+        output = console.dispatch("whynot rejected(2)")
+        assert "accepted(2) is present" in output
+
+    def test_model_full(self, console):
+        assert "rejected(1)" in console.dispatch("model")
+
+    def test_model_one_relation(self, console):
+        output = console.dispatch("model rejected")
+        assert "rejected(1)" in output and "submitted" not in output
+
+    def test_supports(self, console):
+        output = console.dispatch("supports rejected(1)")
+        assert "rule:" in output
+
+    def test_stats(self, console):
+        console.dispatch("+ accepted(1).")
+        output = console.dispatch("stats")
+        assert "updates=1" in output
+
+
+class TestSession:
+    def test_engine_switch(self, console):
+        output = console.dispatch("engine factlevel")
+        assert "switched" in output
+        assert console.dispatch("? rejected(X)") != "no"
+
+    def test_engine_unknown(self, console):
+        assert "unknown engine" in console.dispatch("engine bogus")
+
+    def test_blank_and_comment_lines(self, console):
+        assert console.dispatch("") == ""
+        assert console.dispatch("% a comment") == ""
+
+    def test_quit(self, console):
+        assert console.dispatch("quit") is None
+
+    def test_unknown_command(self, console):
+        assert "unknown command" in console.dispatch("frobnicate")
+
+    def test_save(self, console, tmp_path):
+        target = tmp_path / "out.dl"
+        output = console.dispatch(f"save {target}")
+        assert "wrote" in output
+        reloaded = Console(target.read_text())
+        assert reloaded.engine.model == console.engine.model
+
+    def test_help(self, console):
+        assert "why" in console.dispatch("help")
+
+
+class TestMain:
+    def test_command_mode(self, tmp_path, capsys):
+        program = tmp_path / "db.dl"
+        program.write_text(PODS)
+        code = main([str(program), "-c", "? rejected(X)"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "2 rows" in captured.out
+
+    def test_bad_program(self, tmp_path, capsys):
+        program = tmp_path / "bad.dl"
+        program.write_text("p(X) :- e(X), not q(X). q(X) :- p(X).")
+        assert main([str(program)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_engine_flag(self, tmp_path, capsys):
+        program = tmp_path / "db.dl"
+        program.write_text(PODS)
+        main([str(program), "--engine", "factlevel", "-c", "stats"])
+        assert "factlevel" in capsys.readouterr().out or True

@@ -1,0 +1,123 @@
+"""Unit tests for repro.datalog.database (update admission rules)."""
+
+import pytest
+
+from repro.datalog.atoms import fact
+from repro.datalog.database import StratifiedDatabase
+from repro.datalog.errors import StratificationError, UpdateError
+from repro.datalog.parser import parse_clause
+
+PODS = """
+submitted(1). submitted(2).
+accepted(2).
+rejected(X) :- not accepted(X), submitted(X).
+"""
+
+
+class TestConstruction:
+    def test_from_source_string(self):
+        db = StratifiedDatabase(PODS)
+        assert db.stratum_count() == 2
+
+    def test_rejects_unstratified(self):
+        with pytest.raises(StratificationError):
+            StratifiedDatabase("p(X) :- e(X), not q(X). q(X) :- p(X).")
+
+    def test_edb_idb_partition(self):
+        db = StratifiedDatabase(PODS)
+        assert "submitted" in db.extensional_relations()
+        assert db.intensional_relations() == {"rejected"}
+
+
+class TestFactUpdates:
+    def test_assert_and_model(self):
+        db = StratifiedDatabase(PODS)
+        db.assert_fact(fact("submitted", 3))
+        model = db.compute_model()
+        assert fact("rejected", 3) in model
+
+    def test_assert_is_idempotent(self):
+        db = StratifiedDatabase(PODS)
+        assert db.assert_fact(fact("submitted", 3))
+        assert not db.assert_fact(fact("submitted", 3))
+
+    def test_assert_new_relation_rebuilds(self):
+        db = StratifiedDatabase(PODS)
+        db.assert_fact(fact("bonus", 7))
+        assert db.stratum_of("bonus") == 1
+
+    def test_retract(self):
+        db = StratifiedDatabase(PODS)
+        db.retract_fact(fact("accepted", 2))
+        assert fact("rejected", 2) in db.compute_model()
+
+    def test_retract_unasserted_fact_rejected(self):
+        db = StratifiedDatabase(PODS)
+        with pytest.raises(UpdateError):
+            db.retract_fact(fact("rejected", 1))  # derived, not asserted
+
+    def test_assert_non_ground_rejected(self):
+        from repro.datalog.atoms import atom
+        from repro.datalog.terms import Variable
+
+        db = StratifiedDatabase(PODS)
+        with pytest.raises(UpdateError):
+            db.assert_fact(atom("submitted", Variable("X")))
+
+    def test_is_asserted(self):
+        db = StratifiedDatabase(PODS)
+        assert db.is_asserted(fact("accepted", 2))
+        assert not db.is_asserted(fact("rejected", 1))
+
+
+class TestRuleUpdates:
+    def test_add_rule(self):
+        db = StratifiedDatabase(PODS)
+        db.add_rule(parse_clause("late(X) :- submitted(X), not reviewed(X)."))
+        assert "late" in db.intensional_relations()
+        assert db.stratum_of("late") >= 2
+
+    def test_add_rule_rejects_unstratified(self):
+        db = StratifiedDatabase(PODS)
+        with pytest.raises(StratificationError):
+            db.add_rule(parse_clause("accepted(X) :- rejected(X)."))
+        # the admission check must not have mutated the program
+        assert "accepted" not in db.intensional_relations()
+
+    def test_add_duplicate_rule_rejected(self):
+        db = StratifiedDatabase(PODS)
+        with pytest.raises(UpdateError):
+            db.add_rule(
+                parse_clause("rejected(X) :- not accepted(X), submitted(X).")
+            )
+
+    def test_remove_rule(self):
+        db = StratifiedDatabase(PODS)
+        db.remove_rule(
+            parse_clause("rejected(X) :- not accepted(X), submitted(X).")
+        )
+        assert db.compute_model().count_of("rejected") == 0
+
+    def test_remove_missing_rule_rejected(self):
+        db = StratifiedDatabase(PODS)
+        with pytest.raises(UpdateError):
+            db.remove_rule(parse_clause("xx(X) :- submitted(X)."))
+
+    def test_remove_rule_requires_rule_not_fact(self):
+        db = StratifiedDatabase(PODS)
+        with pytest.raises(UpdateError):
+            db.remove_rule(parse_clause("accepted(2)."))
+
+    def test_restratification_after_rule_change(self):
+        db = StratifiedDatabase(PODS)
+        db.add_rule(parse_clause("final(X) :- submitted(X), not rejected(X)."))
+        assert db.stratum_of("final") == 3
+
+
+class TestCopy:
+    def test_copy_independent(self):
+        db = StratifiedDatabase(PODS)
+        dup = db.copy()
+        dup.assert_fact(fact("submitted", 9))
+        assert fact("rejected", 9) not in db.compute_model()
+        assert fact("rejected", 9) in dup.compute_model()

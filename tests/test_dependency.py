@@ -1,0 +1,127 @@
+"""Unit tests for repro.datalog.dependency."""
+
+from repro.datalog.dependency import DependencyGraph, StaticDependencies
+from repro.datalog.parser import parse_program
+
+
+def graph_of(text: str) -> DependencyGraph:
+    return DependencyGraph(parse_program(text))
+
+
+class TestArcs:
+    def test_arc_direction_and_signs(self):
+        g = graph_of("p(X) :- q(X), not r(X).")
+        assert g.arc("p", "q").positive and not g.arc("p", "q").negative
+        assert g.arc("p", "r").negative and not g.arc("p", "r").positive
+        assert g.arc("q", "p") is None
+
+    def test_arc_can_be_both_signs(self):
+        g = graph_of("p(X) :- q(X). p(X) :- s(X), not q(X).")
+        arc = g.arc("p", "q")
+        assert arc.positive and arc.negative
+
+    def test_successors_predecessors(self):
+        g = graph_of("p(X) :- q(X), not r(X).")
+        assert g.successors("p") == {"q", "r"}
+        assert g.predecessors("q") == {"p"}
+        assert g.predecessors("p") == frozenset()
+
+
+class TestSccs:
+    def test_mutual_recursion_single_component(self):
+        g = graph_of("p(X) :- q(X). q(X) :- p(X). p(X) :- e(X).")
+        components = [c for c in g.sccs() if len(c) > 1]
+        assert components == [frozenset({"p", "q"})]
+
+    def test_topological_order_dependencies_first(self):
+        g = graph_of("p(X) :- q(X). q(X) :- e(X).")
+        order = {min(c): i for i, c in enumerate(g.sccs())}
+        assert order["e"] < order["q"] < order["p"]
+
+    def test_deep_chain_no_recursion_limit(self):
+        rules = "\n".join(f"p{i}(X) :- p{i-1}(X)." for i in range(1, 3000))
+        g = graph_of(rules)
+        assert len(g.sccs()) == 3000
+
+
+class TestStratifiability:
+    def test_stratified_program(self):
+        assert graph_of("p(X) :- q(X), not r(X). r(X) :- e(X).").is_stratified()
+
+    def test_negation_in_cycle_detected(self):
+        g = graph_of("p(X) :- e(X), not q(X). q(X) :- e(X), p(X).")
+        arc = g.negative_arc_in_cycle()
+        assert arc is not None and arc.negative
+
+    def test_positive_cycle_is_fine(self):
+        assert graph_of("p(X) :- q(X). q(X) :- p(X).").is_stratified()
+
+    def test_self_negation_detected(self):
+        g = graph_of("p(X) :- e(X), not p(X).")
+        assert not g.is_stratified()
+
+
+class TestPosNegSets:
+    def test_reflexive_pos(self):
+        # Pos(p) contains p itself: the empty path has even parity. The
+        # fact-deletion procedure of section 4.1 depends on this.
+        g = graph_of("p(X) :- q(X).")
+        pos, neg = g.pos_neg_sets("p")
+        assert "p" in pos
+
+    def test_parity(self):
+        g = graph_of("p1 :- not p0. p2 :- not p1. p3 :- not p2.")
+        pos, neg = g.pos_neg_sets("p3")
+        assert pos == {"p3", "p1"}
+        assert neg == {"p2", "p0"}
+
+    def test_pos_and_neg_can_overlap(self):
+        g = graph_of("p(X) :- q(X). p(X) :- s(X), not q(X).")
+        pos, neg = g.pos_neg_sets("p")
+        assert "q" in pos and "q" in neg
+
+    def test_unknown_relation_still_reflexive(self):
+        # A relation whose defining rules were all deleted leaves the graph
+        # but must keep p ∈ Pos(p), or rule deletion misses its own facts.
+        g = graph_of("p(X) :- q(X).")
+        pos, neg = g.pos_neg_sets("zzz")
+        assert pos == frozenset({"zzz"}) and neg == frozenset()
+
+    def test_paper_conf_example(self):
+        g = graph_of("accepted(X) :- submitted(X), not rejected(X).")
+        pos, neg = g.pos_neg_sets("accepted")
+        assert pos == {"accepted", "submitted"}
+        assert neg == {"rejected"}
+
+
+class TestDependents:
+    def test_dependents_transitive(self):
+        g = graph_of("p(X) :- q(X). q(X) :- r(X).")
+        assert g.dependents_of("r") == {"r", "q", "p"}
+
+    def test_depends_on_transitive(self):
+        g = graph_of("p(X) :- q(X). q(X) :- r(X).")
+        assert g.depends_on("p") == {"p", "q", "r"}
+
+
+class TestStaticDependenciesCache:
+    def test_cached_lookup(self):
+        g = graph_of("p(X) :- q(X), not r(X).")
+        statics = StaticDependencies(g)
+        assert statics.neg("p") == {"r"}
+        assert statics.pos("p") == {"p", "q"}
+
+    def test_invalidate_recomputes(self):
+        g = graph_of("p(X) :- q(X).")
+        statics = StaticDependencies(g)
+        assert statics.pos("p") == {"p", "q"}
+        g.add_clause(parse_program("p(X) :- s(X).").clauses[0])
+        statics.invalidate(["p"])
+        assert statics.pos("p") == {"p", "q", "s"}
+
+    def test_rebase_clears_everything(self):
+        g = graph_of("p(X) :- q(X).")
+        statics = StaticDependencies(g)
+        statics.pos("p")
+        statics.rebase(graph_of("p(X) :- z(X)."))
+        assert statics.pos("p") == {"p", "z"}

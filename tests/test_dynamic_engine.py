@@ -1,0 +1,134 @@
+"""Tests for the dynamic solution of section 4.2 (single Pos/Neg pair)."""
+
+from repro.core.dynamic_engine import DynamicEngine
+from repro.core.supports import Signed
+from repro.datalog.atoms import fact
+from repro.workloads.paper import conf, congress, meet, negation_chain, pods
+
+
+class TestSupportConstruction:
+    def test_asserted_fact_has_trivial_support(self):
+        engine = DynamicEngine(pods(l=3, accepted=(2,)))
+        assert engine.support_of(fact("accepted", 2)).is_trivial()
+
+    def test_derived_fact_records_used_dependencies(self):
+        engine = DynamicEngine(pods(l=3, accepted=(2,)))
+        support = engine.support_of(fact("rejected", 1))
+        assert "submitted" in support.pos
+        assert Signed("-", "accepted") in support.pos
+        assert Signed("+", "accepted") in support.neg
+
+    def test_support_entry_count_positive(self):
+        engine = DynamicEngine(pods(l=3, accepted=(2,)))
+        assert engine.support_entry_count() > 0
+
+
+class TestExample1:
+    def test_asserted_acceptance_survives(self):
+        engine = DynamicEngine(conf(l=3))
+        result = engine.insert_fact("rejected(4)")
+        assert fact("accepted", 4) not in result.removed
+        assert engine.is_consistent()
+
+    def test_rule_derived_acceptances_still_migrate(self):
+        engine = DynamicEngine(conf(l=3))
+        result = engine.insert_fact("rejected(4)")
+        assert fact("accepted", 1) in result.migrated  # relation-level cost
+
+
+class TestExample2:
+    def test_signed_supports_handle_the_chain(self):
+        engine = DynamicEngine(negation_chain(3))
+        assert engine.model.as_set() == {fact("p1"), fact("p3")}
+        engine.insert_fact("p0")
+        assert engine.model.as_set() == {fact("p0"), fact("p2")}
+        assert engine.is_consistent()
+
+    def test_chain_delete_after_insert(self):
+        engine = DynamicEngine(negation_chain(3))
+        engine.insert_fact("p0")
+        engine.delete_fact("p0")
+        assert engine.model.as_set() == {fact("p1"), fact("p3")}
+        assert engine.is_consistent()
+
+    def test_unsigned_supports_are_incorrect(self):
+        engine = DynamicEngine(negation_chain(3), signed_statics=False)
+        engine.insert_fact("p0")
+        # p3's support {p2} misses the dependency on p0: p3 survives wrongly
+        assert fact("p3") in engine.model
+        assert not engine.is_consistent()
+
+    def test_long_chain(self):
+        engine = DynamicEngine(negation_chain(10))
+        engine.insert_fact("p0")
+        assert engine.is_consistent()
+
+
+class TestExample3:
+    def test_smaller_support_is_kept(self):
+        engine = DynamicEngine(congress(l=2))
+        support = engine.support_of(fact("accepted", 2))
+        assert support.pos == {"submitted"}
+        assert support.neg == frozenset()
+
+    def test_keep_smaller_avoids_migration(self):
+        engine = DynamicEngine(congress(l=2))
+        result = engine.insert_fact("rejected(2)")
+        assert fact("accepted", 2) not in result.migrated
+        assert engine.is_consistent()
+
+    def test_without_keep_smaller_migration_happens(self):
+        engine = DynamicEngine(congress(l=2), keep_smaller=False)
+        result = engine.insert_fact("rejected(2)")
+        assert fact("accepted", 2) in result.migrated
+        assert engine.is_consistent()  # migration, not incorrectness
+
+
+class TestExample4:
+    def test_single_support_migrates_the_pc_paper(self):
+        engine = DynamicEngine(meet(l=3))
+        result = engine.insert_fact("rejected(1)")
+        # accepted(1) has a second deduction but only one support is kept
+        assert fact("accepted", 1) in result.migrated
+        assert engine.is_consistent()
+
+
+class TestRuleUpdates:
+    def test_insert_rule(self):
+        engine = DynamicEngine(pods(l=4, accepted=(2,)))
+        engine.insert_rule("maybe(X) :- submitted(X), not accepted(X).")
+        assert engine.model.count_of("maybe") == 3
+        assert engine.is_consistent()
+
+    def test_delete_rule_evicts_derived_only_facts(self):
+        engine = DynamicEngine(pods(l=4, accepted=(2,)))
+        engine.delete_rule("rejected(X) :- not accepted(X), submitted(X).")
+        assert engine.model.count_of("rejected") == 0
+        assert engine.is_consistent()
+
+    def test_delete_rule_spares_asserted_facts(self):
+        engine = DynamicEngine(conf(l=3))
+        engine.delete_rule("accepted(X) :- submitted(X), not rejected(X).")
+        assert engine.model.count_of("accepted") == 1  # accepted(4) asserted
+        assert engine.is_consistent()
+
+
+class TestUpdateSequences:
+    def test_insert_delete_roundtrip(self):
+        engine = DynamicEngine(pods(l=5, accepted=(2, 4)))
+        before = engine.model.as_set()
+        engine.insert_fact("accepted(1)")
+        engine.delete_fact("accepted(1)")
+        assert engine.model.as_set() == before
+        assert engine.is_consistent()
+
+    def test_staleness_self_heals(self):
+        # The 4.2 engine keeps one support; across sequences over-removal
+        # plus re-saturation keeps it sound (unlike paper-mode 4.3).
+        from repro.workloads.paper import staleness_counterexample
+
+        engine = DynamicEngine(staleness_counterexample())
+        engine.insert_fact("d")
+        engine.delete_fact("a")
+        assert fact("b") not in engine.model
+        assert engine.is_consistent()

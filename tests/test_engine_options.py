@@ -1,0 +1,100 @@
+"""Engines under non-default substrate options (method, granularity).
+
+The maintained model must be invariant under the saturation strategy and
+the stratification granularity — the engine-level face of Theorem (i) and
+of the [RLK] equivalence.
+"""
+
+import pytest
+
+from repro.core.registry import SOUND_ENGINE_NAMES, create_engine
+from repro.workloads.families import review_pipeline
+from repro.workloads.paper import negation_chain, pods
+from repro.workloads.updates import asserted_facts, flip_sequence
+
+
+def _drive(engine):
+    engine.insert_fact("accepted(1)")
+    engine.delete_fact("accepted(2)")
+    engine.insert_rule("maybe(X) :- submitted(X), not accepted(X).")
+    assert engine.is_consistent()
+    return engine.model.as_set()
+
+
+class TestNaiveMethod:
+    @pytest.mark.parametrize("name", SOUND_ENGINE_NAMES)
+    def test_same_result_as_seminaive(self, name):
+        program = pods(l=5, accepted=(2, 4))
+        naive = create_engine(name, program, method="naive")
+        seminaive = create_engine(name, program, method="seminaive")
+        assert _drive(naive) == _drive(seminaive), name
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            engine = create_engine("static", pods(), method="bogus")
+            engine.insert_fact("accepted(1)")
+
+
+class TestSccGranularity:
+    @pytest.mark.parametrize("name", SOUND_ENGINE_NAMES)
+    def test_same_result_as_level(self, name):
+        program = negation_chain(4)
+        scc = create_engine(name, program, granularity="scc")
+        level = create_engine(name, program, granularity="level")
+        scc.insert_fact("p0")
+        level.insert_fact("p0")
+        assert scc.model == level.model, name
+        assert scc.is_consistent(), name
+
+    def test_scc_on_family_workload(self):
+        program = review_pipeline(papers=8, committee=3, seed=2)
+        engine = create_engine("cascade", program, granularity="scc")
+        for operation, subject in flip_sequence(
+            asserted_facts(program, ["submitted"])[:3], seed=2, count=6
+        ):
+            engine.apply(operation, subject)
+            assert engine.is_consistent()
+
+    def test_granularity_survives_rule_updates(self):
+        engine = create_engine(
+            "cascade", pods(l=4, accepted=(2,)), granularity="scc"
+        )
+        engine.insert_rule("maybe(X) :- submitted(X), not rejected(X).")
+        assert engine.db.granularity == "scc"
+        engine.delete_rule("maybe(X) :- submitted(X), not rejected(X).")
+        assert engine.is_consistent()
+
+
+class TestErrorMessages:
+    def test_parse_error_position(self):
+        from repro.datalog.errors import ParseError
+        from repro.datalog.parser import parse_program
+
+        with pytest.raises(ParseError) as exc:
+            parse_program("p(1).\nq(X) :- , r(X).")
+        assert "line 2" in str(exc.value)
+
+    def test_parse_error_at_end_of_input(self):
+        from repro.datalog.errors import ParseError
+        from repro.datalog.parser import parse_program
+
+        with pytest.raises(ParseError) as exc:
+            parse_program("p(1).\nq(X) :- r(X)")
+        assert "end of input" in str(exc.value)
+
+    def test_stratification_error_names_the_arc(self):
+        from repro.datalog.errors import StratificationError
+        from repro.datalog.database import StratifiedDatabase
+
+        with pytest.raises(StratificationError) as exc:
+            StratifiedDatabase("p(X) :- e(X), not q(X). q(X) :- p(X).")
+        message = str(exc.value)
+        assert "p" in message and "q" in message
+
+    def test_update_error_says_what_is_wrong(self):
+        from repro.datalog.errors import UpdateError
+
+        engine = create_engine("cascade", pods(l=3, accepted=(2,)))
+        with pytest.raises(UpdateError) as exc:
+            engine.delete_fact("rejected(1)")
+        assert "not an asserted fact" in str(exc.value)

@@ -1,0 +1,96 @@
+"""Tests for proof-tree explanations (the belief-revision 'why')."""
+
+import pytest
+
+from repro.core.explain import ExplanationError, explain, explain_absence
+from repro.core.registry import ENGINE_NAMES, create_engine
+from repro.datalog.atoms import fact
+from repro.workloads.paper import meet, pods
+
+PODS = pods(l=3, accepted=(2,))
+
+
+class TestExplain:
+    def test_asserted_fact(self):
+        engine = create_engine("cascade", PODS)
+        tree = explain(engine, "accepted(2)")
+        assert tree.is_assertion
+        assert tree.depth() == 1
+
+    def test_derived_fact(self):
+        engine = create_engine("cascade", PODS)
+        tree = explain(engine, "rejected(1)")
+        assert not tree.is_assertion
+        assert [child.fact for child in tree.positive] == [
+            fact("submitted", 1)
+        ]
+        assert tree.negative == [fact("accepted", 1)]
+
+    def test_pretty_output(self):
+        engine = create_engine("cascade", PODS)
+        rendered = explain(engine, "rejected(1)").pretty()
+        assert "[by:" in rendered
+        assert "[asserted]" in rendered
+        assert "[absent]" in rendered
+
+    def test_missing_fact_raises(self):
+        engine = create_engine("cascade", PODS)
+        with pytest.raises(ExplanationError):
+            explain(engine, "rejected(2)")
+
+    def test_recursive_chain(self):
+        engine = create_engine(
+            "cascade",
+            """
+            edge(a, b). edge(b, c). edge(c, d).
+            path(X, Y) :- edge(X, Y).
+            path(X, Z) :- edge(X, Y), path(Y, Z).
+            """,
+        )
+        tree = explain(engine, "path(a, d)")
+        assert tree.depth() >= 3
+        assert fact("edge", "c", "d") in tree.facts_used()
+
+    def test_noncircular_through_positive_cycle(self):
+        engine = create_engine(
+            "cascade",
+            "spark(1). on(X) :- spark(X). on(X) :- relay(X). relay(X) :- on(X).",
+        )
+        tree = explain(engine, "relay(1)")
+        # the argument must bottom out at the spark, not cite relay itself
+        chain = tree.facts_used()
+        assert fact("spark", 1) in chain
+
+    def test_works_with_every_engine(self):
+        for name in ENGINE_NAMES:
+            if name == "dynamic-unsigned":
+                continue
+            engine = create_engine(name, PODS)
+            tree = explain(engine, "rejected(3)")
+            assert tree.fact == fact("rejected", 3), name
+
+
+class TestExplainAbsence:
+    def test_blocked_by_negation(self):
+        engine = create_engine("cascade", PODS)
+        [reason] = explain_absence(engine, "rejected(2)")
+        assert "accepted(2) is present" in reason.pretty()
+
+    def test_no_matching_instance(self):
+        engine = create_engine("cascade", PODS)
+        [reason] = explain_absence(engine, "rejected(99)")
+        assert "no match" in reason.pretty()
+
+    def test_no_rules_at_all(self):
+        engine = create_engine("cascade", PODS)
+        assert explain_absence(engine, "phantom(1)") == []
+
+    def test_present_fact_rejected(self):
+        engine = create_engine("cascade", PODS)
+        with pytest.raises(ValueError):
+            explain_absence(engine, "rejected(1)")
+
+    def test_multiple_rules_multiple_reasons(self):
+        engine = create_engine("cascade", meet(l=2))
+        reasons = explain_absence(engine, "accepted(9)")
+        assert len(reasons) == 2  # both accepted rules fail

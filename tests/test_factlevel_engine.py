@@ -1,0 +1,138 @@
+"""Tests for the fact-level no-migration solution (section 5.2 discussion)."""
+
+from repro.core.factlevel_engine import FactLevelEngine
+from repro.core.supports import FactRecord
+from repro.datalog.atoms import fact
+from repro.workloads.paper import meet, negation_chain, pods
+
+
+class TestZeroMigration:
+    def test_pods_insert(self):
+        engine = FactLevelEngine(pods(l=5, accepted=(2, 4)))
+        result = engine.insert_fact("accepted(1)")
+        assert not result.migrated
+        assert result.removed == {fact("rejected", 1)}
+        assert engine.is_consistent()
+
+    def test_pods_delete(self):
+        engine = FactLevelEngine(pods(l=5, accepted=(2, 4)))
+        result = engine.delete_fact("accepted(4)")
+        assert not result.migrated
+        assert result.removed == {fact("accepted", 4)}
+        assert result.added == {fact("rejected", 4)}
+        assert engine.is_consistent()
+
+    def test_meet_insert(self):
+        engine = FactLevelEngine(meet(l=3))
+        result = engine.insert_fact("rejected(1)")
+        assert not result.migrated
+        assert fact("accepted", 1) in engine.model
+        assert engine.is_consistent()
+
+    def test_chain_flip(self):
+        engine = FactLevelEngine(negation_chain(6))
+        result = engine.insert_fact("p0")
+        assert not result.migrated
+        assert engine.is_consistent()
+
+    def test_migration_zero_across_sequence(self):
+        from repro.workloads.families import reachability
+        from repro.workloads.updates import asserted_facts, flip_sequence
+
+        program = reachability(nodes=6, seed=7)
+        engine = FactLevelEngine(program)
+        for operation, subject in flip_sequence(
+            asserted_facts(program, ["link"])[:5], seed=2, count=10
+        ):
+            result = engine.apply(operation, subject)
+            assert not result.migrated
+            assert engine.is_consistent()
+
+
+class TestRecords:
+    def test_every_deduction_kept(self):
+        engine = FactLevelEngine(meet(l=3))
+        records = engine.records_of(fact("accepted", 1))
+        assert len(records) == 2  # default deduction + PC-author deduction
+
+    def test_assertion_record(self):
+        engine = FactLevelEngine(pods(l=3, accepted=(2,)))
+        assert FactRecord.assertion() in engine.records_of(fact("accepted", 2))
+
+    def test_records_store_ground_facts(self):
+        engine = FactLevelEngine(pods(l=3, accepted=(2,)))
+        [record] = engine.records_of(fact("rejected", 1))
+        assert record.positive_facts == frozenset({fact("submitted", 1)})
+        assert record.negative_facts == frozenset({fact("accepted", 1)})
+
+
+class TestWellFoundedness:
+    CYCLE = """
+    spark(1).
+    on(X) :- spark(X).
+    on(X) :- relay(X).
+    relay(X) :- on(X).
+    """
+
+    def test_positive_cycle_with_external_support(self):
+        engine = FactLevelEngine(self.CYCLE)
+        assert fact("on", 1) in engine.model
+        assert fact("relay", 1) in engine.model
+
+    def test_cycle_dies_when_external_support_removed(self):
+        # on(1) and relay(1) support each other; deleting spark(1) must kill
+        # both despite the mutual records (the groundedness check).
+        engine = FactLevelEngine(self.CYCLE)
+        result = engine.delete_fact("spark(1)")
+        assert fact("on", 1) not in engine.model
+        assert fact("relay", 1) not in engine.model
+        assert not result.migrated
+        assert engine.is_consistent()
+
+    def test_cycle_survives_via_second_external_support(self):
+        engine = FactLevelEngine(self.CYCLE)
+        engine.insert_fact("relay(1)")  # now externally asserted
+        engine.delete_fact("spark(1)")
+        assert fact("on", 1) in engine.model
+        assert engine.is_consistent()
+
+
+class TestDeletionWithRemainingSupport:
+    def test_fact_survives_deletion_when_derivable(self):
+        program = """
+        e(1).
+        q(X) :- e(X).
+        q(1).
+        """
+        engine = FactLevelEngine(program)
+        result = engine.delete_fact("q(1)")
+        assert fact("q", 1) in engine.model
+        assert not result.removed
+        assert engine.is_consistent()
+
+
+class TestRuleUpdates:
+    def test_insert_rule_no_migration(self):
+        engine = FactLevelEngine(pods(l=4, accepted=(2,)))
+        result = engine.insert_rule(
+            "maybe(X) :- submitted(X), not accepted(X)."
+        )
+        assert not result.migrated
+        assert engine.model.count_of("maybe") == 3
+        assert engine.is_consistent()
+
+    def test_delete_rule_no_migration(self):
+        engine = FactLevelEngine(meet(l=3))
+        result = engine.delete_rule(
+            "accepted(Y) :- author(X, Y), in_program_committee(X)."
+        )
+        assert not result.migrated
+        assert fact("accepted", 1) in engine.model  # other deduction holds
+        assert engine.is_consistent()
+
+
+class TestBookkeepingCost:
+    def test_supports_grow_with_facts(self):
+        small = FactLevelEngine(pods(l=5, accepted=(2,)))
+        large = FactLevelEngine(pods(l=50, accepted=(2,)))
+        assert large.support_entry_count() > small.support_entry_count() * 5

@@ -1,0 +1,70 @@
+"""Tests for the benchmark harness."""
+
+from repro.bench.harness import RUN_HEADERS, compare_engines, run_sequence
+from repro.bench.reporting import format_table
+from repro.core.recompute import RecomputeEngine
+from repro.datalog.atoms import fact
+from repro.workloads.paper import pods
+
+
+class TestRunSequence:
+    def test_aggregates(self):
+        engine = RecomputeEngine(pods(l=4, accepted=(2,)))
+        run = run_sequence(
+            engine,
+            [("insert_fact", fact("accepted", 1)),
+             ("delete_fact", fact("accepted", 1))],
+            verify=True,
+        )
+        assert run.updates == 2
+        assert run.consistent
+        assert len(run.results) == 2
+
+    def test_divergence_detection(self):
+        from repro.core.dynamic_engine import DynamicEngine
+        from repro.workloads.paper import negation_chain
+
+        engine = DynamicEngine(negation_chain(3), signed_statics=False)
+        run = run_sequence(
+            engine, [("insert_fact", fact("p0"))], verify=True
+        )
+        assert not run.consistent
+        assert run.divergences == 1
+
+
+class TestCompareEngines:
+    def test_rows_align_with_headers(self):
+        runs = compare_engines(
+            pods(l=4, accepted=(2,)),
+            [("insert_fact", fact("accepted", 1))],
+            ["recompute", "cascade"],
+        )
+        for run in runs:
+            assert len(run.row()) == len(RUN_HEADERS)
+
+    def test_engines_start_from_independent_copies(self):
+        program = pods(l=4, accepted=(2,))
+        compare_engines(
+            program,
+            [("insert_fact", fact("accepted", 1))],
+            ["recompute", "cascade"],
+        )
+        # the source program must be untouched
+        assert fact("accepted", 1) not in {
+            clause.head for clause in program if not clause.body
+        }
+
+
+class TestReporting:
+    def test_format_table(self):
+        table = format_table(
+            ["name", "n"], [["a", 1], ["bb", 22]], title="T"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert lines[-1].startswith("bb")
+
+    def test_float_rendering(self):
+        table = format_table(["x"], [[0.123456]])
+        assert "0.1235" in table

@@ -1,0 +1,118 @@
+"""Unit tests for the Doyle-style JTMS."""
+
+import pytest
+
+from repro.tms.jtms import JTMS, Justification, NonStratifiedNetworkError
+
+
+class TestBasics:
+    def test_premise_is_in(self):
+        tms = JTMS()
+        tms.premise("a")
+        assert tms.is_in("a")
+
+    def test_unjustified_node_is_out(self):
+        tms = JTMS()
+        tms.add_node("a")
+        assert tms.is_out("a")
+
+    def test_monotone_chain(self):
+        tms = JTMS()
+        tms.premise("a")
+        tms.justify("b", in_list=["a"])
+        tms.justify("c", in_list=["b"])
+        assert tms.in_nodes() == {"a", "b", "c"}
+
+    def test_out_list_blocks(self):
+        tms = JTMS()
+        tms.premise("a")
+        tms.justify("b", out_list=["a"])
+        assert tms.is_out("b")
+
+    def test_default_through_absence(self):
+        tms = JTMS()
+        tms.justify("b", out_list=["a"])  # a has no justification
+        assert tms.is_in("b")
+
+
+class TestRevision:
+    def test_adding_justification_revises(self):
+        tms = JTMS()
+        tms.justify("b", out_list=["a"])
+        assert tms.is_in("b")
+        tms.premise("a")
+        assert tms.is_out("b")
+
+    def test_retraction_revises(self):
+        tms = JTMS()
+        premise = tms.premise("a")
+        tms.justify("b", out_list=["a"])
+        assert tms.is_out("b")
+        tms.retract(premise)
+        assert tms.is_in("b")
+
+    def test_retract_unknown_justification_is_noop(self):
+        tms = JTMS()
+        tms.premise("a")
+        tms.retract(Justification("zzz", in_list=["a"]))
+        assert tms.is_in("a")
+
+    def test_chain_flip(self):
+        # the paper's Example 2 chain as raw justifications
+        tms = JTMS()
+        tms.justify("p1", out_list=["p0"])
+        tms.justify("p2", out_list=["p1"])
+        tms.justify("p3", out_list=["p2"])
+        assert tms.in_nodes() == {"p1", "p3"}
+        tms.premise("p0")
+        assert tms.in_nodes() == {"p0", "p2"}
+
+
+class TestWellFoundedness:
+    def test_mutual_support_is_out(self):
+        tms = JTMS()
+        tms.justify("a", in_list=["b"])
+        tms.justify("b", in_list=["a"])
+        assert tms.is_out("a") and tms.is_out("b")
+
+    def test_cycle_with_external_support_is_in(self):
+        tms = JTMS()
+        tms.justify("a", in_list=["b"])
+        tms.justify("b", in_list=["a"])
+        tms.premise("seed")
+        tms.justify("a", in_list=["seed"])
+        assert tms.is_in("a") and tms.is_in("b")
+
+    def test_support_chain_is_noncircular(self):
+        tms = JTMS()
+        tms.premise("seed")
+        tms.justify("a", in_list=["seed"])
+        tms.justify("b", in_list=["a"])
+        chain = tms.well_founded_support_chain("b")
+        assert chain[0] == "b" and set(chain) == {"b", "a", "seed"}
+
+    def test_odd_loop_rejected(self):
+        tms = JTMS()
+        tms.justify("a", out_list=["b"])
+        tms.justify("b", out_list=["a"])
+        with pytest.raises(NonStratifiedNetworkError):
+            tms.in_nodes()
+
+
+class TestSupportingJustification:
+    def test_in_node_has_support(self):
+        tms = JTMS()
+        tms.premise("a")
+        justification = tms.justify("b", in_list=["a"])
+        assert tms.supporting_justification("b") == justification
+
+    def test_out_node_has_none(self):
+        tms = JTMS()
+        tms.add_node("a")
+        assert tms.supporting_justification("a") is None
+
+    def test_duplicate_justification_deduplicated(self):
+        tms = JTMS()
+        tms.justify("b", in_list=["a"])
+        tms.justify("b", in_list=["a"])
+        assert len(tms.justifications_of("b")) == 1

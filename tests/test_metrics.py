@@ -1,0 +1,65 @@
+"""Tests for migration accounting (repro.core.metrics)."""
+
+from repro.core.metrics import MaintenanceStats, UpdateResult
+from repro.datalog.atoms import fact
+
+
+def result(removed=(), added=(), **kwargs) -> UpdateResult:
+    defaults = dict(
+        operation="insert_fact",
+        subject="p(1)",
+        removed=frozenset(removed),
+        added=frozenset(added),
+        model_size=10,
+        duration_s=0.5,
+        support_entries=3,
+    )
+    defaults.update(kwargs)
+    return UpdateResult(**defaults)
+
+
+class TestUpdateResult:
+    def test_migrated_is_intersection(self):
+        r = result(
+            removed=[fact("a"), fact("b")],
+            added=[fact("b"), fact("c")],
+        )
+        assert r.migrated == {fact("b")}
+
+    def test_net_sets(self):
+        r = result(
+            removed=[fact("a"), fact("b")],
+            added=[fact("b"), fact("c")],
+        )
+        assert r.net_removed == {fact("a")}
+        assert r.net_added == {fact("c")}
+
+    def test_summary_counts(self):
+        r = result(removed=[fact("a")], added=[fact("c")])
+        assert "-1" in r.summary() and "+1" in r.summary()
+
+    def test_frozen(self):
+        import dataclasses
+        import pytest
+
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            result().operation = "other"
+
+
+class TestMaintenanceStats:
+    def test_accumulation(self):
+        stats = MaintenanceStats()
+        stats.record(result(removed=[fact("a")], added=[fact("a"), fact("b")]))
+        stats.record(result(added=[fact("c")]))
+        assert stats.updates == 2
+        assert stats.removed == 1
+        assert stats.added == 3
+        assert stats.migrated == 1
+        assert stats.duration_s == 1.0
+
+    def test_as_dict(self):
+        stats = MaintenanceStats()
+        stats.record(result())
+        data = stats.as_dict()
+        assert data["updates"] == 1
+        assert set(data) >= {"removed", "added", "migrated", "duration_s"}

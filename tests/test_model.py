@@ -1,0 +1,70 @@
+"""Unit tests for repro.datalog.model."""
+
+from repro.datalog.atoms import fact
+from repro.datalog.model import Model
+
+
+class TestBasics:
+    def test_add_and_contains(self):
+        m = Model()
+        assert m.add(fact("p", 1))
+        assert fact("p", 1) in m
+        assert not m.add(fact("p", 1))
+        assert len(m) == 1
+
+    def test_discard(self):
+        m = Model([fact("p", 1)])
+        assert m.discard(fact("p", 1))
+        assert not m.discard(fact("p", 1))
+        assert len(m) == 0
+
+    def test_contains_by_relation_and_args(self):
+        m = Model([fact("p", 1, 2)])
+        assert m.contains("p", (1, 2))
+        assert not m.contains("p", (2, 1))
+        assert not m.contains("q", (1, 2))
+
+    def test_facts_of(self):
+        m = Model([fact("p", 1), fact("p", 2), fact("q", 1)])
+        assert {f.args for f in m.facts_of("p")} == {(1,), (2,)}
+        assert list(m.facts_of("zzz")) == []
+
+    def test_counts(self):
+        m = Model([fact("p", 1), fact("p", 2), fact("q", 1)])
+        assert m.count_of("p") == 2
+        assert m.per_relation_counts() == {"p": 2, "q": 1}
+
+    def test_restrict(self):
+        m = Model([fact("p", 1), fact("q", 1)])
+        assert m.restrict(lambda name: name == "p") == {fact("p", 1)}
+
+
+class TestEquality:
+    def test_equal_models(self):
+        a = Model([fact("p", 1), fact("q", 2)])
+        b = Model([fact("q", 2), fact("p", 1)])
+        assert a == b
+
+    def test_unequal_models(self):
+        assert Model([fact("p", 1)]) != Model([fact("p", 2)])
+
+    def test_empty_relation_does_not_matter(self):
+        a = Model([fact("p", 1)])
+        a.relation("ghost")  # creates an empty store
+        assert a == Model([fact("p", 1)])
+
+
+class TestCopy:
+    def test_copy_is_independent(self):
+        a = Model([fact("p", 1)])
+        b = a.copy()
+        b.add(fact("p", 2))
+        a.discard(fact("p", 1))
+        assert b.as_set() == {fact("p", 1), fact("p", 2)}
+        assert len(a) == 0
+
+
+class TestPretty:
+    def test_sorted_rendering(self):
+        m = Model([fact("b", 2), fact("a", 1), fact("b", 1)])
+        assert m.pretty().splitlines() == ["a(1)", "b(1)", "b(2)"]

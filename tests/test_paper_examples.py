@@ -1,0 +1,154 @@
+"""End-to-end reproduction of every worked example in the paper.
+
+One test class per example; these are the narrative acceptance tests the
+benchmarks build on (see DESIGN.md section 6 and EXPERIMENTS.md).
+"""
+
+from repro.core.registry import ENGINE_NAMES, create_engine
+from repro.datalog.atoms import fact
+from repro.datalog.evaluation import compute_model
+from repro.workloads.paper import (
+    cascade_example,
+    conf,
+    congress,
+    meet,
+    negation_chain,
+    pods,
+    staleness_counterexample,
+)
+
+SOUND_FOR_SINGLE_UPDATE = [
+    name for name in ENGINE_NAMES if name != "dynamic-unsigned"
+]
+
+
+class TestSection3Pods:
+    """M(PODS') = M(PODS) \\ {rejected(m)} ∪ {accepted(m)} and dually."""
+
+    def test_standard_model(self):
+        model = compute_model(pods(l=5, accepted=(2, 4)))
+        assert {f.args[0] for f in model.facts_of("rejected")} == {1, 3, 5}
+
+    def test_insertion_semantics_all_engines(self):
+        for name in SOUND_FOR_SINGLE_UPDATE:
+            engine = create_engine(name, pods(l=5, accepted=(2, 4)))
+            result = engine.insert_fact("accepted(1)")
+            assert result.net_added == {fact("accepted", 1)}, name
+            assert result.net_removed == {fact("rejected", 1)}, name
+            assert engine.is_consistent(), name
+
+    def test_deletion_semantics_all_engines(self):
+        for name in SOUND_FOR_SINGLE_UPDATE:
+            engine = create_engine(name, pods(l=5, accepted=(2, 4)))
+            result = engine.delete_fact("accepted(4)")
+            assert result.net_removed == {fact("accepted", 4)}, name
+            assert result.net_added == {fact("rejected", 4)}, name
+            assert engine.is_consistent(), name
+
+
+class TestExample1Conf:
+    """Static migrates accepted(l+1); the dynamic solutions save it."""
+
+    def test_model_shape(self):
+        model = compute_model(conf(l=3))
+        assert {f.args[0] for f in model.facts_of("accepted")} == {1, 2, 3, 4}
+
+    def test_static_migrates_the_asserted_acceptance(self):
+        engine = create_engine("static", conf(l=3))
+        result = engine.insert_fact("rejected(4)")
+        assert fact("accepted", 4) in result.migrated
+
+    def test_dynamic_solutions_save_it(self):
+        for name in ("dynamic", "setofsets", "cascade", "factlevel"):
+            engine = create_engine(name, conf(l=3))
+            result = engine.insert_fact("rejected(4)")
+            assert fact("accepted", 4) not in result.removed, name
+            assert engine.is_consistent(), name
+
+
+class TestExample2Chain:
+    """Unsigned dynamic supports lose the p3 -> p0 dependency."""
+
+    def test_model_alternates(self):
+        model = compute_model(negation_chain(5))
+        assert {f.relation for f in model.facts()} == {"p1", "p3", "p5"}
+
+    def test_signed_correct_unsigned_incorrect(self):
+        signed = create_engine("dynamic", negation_chain(3))
+        signed.insert_fact("p0")
+        assert signed.is_consistent()
+
+        unsigned = create_engine("dynamic-unsigned", negation_chain(3))
+        unsigned.insert_fact("p0")
+        assert fact("p3") in unsigned.model  # wrongly retained
+        assert not unsigned.is_consistent()
+
+
+class TestExample3Congress:
+    """The pairwise-smaller support must replace the bigger one."""
+
+    def test_migration_avoided_with_keep_smaller(self):
+        engine = create_engine("dynamic", congress(l=2))
+        result = engine.insert_fact("rejected(2)")
+        assert fact("accepted", 2) not in result.removed
+
+
+class TestExample4Meet:
+    """Sets of sets keep both deductions of the PC-authored paper."""
+
+    def test_single_support_migrates(self):
+        engine = create_engine("dynamic", meet(l=3))
+        result = engine.insert_fact("rejected(1)")
+        assert fact("accepted", 1) in result.migrated
+
+    def test_sets_of_sets_save_it(self):
+        for name in ("setofsets", "setofsets-paired", "cascade", "factlevel"):
+            engine = create_engine(name, meet(l=3))
+            result = engine.insert_fact("rejected(1)")
+            assert fact("accepted", 1) not in result.removed, name
+            assert engine.is_consistent(), name
+
+
+class TestSection51CascadeExample:
+    """'In the above version the removal of q does not take place.'"""
+
+    def test_older_solutions_migrate_q(self):
+        for name in ("static", "dynamic", "setofsets"):
+            engine = create_engine(name, cascade_example())
+            result = engine.insert_fact("p")
+            assert fact("q") in result.migrated, name
+
+    def test_saturate_first_cascade_never_removes_q(self):
+        engine = create_engine("cascade", cascade_example())
+        result = engine.insert_fact("p")
+        assert fact("q") not in result.removed
+        assert engine.is_consistent()
+
+    def test_printed_pseudocode_does_remove_q(self):
+        engine = create_engine("cascade-paper", cascade_example())
+        result = engine.insert_fact("p")
+        assert fact("q") in result.migrated
+        assert engine.is_consistent()
+
+
+class TestStalenessNote:
+    """DESIGN.md faithfulness note 1 (not in the paper): the printed 4.3
+    can erroneously retain a fact across a sequence of updates."""
+
+    def test_anomaly_and_its_fix(self):
+        paper = create_engine("setofsets", staleness_counterexample())
+        paper.insert_fact("d")
+        paper.delete_fact("a")
+        assert not paper.is_consistent()
+
+        paired = create_engine("setofsets-paired", staleness_counterexample())
+        paired.insert_fact("d")
+        paired.delete_fact("a")
+        assert paired.is_consistent()
+
+    def test_every_other_solution_is_immune(self):
+        for name in ("static", "dynamic", "cascade", "cascade-paper", "factlevel"):
+            engine = create_engine(name, staleness_counterexample())
+            engine.insert_fact("d")
+            engine.delete_fact("a")
+            assert engine.is_consistent(), name

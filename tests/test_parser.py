@@ -1,0 +1,122 @@
+"""Unit tests for repro.datalog.parser."""
+
+import pytest
+
+from repro.datalog.atoms import Atom
+from repro.datalog.errors import ParseError
+from repro.datalog.parser import (
+    parse_atom,
+    parse_clause,
+    parse_fact,
+    parse_program,
+    tokenize,
+)
+from repro.datalog.terms import Variable
+
+
+class TestTokenizer:
+    def test_positions(self):
+        tokens = list(tokenize("p(X).\nq :- r."))
+        assert tokens[0].kind == "NAME" and tokens[0].line == 1
+        q = [t for t in tokens if t.value == "q"][0]
+        assert q.line == 2 and q.column == 1
+
+    def test_comments_stripped(self):
+        kinds = [t.kind for t in tokenize("% comment\np. # another\n")]
+        assert kinds == ["NAME", "PERIOD"]
+
+    def test_negative_integer(self):
+        tokens = list(tokenize("p(-3)."))
+        assert any(t.kind == "INTEGER" and t.value == -3 for t in tokens)
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            list(tokenize("p('oops)."))
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError) as exc:
+            list(tokenize("p @ q."))
+        assert "@" in str(exc.value)
+
+
+class TestClauses:
+    def test_fact(self):
+        clause = parse_clause("edge(a, b).")
+        assert clause.is_fact
+        assert clause.head == Atom("edge", ("a", "b"))
+
+    def test_propositional_fact(self):
+        assert parse_clause("rain.").head == Atom("rain", ())
+
+    def test_rule_with_negation(self):
+        clause = parse_clause("p(X) :- q(X), not r(X).")
+        assert clause.head.args == (Variable("X"),)
+        assert [l.positive for l in clause.body] == [True, False]
+
+    def test_alternative_arrow(self):
+        assert parse_clause("p(X) <- q(X).") == parse_clause("p(X) :- q(X).")
+
+    def test_alternative_negations(self):
+        expected = parse_clause("p(X) :- q(X), not r(X).")
+        assert parse_clause("p(X) :- q(X), \\+ r(X).") == expected
+        assert parse_clause("p(X) :- q(X), ~r(X).") == expected
+
+    def test_quoted_and_integer_constants(self):
+        clause = parse_clause("likes('Big Apple', 42).")
+        assert clause.head.args == ("Big Apple", 42)
+
+    def test_escaped_quote(self):
+        assert parse_clause(r"name('O\'Hara').").head.args == ("O'Hara",)
+
+    def test_underscore_is_variable(self):
+        clause = parse_clause("p(X) :- q(X, _other).")
+        assert Variable("_other") in set(clause.body[0].variables())
+
+    def test_missing_period(self):
+        with pytest.raises(ParseError):
+            parse_clause("p(X) :- q(X)")
+
+    def test_trailing_input(self):
+        with pytest.raises(ParseError):
+            parse_clause("p. q.")
+
+
+class TestPrograms:
+    def test_multi_clause(self):
+        program = parse_program(
+            """
+            % the CONF database
+            submitted(1). submitted(2).
+            accepted(X) :- submitted(X), not rejected(X).
+            """
+        )
+        assert len(program) == 3
+        assert program.relations() == {"submitted", "accepted", "rejected"}
+
+    def test_empty_program(self):
+        assert len(parse_program("")) == 0
+
+    def test_unsafe_clause_rejected_at_program_level(self):
+        with pytest.raises(Exception):
+            parse_program("p(X) :- not q(X).")
+
+    def test_roundtrip_through_str(self):
+        source = "a(1).\nb(X) :- a(X), not c(X)."
+        program = parse_program(source)
+        assert parse_program(str(program)).clauses == program.clauses
+
+
+class TestAtoms:
+    def test_parse_atom(self):
+        assert parse_atom("p(a, X)").args == ("a", Variable("X"))
+
+    def test_parse_atom_rejects_trailing(self):
+        with pytest.raises(ParseError):
+            parse_atom("p(a) q")
+
+    def test_parse_fact_rejects_variables(self):
+        with pytest.raises(ParseError):
+            parse_fact("p(X)")
+
+    def test_parse_fact(self):
+        assert parse_fact("p(1)") == Atom("p", (1,))

@@ -1,0 +1,257 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+The properties mirror the paper's theorems:
+
+* M(P) is a model of P, is supported, and equals the JTMS well-founded
+  labelling (Theorem ii/iii and the belief-revision framing);
+* M(P) does not depend on the stratification (Theorem i) nor on the
+  saturation strategy (the [RLK] delta-driven mechanism is exact);
+* every sound maintenance engine tracks the recompute oracle through
+  arbitrary update sequences;
+* the paper-mode sets-of-sets engine is exact for a *single* update on a
+  freshly built model (the actual scope of Lemma 2);
+* the fact-level engine never migrates anything (section 5.2's claim).
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.registry import SOUND_ENGINE_NAMES, create_engine
+from repro.datalog.evaluation import compute_model, iter_derivations
+from repro.tms.bridge import standard_model_via_jtms
+from repro.workloads.synthetic import SyntheticSpec, generate
+from repro.workloads.updates import mixed_updates, random_updates
+
+SMALL = SyntheticSpec(
+    levels=2,
+    relations_per_level=2,
+    rules_per_relation=2,
+    edb_relations=2,
+    edb_facts_per_relation=4,
+    domain_size=4,
+)
+
+seeds = st.integers(min_value=0, max_value=10_000)
+common = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def is_model_of(program, model) -> bool:
+    """No rule instance is violated: body satisfied ⟹ head present."""
+    return all(
+        derivation.head in model
+        for clause in program
+        for derivation in iter_derivations(clause, model)
+    )
+
+
+def is_supported(program, model) -> bool:
+    """Every fact has an explanation (Theorem iii)."""
+    explained = {
+        derivation.head
+        for clause in program
+        for derivation in iter_derivations(clause, model)
+    }
+    return set(model.facts()) <= explained
+
+
+class TestModelSemantics:
+    @given(seed=seeds)
+    @common
+    def test_standard_model_is_a_model(self, seed):
+        program = generate(seed, SMALL).program
+        model = compute_model(program)
+        assert is_model_of(program, model)
+
+    @given(seed=seeds)
+    @common
+    def test_standard_model_is_supported(self, seed):
+        program = generate(seed, SMALL).program
+        model = compute_model(program)
+        assert is_supported(program, model)
+
+    @given(seed=seeds)
+    @common
+    def test_naive_equals_delta_driven(self, seed):
+        program = generate(seed, SMALL).program
+        assert compute_model(program, method="naive") == compute_model(
+            program, method="seminaive"
+        )
+
+    @given(seed=seeds)
+    @common
+    def test_stratification_independence(self, seed):
+        program = generate(seed, SMALL).program
+        assert compute_model(program, granularity="level") == compute_model(
+            program, granularity="scc"
+        )
+
+    @given(seed=seeds)
+    @common
+    def test_equals_jtms_well_founded_labelling(self, seed):
+        program = generate(seed, SMALL).program
+        assert standard_model_via_jtms(program) == compute_model(
+            program
+        ).as_set()
+
+    @given(seed=seeds)
+    @common
+    def test_minimality_spot_check(self, seed):
+        # Removing any single derived fact breaks supportedness-or-modelhood
+        # of the remainder set (a practical slice of Theorem ii).
+        program = generate(seed, SMALL).program
+        model = compute_model(program)
+        asserted = {c.head for c in program if not c.body}
+        derived = [f for f in model.facts() if f not in asserted][:5]
+        for fact_ in derived:
+            smaller = model.copy()
+            smaller.discard(fact_)
+            assert not is_model_of(program, smaller) or not is_supported(
+                program, smaller
+            )
+
+
+class TestEngineEquivalence:
+    @given(seed=seeds, n_updates=st.integers(min_value=1, max_value=6))
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_sound_engines_track_the_oracle(self, seed, n_updates):
+        syn = generate(seed, SMALL)
+        updates = random_updates(
+            syn.program, syn.edb_relations, syn.arities, syn.domain,
+            count=n_updates, seed=seed,
+        )
+        for name in SOUND_ENGINE_NAMES:
+            engine = create_engine(name, syn.program)
+            for operation, subject in updates:
+                engine.apply(operation, subject)
+                oracle = compute_model(engine.db.program)
+                assert engine.model == oracle, (
+                    f"{name} diverged after {operation} {subject}"
+                )
+
+    @given(seed=seeds, n_updates=st.integers(min_value=2, max_value=6))
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_sound_engines_survive_rule_updates(self, seed, n_updates):
+        # Rule deletions and re-insertions exercise restratification and
+        # the rule procedures of every solution.
+        syn = generate(seed, SMALL)
+        updates = mixed_updates(
+            syn.program, syn.edb_relations, syn.arities, syn.domain,
+            count=n_updates, rule_ratio=0.5, seed=seed,
+        )
+        for name in ("static", "dynamic", "cascade", "factlevel"):
+            engine = create_engine(name, syn.program)
+            for operation, subject in updates:
+                engine.apply(operation, subject)
+            assert engine.model == compute_model(engine.db.program), (
+                f"{name} diverged after rule-update sequence"
+            )
+
+    @given(seed=seeds, n_updates=st.integers(min_value=1, max_value=6))
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_cascade_batch_equals_oracle(self, seed, n_updates):
+        syn = generate(seed, SMALL)
+        updates = random_updates(
+            syn.program, syn.edb_relations, syn.arities, syn.domain,
+            count=n_updates, seed=seed,
+        )
+        engine = create_engine("cascade", syn.program)
+        engine.apply_batch(updates)
+        assert engine.model == compute_model(engine.db.program)
+
+    @given(seed=seeds)
+    @common
+    def test_setofsets_paper_mode_exact_for_single_update(self, seed):
+        # Lemma 2's scope: one update on a freshly built model.
+        syn = generate(seed, SMALL)
+        updates = random_updates(
+            syn.program, syn.edb_relations, syn.arities, syn.domain,
+            count=1, seed=seed,
+        )
+        engine = create_engine("setofsets", syn.program)
+        for operation, subject in updates:
+            engine.apply(operation, subject)
+        assert engine.model == compute_model(engine.db.program)
+
+    @given(seed=seeds, n_updates=st.integers(min_value=1, max_value=6))
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_factlevel_never_migrates(self, seed, n_updates):
+        syn = generate(seed, SMALL)
+        updates = random_updates(
+            syn.program, syn.edb_relations, syn.arities, syn.domain,
+            count=n_updates, seed=seed,
+        )
+        engine = create_engine("factlevel", syn.program)
+        for operation, subject in updates:
+            result = engine.apply(operation, subject)
+            assert not result.migrated
+
+    @given(seed=seeds)
+    @common
+    def test_update_then_inverse_restores_model(self, seed):
+        syn = generate(seed, SMALL)
+        updates = random_updates(
+            syn.program, syn.edb_relations, syn.arities, syn.domain,
+            count=1, seed=seed,
+        )
+        [(operation, subject)] = updates
+        inverse = {
+            "insert_fact": "delete_fact",
+            "delete_fact": "insert_fact",
+        }[operation]
+        for name in ("cascade", "dynamic"):
+            engine = create_engine(name, syn.program)
+            before = engine.model.as_set()
+            engine.apply(operation, subject)
+            engine.apply(inverse, subject)
+            assert engine.model.as_set() == before
+
+
+class TestSupportInvariants:
+    @given(seed=seeds)
+    @common
+    def test_every_model_fact_has_supports(self, seed):
+        syn = generate(seed, SMALL)
+        cascade = create_engine("cascade", syn.program)
+        for fact_ in cascade.model.facts():
+            assert cascade.records_of(fact_), f"{fact_} lacks records"
+        factlevel = create_engine("factlevel", syn.program)
+        for fact_ in factlevel.model.facts():
+            assert factlevel.records_of(fact_)
+
+    @given(seed=seeds)
+    @common
+    def test_migration_well_ordered(self, seed):
+        # migrated ⊆ removed ∩ added, and the final model contains every
+        # migrated fact (they were put back).
+        syn = generate(seed, SMALL)
+        updates = random_updates(
+            syn.program, syn.edb_relations, syn.arities, syn.domain,
+            count=3, seed=seed,
+        )
+        engine = create_engine("cascade", syn.program)
+        for operation, subject in updates:
+            result = engine.apply(operation, subject)
+            assert result.migrated <= result.removed
+            assert result.migrated <= result.added
+            for fact_ in result.migrated:
+                assert fact_ in engine.model

@@ -1,0 +1,93 @@
+"""Tests for conjunctive queries over the maintained model."""
+
+import pytest
+
+from repro.datalog.errors import SafetyError
+from repro.datalog.evaluation import compute_model
+from repro.datalog.parser import parse_program
+from repro.datalog.query import ask, iter_answers, parse_query, query
+
+MODEL = compute_model(
+    parse_program(
+        """
+        submitted(1). submitted(2). submitted(3).
+        accepted(2). late(3).
+        author(ann, 1). author(bob, 2). author(ann, 3).
+        rejected(X) :- not accepted(X), submitted(X).
+        """
+    )
+)
+
+
+class TestParseQuery:
+    def test_conjunction(self):
+        literals = parse_query("a(X), not b(X, Y)")
+        assert len(literals) == 2
+        assert not literals[1].positive
+
+    def test_trailing_period_ok(self):
+        assert parse_query("a(X).") == parse_query("a(X)")
+
+
+class TestQuery:
+    def test_single_positive(self):
+        assert query(MODEL, "accepted(X)") == [(2,)]
+
+    def test_join(self):
+        rows = query(MODEL, "author(A, P), accepted(P)")
+        assert rows == [("bob", 2)]
+
+    def test_negation(self):
+        rows = query(MODEL, "submitted(X), not accepted(X)")
+        assert rows == [(1,), (3,)]
+
+    def test_distinct_projection(self):
+        rows = query(MODEL, "author(A, P), rejected(P)", distinct=("A",))
+        assert rows == [("ann",)]
+
+    def test_constants_in_query(self):
+        assert query(MODEL, "author(A, 1)") == [("ann",)]
+
+    def test_ground_query(self):
+        assert query(MODEL, "accepted(2)") == [()]
+        assert query(MODEL, "accepted(1)") == []
+
+    def test_unsafe_query_rejected(self):
+        with pytest.raises(SafetyError):
+            query(MODEL, "not accepted(X)")
+
+    def test_repeated_variable(self):
+        model = compute_model(parse_program("e(1, 1). e(1, 2)."))
+        assert query(model, "e(X, X)") == [(1,)]
+
+
+class TestAsk:
+    def test_yes(self):
+        assert ask(MODEL, "rejected(X), late(X)")
+
+    def test_no(self):
+        assert not ask(MODEL, "accepted(X), late(X)")
+
+
+class TestIterAnswers:
+    def test_substitutions(self):
+        from repro.datalog.terms import Variable
+
+        answers = list(iter_answers(MODEL, "accepted(P)"))
+        assert len(answers) == 1
+        assert answers[0][Variable("P")] == 2
+
+
+class TestAgainstEngines:
+    def test_query_on_maintained_model(self):
+        from repro import CascadeEngine
+
+        engine = CascadeEngine(
+            """
+            submitted(1). submitted(2).
+            rejected(X) :- not accepted(X), submitted(X).
+            """
+        )
+        assert query(engine.model, "rejected(X)") == [(1,), (2,)]
+        engine.insert_fact("accepted(1)")
+        assert query(engine.model, "rejected(X)") == [(2,)]

@@ -1,0 +1,42 @@
+"""Tests for the full-recomputation oracle engine."""
+
+from repro.core.recompute import RecomputeEngine
+from repro.datalog.atoms import fact
+from repro.workloads.paper import pods
+
+
+class TestRecompute:
+    def test_never_migrates(self):
+        engine = RecomputeEngine(pods(l=5, accepted=(2, 4)))
+        result = engine.insert_fact("accepted(1)")
+        assert not result.migrated
+        result = engine.delete_fact("accepted(1)")
+        assert not result.migrated
+
+    def test_reports_net_changes(self):
+        engine = RecomputeEngine(pods(l=5, accepted=(2, 4)))
+        result = engine.insert_fact("accepted(1)")
+        assert result.removed == {fact("rejected", 1)}
+        assert result.added == {fact("accepted", 1)}
+
+    def test_rule_updates(self):
+        engine = RecomputeEngine(pods(l=3, accepted=(2,)))
+        result = engine.insert_rule(
+            "maybe(X) :- submitted(X), not accepted(X)."
+        )
+        assert {f.args[0] for f in result.added} == {1, 3}
+        result = engine.delete_rule(
+            "maybe(X) :- submitted(X), not accepted(X)."
+        )
+        assert {f.args[0] for f in result.removed} == {1, 3}
+
+    def test_always_consistent(self):
+        engine = RecomputeEngine(pods(l=5, accepted=(2, 4)))
+        engine.insert_fact("accepted(1)")
+        engine.delete_fact("accepted(4)")
+        engine.insert_rule("w(X) :- submitted(X), not rejected(X).")
+        assert engine.is_consistent()
+
+    def test_no_supports(self):
+        engine = RecomputeEngine(pods())
+        assert engine.support_entry_count() == 0

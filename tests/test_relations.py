@@ -1,0 +1,88 @@
+"""Unit tests for repro.datalog.relations."""
+
+import pytest
+
+from repro.datalog.relations import Relation
+
+
+class TestBasics:
+    def test_add_and_contains(self):
+        r = Relation("p", 2)
+        assert r.add(("a", "b"))
+        assert ("a", "b") in r
+        assert not r.add(("a", "b"))
+        assert len(r) == 1
+
+    def test_discard(self):
+        r = Relation("p", 1)
+        r.add(("a",))
+        assert r.discard(("a",))
+        assert not r.discard(("a",))
+        assert len(r) == 0
+
+    def test_arity_enforced(self):
+        r = Relation("p", 2)
+        with pytest.raises(ValueError):
+            r.add(("a",))
+
+    def test_arity_adopted_from_first_tuple(self):
+        r = Relation("p")
+        r.add(("a", "b", "c"))
+        assert r.arity == 3
+        with pytest.raises(ValueError):
+            r.add(("a",))
+
+    def test_clear(self):
+        r = Relation("p", 1)
+        r.add(("a",))
+        r.clear()
+        assert len(r) == 0
+
+
+class TestSelect:
+    def _store(self):
+        r = Relation("edge", 2)
+        for row in [("a", "b"), ("a", "c"), ("b", "c"), ("c", "a")]:
+            r.add(row)
+        return r
+
+    def test_full_scan(self):
+        assert len(list(self._store().select({}))) == 4
+
+    def test_single_column(self):
+        rows = set(self._store().select({0: "a"}))
+        assert rows == {("a", "b"), ("a", "c")}
+
+    def test_two_columns(self):
+        rows = set(self._store().select({0: "a", 1: "c"}))
+        assert rows == {("a", "c")}
+
+    def test_missing_value(self):
+        assert list(self._store().select({0: "zzz"})) == []
+
+    def test_index_maintained_after_add(self):
+        r = self._store()
+        list(r.select({0: "a"}))  # force index on column 0
+        r.add(("a", "z"))
+        assert set(r.select({0: "a"})) == {("a", "b"), ("a", "c"), ("a", "z")}
+
+    def test_index_maintained_after_discard(self):
+        r = self._store()
+        list(r.select({1: "c"}))  # force index on column 1
+        r.discard(("a", "c"))
+        assert set(r.select({1: "c"})) == {("b", "c")}
+
+    def test_select_while_mutating(self):
+        # Saturation adds tuples while scanning; snapshots must protect us.
+        r = self._store()
+        for row in r.select({}):
+            r.add((row[1], row[0] + "!"))  # mutate during iteration
+
+
+class TestCopy:
+    def test_copy_is_independent(self):
+        r = self._store = Relation("p", 1)
+        r.add(("a",))
+        dup = r.copy()
+        dup.add(("b",))
+        assert len(r) == 1 and len(dup) == 2

@@ -1,0 +1,132 @@
+"""Regressions found by the rule-update property sweep.
+
+Rule deletions interact badly with self-supporting records in two ways the
+per-stratum sweeps cannot see:
+
+1. deleting a relation's *last* rule removes it from the dependency graph
+   and hence from every stratum, so no later sweep ever visits its facts;
+2. deleting the productive rule of a relation that also has a (direct or
+   mutual) recursive rule leaves its facts holding only circular records.
+
+Both engines with per-fact record stores (cascade, factlevel) handle these
+explicitly; the section 4 engines are immune because they evict the head
+relation's facts wholesale. Each scenario is pinned here for every engine.
+"""
+
+import pytest
+
+from repro.core.registry import SOUND_ENGINE_NAMES, create_engine
+from repro.datalog.atoms import fact
+
+SELF_LOOP = "e(1). p(X) :- p(X). p(X) :- e(X), not q(X)."
+MUTUAL = """
+spark(1).
+on(X) :- spark(X).
+on(X) :- relay(X).
+relay(X) :- on(X).
+"""
+ENGINES = [name for name in SOUND_ENGINE_NAMES if name != "recompute"]
+
+
+class TestVanishedRelation:
+    """Deleting a relation's last rule must still evict its derived facts."""
+
+    @pytest.mark.parametrize("name", ENGINES)
+    def test_facts_die_with_the_last_rule(self, name):
+        engine = create_engine(name, SELF_LOOP)
+        engine.delete_rule("p(X) :- p(X).")
+        engine.delete_rule("p(X) :- e(X), not q(X).")
+        assert fact("p", 1) not in engine.model, name
+        assert engine.is_consistent(), name
+
+    @pytest.mark.parametrize("name", ENGINES)
+    def test_relation_can_come_back(self, name):
+        engine = create_engine(name, SELF_LOOP)
+        engine.delete_rule("p(X) :- p(X).")
+        engine.delete_rule("p(X) :- e(X), not q(X).")
+        engine.insert_rule("p(X) :- e(X).")
+        assert fact("p", 1) in engine.model, name
+        assert engine.is_consistent(), name
+
+
+class TestSelfSupportedLeftover:
+    """A fact must not survive on its own recursive record alone."""
+
+    @pytest.mark.parametrize("name", ENGINES)
+    def test_self_loop_rule_cannot_sustain_facts(self, name):
+        engine = create_engine(name, SELF_LOOP)
+        engine.delete_rule("p(X) :- e(X), not q(X).")
+        assert fact("p", 1) not in engine.model, name
+        assert engine.is_consistent(), name
+
+    @pytest.mark.parametrize("name", ENGINES)
+    def test_mutual_cycle_dies_with_its_rule(self, name):
+        engine = create_engine(name, MUTUAL)
+        engine.delete_rule("on(X) :- spark(X).")
+        assert fact("on", 1) not in engine.model, name
+        assert fact("relay", 1) not in engine.model, name
+        assert engine.is_consistent(), name
+
+
+class TestStaleRecordAcrossRestratification:
+    """Found by the soak sweep (synthetic seed 24, reduced).
+
+    Deleting a rule can merge a derived relation into its body's stratum;
+    a fact deletion then evicts the body fact in the same stratum pass
+    that kills records, so a record citing it goes stale. When the rule
+    comes back (restratifying again), the stale record must neither count
+    as grounded (its body fact is gone) nor sustain a cycle.
+    """
+
+    PROGRAM = """
+    e(0, 7). e(7, 7). one(7, 7).
+    a(Y) :- b(X, Y).
+    b(Y, Y) :- e(X, Y).
+    b(X, X) :- a(X), one(X, X).
+    """
+    MUTUAL_RULE = "b(X, X) :- a(X), one(X, X)."
+
+    @pytest.mark.parametrize("name", ENGINES)
+    def test_sequence_stays_sound(self, name):
+        engine = create_engine(name, self.PROGRAM)
+        engine.delete_rule(self.MUTUAL_RULE)   # b drops to e's stratum
+        engine.delete_fact("e(7, 7)")          # same-stratum body death
+        engine.insert_rule(self.MUTUAL_RULE)   # cycle restored
+        engine.delete_fact("e(0, 7)")          # last external support gone
+        assert fact("a", 7) not in engine.model, name
+        assert fact("b", 7, 7) not in engine.model, name
+        assert engine.is_consistent(), name
+
+    def test_no_stale_record_survives_its_body_fact(self):
+        engine = create_engine("factlevel", self.PROGRAM)
+        engine.delete_rule(self.MUTUAL_RULE)
+        engine.delete_fact("e(7, 7)")
+        records = engine.records_of(fact("b", 7, 7))
+        cited = {
+            body for record in records for body in record.positive_facts
+        }
+        assert fact("e", 7, 7) not in cited
+
+
+class TestAssertionWasTheExternalSupport:
+    """Deleting an asserted fact that anchored a positive cycle."""
+
+    @pytest.mark.parametrize("name", ENGINES)
+    def test_cycle_dies_with_the_assertion(self, name):
+        engine = create_engine(
+            name, "on(1). relay(X) :- on(X). on(X) :- relay(X)."
+        )
+        engine.delete_fact("on(1)")
+        assert fact("on", 1) not in engine.model, name
+        assert fact("relay", 1) not in engine.model, name
+        assert engine.is_consistent(), name
+
+    @pytest.mark.parametrize("name", ENGINES)
+    def test_cycle_survives_other_deletions(self, name):
+        engine = create_engine(
+            name,
+            "on(1). decoy(5). relay(X) :- on(X). on(X) :- relay(X).",
+        )
+        engine.delete_fact("decoy(5)")
+        assert fact("relay", 1) in engine.model, name
+        assert engine.is_consistent(), name

@@ -1,0 +1,138 @@
+"""Tests for the sets-of-sets solution of section 4.3."""
+
+import pytest
+
+from repro.core.setofsets_engine import SetOfSetsEngine
+from repro.datalog.atoms import fact
+from repro.workloads.paper import (
+    meet,
+    negation_chain,
+    pods,
+    staleness_counterexample,
+)
+
+
+class TestSupportConstruction:
+    def test_asserted_fact_has_empty_set_element(self):
+        engine = SetOfSetsEngine(pods(l=3, accepted=(2,)))
+        support = engine.support_of(fact("accepted", 2))
+        assert frozenset() in support.pos
+        assert frozenset() in support.neg
+
+    def test_meet_keeps_both_deductions(self):
+        engine = SetOfSetsEngine(meet(l=3))
+        support = engine.support_of(fact("accepted", 1))
+        # Pos = {{submitted, -rejected}, {author, in_program_committee}}
+        assert len(support.pos) == 2
+        assert frozenset({"author", "in_program_committee"}) in support.pos
+        # Neg = {{+rejected}, ∅}
+        assert frozenset() in support.neg
+
+    def test_paired_mode_keeps_linked_records(self):
+        engine = SetOfSetsEngine(meet(l=3), mode="paired")
+        records = engine.records_of(fact("accepted", 1))
+        assert len(records) == 2
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            SetOfSetsEngine(pods(), mode="bogus")
+
+
+class TestExample4:
+    def test_pc_paper_does_not_migrate(self):
+        engine = SetOfSetsEngine(meet(l=3))
+        result = engine.insert_fact("rejected(1)")
+        assert fact("accepted", 1) not in result.removed
+        assert engine.is_consistent()
+
+    def test_non_pc_papers_still_migrate(self):
+        engine = SetOfSetsEngine(meet(l=3))
+        result = engine.insert_fact("rejected(2)")
+        # accepted(3) has only the default deduction: relation-level eviction
+        assert fact("accepted", 3) in result.migrated
+        assert engine.is_consistent()
+
+    def test_paired_mode_same_single_update_behaviour(self):
+        engine = SetOfSetsEngine(meet(l=3), mode="paired")
+        result = engine.insert_fact("rejected(1)")
+        assert fact("accepted", 1) not in result.removed
+        assert engine.is_consistent()
+
+
+class TestChain:
+    def test_chain_insert(self):
+        for mode in ("paper", "paired"):
+            engine = SetOfSetsEngine(negation_chain(4), mode=mode)
+            engine.insert_fact("p0")
+            assert engine.is_consistent(), mode
+
+
+class TestStalenessAnomaly:
+    """DESIGN.md faithfulness note 1: the printed 4.3 is unsound across
+    update sequences; the paired variant restores soundness."""
+
+    def test_paper_mode_retains_underivable_fact(self):
+        engine = SetOfSetsEngine(staleness_counterexample(), mode="paper")
+        engine.insert_fact("d")   # kills deduction b :- c, not d (Neg side)
+        engine.delete_fact("a")   # kills deduction b :- a (Pos side)
+        # The stale Pos element {c, -d} keeps b although it is underivable.
+        assert fact("b") in engine.model
+        assert not engine.is_consistent()
+
+    def test_paper_mode_single_update_is_correct(self):
+        # Lemma 2's actual scope: one update on a freshly built model.
+        engine = SetOfSetsEngine(staleness_counterexample(), mode="paper")
+        engine.insert_fact("d")
+        assert engine.is_consistent()
+        engine2 = SetOfSetsEngine(staleness_counterexample(), mode="paper")
+        engine2.delete_fact("a")
+        assert engine2.is_consistent()
+
+    def test_paired_mode_is_sound_across_the_sequence(self):
+        engine = SetOfSetsEngine(staleness_counterexample(), mode="paired")
+        engine.insert_fact("d")
+        engine.delete_fact("a")
+        assert fact("b") not in engine.model
+        assert engine.is_consistent()
+
+    def test_rebuild_repairs_paper_mode(self):
+        engine = SetOfSetsEngine(staleness_counterexample(), mode="paper")
+        engine.insert_fact("d")
+        engine.delete_fact("a")
+        engine.rebuild()
+        assert engine.is_consistent()
+
+
+class TestPruning:
+    def test_pruning_keeps_minimal_elements(self):
+        program = """
+        e(1).
+        a(X) :- e(X).
+        b(X) :- a(X), e(X).
+        b(X) :- e(X).
+        """
+        engine = SetOfSetsEngine(program, prune=True)
+        support = engine.support_of(fact("b", 1))
+        assert support.pos == {frozenset({"e"})}
+
+    def test_without_pruning_all_elements_kept(self):
+        program = """
+        e(1).
+        a(X) :- e(X).
+        b(X) :- a(X), e(X).
+        b(X) :- e(X).
+        """
+        engine = SetOfSetsEngine(program, prune=False)
+        support = engine.support_of(fact("b", 1))
+        assert frozenset({"e"}) in support.pos
+        assert frozenset({"a", "e"}) in support.pos
+
+
+class TestRuleUpdates:
+    def test_insert_and_delete_rule(self):
+        engine = SetOfSetsEngine(pods(l=4, accepted=(2,)))
+        engine.insert_rule("maybe(X) :- submitted(X), not accepted(X).")
+        assert engine.is_consistent()
+        engine.delete_rule("maybe(X) :- submitted(X), not accepted(X).")
+        assert engine.model.count_of("maybe") == 0
+        assert engine.is_consistent()

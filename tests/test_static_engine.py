@@ -1,0 +1,125 @@
+"""Tests for the static solution of section 4.1."""
+
+import pytest
+
+from repro.core.static_engine import StaticEngine
+from repro.datalog.atoms import fact
+from repro.datalog.errors import StratificationError, UpdateError
+from repro.workloads.paper import conf, pods
+
+PODS = pods(l=5, accepted=(2, 4))
+
+
+class TestFactInsertion:
+    def test_insertion_updates_model(self):
+        engine = StaticEngine(PODS)
+        engine.insert_fact("accepted(1)")
+        assert fact("accepted", 1) in engine.model
+        assert fact("rejected", 1) not in engine.model
+        assert engine.is_consistent()
+
+    def test_insertion_evicts_whole_negative_dependents(self):
+        engine = StaticEngine(PODS)
+        result = engine.insert_fact("accepted(1)")
+        # every rejected fact is evicted (p ∈ Neg(rejected) relation-wide)
+        assert {f.relation for f in result.removed} == {"rejected"}
+        assert len(result.removed) == 3  # rejected(1), rejected(3), rejected(5)
+
+    def test_survivors_migrate(self):
+        engine = StaticEngine(PODS)
+        result = engine.insert_fact("accepted(1)")
+        assert result.migrated == {fact("rejected", 3), fact("rejected", 5)}
+
+    def test_insert_existing_fact_is_noop(self):
+        engine = StaticEngine(PODS)
+        result = engine.insert_fact("accepted(2)")
+        assert result.stats["noop"]
+        assert not result.removed and not result.added
+
+    def test_insert_derived_fact_changes_nothing(self):
+        engine = StaticEngine(PODS)
+        result = engine.insert_fact("rejected(1)")  # already derived
+        assert not result.removed and not result.added
+        assert engine.is_consistent()
+        # but it is now asserted: deleting the rule keeps it
+        engine.delete_rule("rejected(X) :- not accepted(X), submitted(X).")
+        assert fact("rejected", 1) in engine.model
+        assert engine.is_consistent()
+
+
+class TestFactDeletion:
+    def test_deletion_updates_model(self):
+        engine = StaticEngine(PODS)
+        engine.delete_fact("accepted(4)")
+        assert fact("accepted", 4) not in engine.model
+        assert fact("rejected", 4) in engine.model
+        assert engine.is_consistent()
+
+    def test_deletion_evicts_positive_dependents_including_own_relation(self):
+        engine = StaticEngine(PODS)
+        result = engine.delete_fact("accepted(4)")
+        # p ∈ Pos(p): the other accepted fact is evicted and migrates back
+        assert fact("accepted", 2) in result.removed
+        assert fact("accepted", 2) in result.migrated
+
+    def test_deleting_derived_fact_rejected(self):
+        engine = StaticEngine(PODS)
+        with pytest.raises(UpdateError):
+            engine.delete_fact("rejected(1)")
+
+    def test_deleting_unknown_fact_rejected(self):
+        engine = StaticEngine(PODS)
+        with pytest.raises(UpdateError):
+            engine.delete_fact("accepted(99)")
+
+
+class TestRuleUpdates:
+    def test_insert_rule(self):
+        engine = StaticEngine(PODS)
+        engine.insert_rule("shortlist(X) :- submitted(X), not rejected(X).")
+        assert {f.args[0] for f in engine.model.facts_of("shortlist")} == {2, 4}
+        assert engine.is_consistent()
+
+    def test_insert_rule_keeps_stratified(self):
+        engine = StaticEngine(PODS)
+        with pytest.raises(StratificationError):
+            engine.insert_rule("accepted(X) :- rejected(X).")
+        assert engine.is_consistent()
+
+    def test_delete_rule(self):
+        engine = StaticEngine(PODS)
+        engine.delete_rule("rejected(X) :- not accepted(X), submitted(X).")
+        assert engine.model.count_of("rejected") == 0
+        assert engine.is_consistent()
+
+    def test_rule_cycle_insert_delete_roundtrip(self):
+        engine = StaticEngine(PODS)
+        rule = "shortlist(X) :- submitted(X), not rejected(X)."
+        engine.insert_rule(rule)
+        before = engine.model.as_set()
+        engine.delete_rule(rule)
+        engine.insert_rule(rule)
+        assert engine.model.as_set() == before
+        assert engine.is_consistent()
+
+
+class TestExample1Migration:
+    def test_conf_static_migrates_the_late_acceptance(self):
+        engine = StaticEngine(conf(l=3))
+        result = engine.insert_fact("rejected(4)")
+        # the asserted accepted(l+1) migrates under the static solution
+        assert fact("accepted", 4) in result.migrated
+        assert engine.is_consistent()
+
+
+class TestBookkeeping:
+    def test_no_supports(self):
+        engine = StaticEngine(PODS)
+        assert engine.support_entry_count() == 0
+
+    def test_totals_accumulate(self):
+        engine = StaticEngine(PODS)
+        engine.insert_fact("accepted(1)")
+        engine.delete_fact("accepted(1)")
+        assert engine.totals.updates == 2
+        assert engine.totals.migrated > 0

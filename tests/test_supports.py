@@ -1,0 +1,162 @@
+"""Unit tests for repro.core.supports (the support data structures)."""
+
+from repro.core.supports import (
+    FactRecord,
+    PairSupport,
+    PairedRecord,
+    RuleRecord,
+    SetOfSetsSupport,
+    Signed,
+    combine,
+    expand_neg_element,
+    expand_pos_element,
+    pair_support_of_derivation,
+    prune_to_minimal,
+)
+from repro.datalog.dependency import DependencyGraph, StaticDependencies
+from repro.datalog.parser import parse_clause, parse_program
+
+
+def statics_of(text: str) -> StaticDependencies:
+    return StaticDependencies(DependencyGraph(parse_program(text)))
+
+
+class TestSigned:
+    def test_rendering(self):
+        assert str(Signed("-", "rejected")) == "-rejected"
+        assert str(Signed("+", "rejected")) == "+rejected"
+
+    def test_distinct_from_plain(self):
+        assert Signed("+", "r") != "r"
+        assert {Signed("+", "r"), Signed("-", "r"), "r"} == {
+            Signed("+", "r"),
+            Signed("-", "r"),
+            "r",
+        }
+
+
+class TestExpansion:
+    def test_expand_neg_example2(self):
+        # Example 2: Neg = {+p2} must expand to p2 and everything p2
+        # positively depends on — in particular p0.
+        statics = statics_of("p1 :- not p0. p2 :- not p1. p3 :- not p2.")
+        expanded = expand_neg_element(frozenset({Signed("+", "p2")}), statics)
+        assert "p2" in expanded and "p0" in expanded
+        assert "p1" not in expanded  # odd parity from p2
+
+    def test_expand_pos_uses_neg_closure(self):
+        statics = statics_of("p1 :- not p0. p2 :- not p1.")
+        expanded = expand_pos_element(frozenset({Signed("-", "p1")}), statics)
+        assert expanded == {"p0"}
+
+    def test_plain_entries_pass_through(self):
+        statics = statics_of("p(X) :- q(X).")
+        assert expand_pos_element(frozenset({"a", "b"}), statics) == {"a", "b"}
+
+
+class TestPairSupport:
+    def test_trivial(self):
+        assert PairSupport.trivial().is_trivial()
+
+    def test_pairwise_smaller_strict(self):
+        small = PairSupport(frozenset({"a"}), frozenset())
+        big = PairSupport(frozenset({"a", "b"}), frozenset({"c"}))
+        assert small.pairwise_smaller(big)
+        assert not big.pairwise_smaller(small)
+        assert not small.pairwise_smaller(small)  # equality is not smaller
+
+    def test_incomparable(self):
+        left = PairSupport(frozenset({"a"}), frozenset())
+        right = PairSupport(frozenset({"b"}), frozenset())
+        assert not left.pairwise_smaller(right)
+        assert not right.pairwise_smaller(left)
+
+    def test_of_derivation(self):
+        body = PairSupport(frozenset({"e"}), frozenset({Signed("+", "r")}))
+        support = pair_support_of_derivation([body], ["q"], ["s"])
+        assert support.pos == {"e", "q", Signed("-", "s")}
+        assert support.neg == {Signed("+", "r"), Signed("+", "s")}
+
+    def test_size(self):
+        assert PairSupport(frozenset({"a", "b"}), frozenset({"c"})).size() == 3
+
+
+class TestCombine:
+    def test_neutral_element(self):
+        assert combine([]) == {frozenset()}
+
+    def test_cross_product_unions(self):
+        b1 = {frozenset({"a"}), frozenset({"b"})}
+        b2 = {frozenset({"c"})}
+        assert combine([b1, b2]) == {
+            frozenset({"a", "c"}),
+            frozenset({"b", "c"}),
+        }
+
+    def test_duplicate_unions_collapse(self):
+        b1 = {frozenset({"a"}), frozenset({"a", "b"})}
+        b2 = {frozenset({"b"}), frozenset()}
+        # unions: a∪b, a∪∅, ab∪b, ab∪∅ → {a,b} three times and {a} once
+        assert combine([b1, b2]) == {frozenset({"a", "b"}), frozenset({"a"})}
+
+
+class TestPruneToMinimal:
+    def test_supersets_removed(self):
+        pruned = prune_to_minimal(
+            {frozenset({"a"}), frozenset({"a", "b"}), frozenset({"c"})}
+        )
+        assert pruned == {frozenset({"a"}), frozenset({"c"})}
+
+    def test_empty_set_dominates(self):
+        pruned = prune_to_minimal({frozenset(), frozenset({"a"})})
+        assert pruned == {frozenset()}
+
+    def test_antichain_untouched(self):
+        antichain = {frozenset({"a"}), frozenset({"b"})}
+        assert prune_to_minimal(set(antichain)) == antichain
+
+
+class TestSetOfSetsSupport:
+    def test_trivial_contains_empty(self):
+        support = SetOfSetsSupport.trivial()
+        assert frozenset() in support.pos and frozenset() in support.neg
+
+    def test_add_deduction_with_pruning(self):
+        support = SetOfSetsSupport()
+        support.add_deduction(frozenset({"a", "b"}), frozenset({"x"}), True)
+        support.add_deduction(frozenset({"a"}), frozenset({"x", "y"}), True)
+        assert support.pos == {frozenset({"a"})}
+        assert support.neg == {frozenset({"x"})}
+
+    def test_size(self):
+        support = SetOfSetsSupport(
+            {frozenset({"a"})}, {frozenset({"x", "y"})}
+        )
+        assert support.size() == 5
+
+
+class TestRecords:
+    def test_rule_record_from_clause(self):
+        record = RuleRecord.of_rule(
+            parse_clause("a(X) :- s(X), t(X), not r(X).")
+        )
+        assert record.positive_relations == {"s", "t"}
+        assert record.negated_relations == {"r"}
+
+    def test_assertion_record(self):
+        record = RuleRecord.assertion()
+        assert record.rule is None
+        assert not record.positive_relations and not record.negated_relations
+
+    def test_paired_record_trivial(self):
+        assert PairedRecord.trivial().size() == 1
+
+    def test_fact_record_size(self):
+        from repro.datalog.atoms import fact
+
+        record = FactRecord(
+            parse_clause("a(X) :- s(X), not r(X)."),
+            frozenset({fact("s", 1)}),
+            frozenset({fact("r", 1)}),
+        )
+        assert record.size() == 3

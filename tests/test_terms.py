@@ -1,0 +1,87 @@
+"""Unit tests for repro.datalog.terms."""
+
+import pytest
+
+from repro.datalog.terms import (
+    Variable,
+    format_term,
+    is_constant,
+    is_ground,
+    is_variable,
+    variables,
+    variables_in,
+)
+
+
+class TestVariable:
+    def test_equality_by_name(self):
+        assert Variable("X") == Variable("X")
+        assert Variable("X") != Variable("Y")
+
+    def test_hash_consistent_with_equality(self):
+        assert hash(Variable("X")) == hash(Variable("X"))
+        assert len({Variable("X"), Variable("X"), Variable("Y")}) == 2
+
+    def test_not_equal_to_its_name_string(self):
+        assert Variable("X") != "X"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Variable("")
+
+    def test_str_and_repr(self):
+        assert str(Variable("Who")) == "Who"
+        assert "Who" in repr(Variable("Who"))
+
+
+class TestPredicates:
+    def test_is_variable(self):
+        assert is_variable(Variable("X"))
+        assert not is_variable("x")
+        assert not is_variable(3)
+
+    def test_is_constant(self):
+        assert is_constant("x")
+        assert is_constant(3)
+        assert not is_constant(Variable("X"))
+
+    def test_is_ground(self):
+        assert is_ground(("a", 1, "b"))
+        assert is_ground(())
+        assert not is_ground(("a", Variable("X")))
+
+    def test_variables_in_preserves_order_and_duplicates(self):
+        x, y = Variable("X"), Variable("Y")
+        assert list(variables_in((x, "a", y, x))) == [x, y, x]
+
+
+class TestVariablesFactory:
+    def test_space_separated(self):
+        x, y = variables("X Y")
+        assert x == Variable("X") and y == Variable("Y")
+
+    def test_comma_separated(self):
+        assert variables("A, B, C") == (
+            Variable("A"),
+            Variable("B"),
+            Variable("C"),
+        )
+
+
+class TestFormatTerm:
+    def test_variable(self):
+        assert format_term(Variable("X")) == "X"
+
+    def test_identifier_constant_bare(self):
+        assert format_term("alice") == "alice"
+        assert format_term("a_b2") == "a_b2"
+
+    def test_non_identifier_string_quoted(self):
+        assert format_term("Alice") == "'Alice'"
+        assert format_term("two words") == "'two words'"
+
+    def test_quote_escaping(self):
+        assert format_term("it's") == "'it\\'s'"
+
+    def test_integer(self):
+        assert format_term(42) == "42"

@@ -1,0 +1,69 @@
+"""Unit tests for repro.datalog.unify."""
+
+import pytest
+
+from repro.datalog.atoms import Atom, atom
+from repro.datalog.terms import Variable
+from repro.datalog.unify import (
+    ground_atom,
+    match_atom,
+    match_tuple,
+    substitute,
+    substitute_args,
+)
+
+X = Variable("X")
+Y = Variable("Y")
+
+
+class TestMatchTuple:
+    def test_binds_fresh_variables(self):
+        subst = {}
+        assert match_tuple((X, Y), ("a", "b"), subst)
+        assert subst == {X: "a", Y: "b"}
+
+    def test_respects_existing_bindings(self):
+        subst = {X: "a"}
+        assert match_tuple((X,), ("a",), subst)
+        assert not match_tuple((X,), ("b",), dict(subst))
+
+    def test_repeated_variable_must_agree(self):
+        assert match_tuple((X, X), ("a", "a"), {})
+        assert not match_tuple((X, X), ("a", "b"), {})
+
+    def test_constants_compared(self):
+        assert match_tuple(("a", 1), ("a", 1), {})
+        assert not match_tuple(("a",), ("b",), {})
+
+
+class TestMatchAtom:
+    def test_relation_must_agree(self):
+        assert match_atom(atom("p", X), Atom("q", ("a",))) is None
+
+    def test_arity_must_agree(self):
+        assert match_atom(atom("p", X), Atom("p", ("a", "b"))) is None
+
+    def test_returns_new_dict(self):
+        base = {Y: "c"}
+        result = match_atom(atom("p", X), Atom("p", ("a",)), base)
+        assert result == {Y: "c", X: "a"}
+        assert base == {Y: "c"}
+
+    def test_failure_returns_none(self):
+        assert match_atom(atom("p", X, X), Atom("p", ("a", "b"))) is None
+
+
+class TestSubstitution:
+    def test_substitute_args_partial(self):
+        assert substitute_args((X, Y, 1), {X: "a"}) == ("a", Y, 1)
+
+    def test_substitute_atom(self):
+        assert substitute(atom("p", X), {X: 5}) == Atom("p", (5,))
+
+    def test_ground_atom_success(self):
+        assert ground_atom(atom("p", X), {X: 1}).is_ground()
+
+    def test_ground_atom_failure(self):
+        with pytest.raises(ValueError) as exc:
+            ground_atom(atom("p", X, Y), {X: 1})
+        assert "Y" in str(exc.value)

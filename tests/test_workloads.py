@@ -1,0 +1,160 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.datalog.database import StratifiedDatabase
+from repro.datalog.evaluation import compute_model
+from repro.workloads.families import (
+    access_control,
+    bill_of_materials,
+    reachability,
+    review_pipeline,
+)
+from repro.workloads.paper import conf, congress, meet, negation_chain, pods
+from repro.workloads.synthetic import SyntheticSpec, generate
+from repro.workloads.updates import asserted_facts, flip_sequence, random_updates
+
+
+class TestPaperWorkloads:
+    def test_pods_shape(self):
+        model = compute_model(pods(l=10, accepted=(1, 5, 10)))
+        assert model.count_of("rejected") == 7
+
+    def test_pods_validates_accepted_range(self):
+        with pytest.raises(ValueError):
+            pods(l=3, accepted=(5,))
+
+    def test_conf_scales(self):
+        model = compute_model(conf(l=7))
+        assert model.count_of("accepted") == 8  # 7 + the late one
+
+    def test_negation_chain_alternates(self):
+        model = compute_model(negation_chain(8))
+        assert {f.relation for f in model.facts()} == {
+            "p1", "p3", "p5", "p7"
+        }
+
+    def test_negation_chain_validates(self):
+        with pytest.raises(ValueError):
+            negation_chain(0)
+
+    def test_congress_and_meet_stratified(self):
+        StratifiedDatabase(congress(l=4))
+        StratifiedDatabase(meet(l=4))
+
+
+class TestFamilies:
+    def test_all_families_stratified(self):
+        for program in (
+            review_pipeline(papers=6, seed=0),
+            reachability(nodes=6, seed=0),
+            bill_of_materials(assemblies=3, seed=0),
+            access_control(users=5, seed=0),
+        ):
+            StratifiedDatabase(program)  # raises when not stratified
+
+    def test_generators_deterministic(self):
+        a = review_pipeline(papers=8, seed=42)
+        b = review_pipeline(papers=8, seed=42)
+        assert a.clauses == b.clauses
+
+    def test_different_seeds_differ(self):
+        a = reachability(nodes=8, seed=1)
+        b = reachability(nodes=8, seed=2)
+        assert a.clauses != b.clauses
+
+    def test_reachability_negation_shape(self):
+        model = compute_model(reachability(nodes=5, edge_probability=0.0))
+        # no links: every ordered pair is unreachable
+        assert model.count_of("unreachable") == 25
+
+    def test_bill_of_materials_blocking(self):
+        program = bill_of_materials(assemblies=2, depth=2, seed=0,
+                                    missing=("part1",))
+        model = compute_model(program)
+        assert model.count_of("blocked") >= 1
+        assert (
+            model.count_of("buildable") + model.count_of("blocked")
+            == model.count_of("assembly")
+        )
+
+    def test_access_control_default_deny(self):
+        model = compute_model(access_control(users=6, seed=3))
+        # allowed ⊆ granted (revocations only shrink)
+        allowed = set(model.facts_of("allowed"))
+        granted = {
+            ("allowed",) + f.args for f in model.facts_of("granted")
+        }
+        assert {("allowed",) + f.args for f in allowed} <= granted
+
+
+class TestSynthetic:
+    def test_always_stratified(self):
+        for seed in range(15):
+            StratifiedDatabase(generate(seed).program)
+
+    def test_deterministic(self):
+        assert generate(9).program.clauses == generate(9).program.clauses
+
+    def test_spec_respected(self):
+        spec = SyntheticSpec(levels=2, edb_relations=2, domain_size=4)
+        syn = generate(0, spec)
+        assert len(syn.edb_relations) == 2
+        assert all(len(args) <= spec.max_arity
+                   for clause in syn.program
+                   for args in [clause.head.args])
+
+    def test_domain_collected(self):
+        syn = generate(3)
+        assert syn.domain  # non-empty
+
+
+class TestUpdateSequences:
+    def test_random_updates_replayable(self):
+        syn = generate(4)
+        updates = random_updates(
+            syn.program, syn.edb_relations, syn.arities, syn.domain,
+            count=12, seed=4,
+        )
+        assert len(updates) == 12
+        from repro.core.recompute import RecomputeEngine
+
+        engine = RecomputeEngine(syn.program)
+        for operation, subject in updates:
+            engine.apply(operation, subject)  # must never raise
+
+    def test_deletions_target_existing_assertions(self):
+        syn = generate(5)
+        updates = random_updates(
+            syn.program, syn.edb_relations, syn.arities, syn.domain,
+            count=20, insert_ratio=0.2, seed=5,
+        )
+        state = {
+            clause.head for clause in syn.program if not clause.body
+        }
+        for operation, subject in updates:
+            if operation == "delete_fact":
+                assert subject in state
+                state.discard(subject)
+            else:
+                state.add(subject)
+
+    def test_flip_sequence_alternates_legally(self):
+        program = reachability(nodes=5, seed=0)
+        facts = asserted_facts(program, ["link"])
+        updates = flip_sequence(facts[:4], seed=0, count=9)
+        present = set(facts[:4])
+        for operation, subject in updates:
+            if operation == "delete_fact":
+                assert subject in present
+                present.discard(subject)
+            else:
+                assert subject not in present
+                present.add(subject)
+
+    def test_asserted_facts_filter(self):
+        program = reachability(nodes=4, seed=0)
+        assert all(
+            f.relation == "node"
+            for f in asserted_facts(program, ["node"])
+        )
