@@ -1,0 +1,135 @@
+"""E15 — reopening a store: snapshot restore vs from-scratch rebuild.
+
+The store's promise (repro.store) is that resuming a maintained database
+costs *decode the snapshot + replay the journal tail* instead of
+re-saturating the whole program. On a derivation-heavy workload (two
+levels of join rules over a branching edge relation, plus a negation
+layer) restore skips every join the rebuild performs, so a checkpointed
+store must reopen faster than ``create_engine`` for every relation-level
+support engine. The fact-level engine is reported but not asserted: its
+per-deduction records make the snapshot itself enormous — section 5.2's
+"prohibitive bookkeeping" showing up again, this time at serialization.
+
+A second scenario reopens a cascade store whose snapshot is a few
+revisions behind the head, so the journal tail is actually replayed; the
+delta-driven cascade updates keep that cheap. (The section 4 engines
+re-saturate whole strata per update, so a tail replay on them costs a
+rebuild-sized amount by design — snapshot at the head is their story.)
+"""
+
+import time
+
+from repro.bench.reporting import print_table
+from repro.core.registry import create_engine
+from repro.store import Store
+
+RESTORE_MUST_WIN = ("static", "dynamic", "cascade", "setofsets-paired")
+REPORT_ONLY = ("factlevel",)
+NODES = 160
+TAIL = 3  # journal records replayed on top of the snapshot (scenario 2)
+
+
+def _workload(nodes: int = NODES) -> str:
+    """A chain with skip edges, two join levels, and a negation layer."""
+    lines = []
+    for i in range(nodes - 1):
+        lines.append(f"edge({i}, {i + 1}).")
+        if i + 3 < nodes:
+            lines.append(f"edge({i}, {i + 3}).")
+    for i in range(nodes):
+        lines.append(f"node({i}).")
+    lines.append("hop(X, Z) :- edge(X, Y), edge(Y, Z).")
+    lines.append("path(X, Y) :- edge(X, Y).")
+    lines.append("path(X, Z) :- edge(X, Y), path(Y, Z).")
+    lines.append("looped(X) :- path(X, X).")
+    lines.append("terminal(X) :- node(X), not looped(X), not source(X).")
+    return "\n".join(lines)
+
+
+def test_e15_snapshot_restore_vs_rebuild(tmp_path):
+    program = _workload()
+    rows = []
+    speedups = {}
+    for name in RESTORE_MUST_WIN + REPORT_ONLY:
+        directory = tmp_path / name
+        store = Store.create(directory, program, engine=name)
+        for i in range(TAIL):
+            store.insert_fact(f"source({i})")
+        snapshot_started = time.perf_counter()
+        store.snapshot()  # checkpoint at the head
+        snapshot_s = time.perf_counter() - snapshot_started
+        model = store.model.as_set()
+        final_program = store.engine.db.program
+        store.close()
+
+        restore_s = float("inf")
+        for _ in range(3):
+            started = time.perf_counter()
+            reopened = Store.open(directory)
+            restore_s = min(restore_s, time.perf_counter() - started)
+            assert reopened.model.as_set() == model
+            reopened.close()
+
+        rebuild_s = float("inf")
+        for _ in range(3):
+            started = time.perf_counter()
+            rebuilt = create_engine(name, final_program)
+            rebuild_s = min(rebuild_s, time.perf_counter() - started)
+            assert rebuilt.model.as_set() == model
+
+        speedups[name] = rebuild_s / restore_s
+        rows.append([name, snapshot_s, restore_s, rebuild_s, speedups[name]])
+
+    print_table(
+        ["engine", "snapshot_s", "restore_s", "rebuild_s", "rebuild/restore"],
+        rows,
+        "E15: reopen a checkpointed store vs rebuild from scratch, best of 3",
+    )
+    for name in RESTORE_MUST_WIN:
+        assert speedups[name] > 1.0, (
+            f"{name}: snapshot restore ({speedups[name]:.2f}x) "
+            "did not beat rebuild"
+        )
+
+
+def test_e15_reopen_with_journal_tail(benchmark, tmp_path):
+    """Snapshot + tail replay still beats a rebuild for the cascade engine."""
+    program = _workload()
+    directory = tmp_path / "tail"
+    store = Store.create(directory, program, engine="cascade")
+    store.snapshot()  # checkpoint BEFORE the tail
+    for i in range(TAIL):
+        store.insert_fact(f"source({i})")
+    model = store.model.as_set()
+    final_program = store.engine.db.program
+    store.close()
+
+    restore_s = float("inf")
+    for _ in range(3):
+        started = time.perf_counter()
+        reopened = Store.open(directory)
+        restore_s = min(restore_s, time.perf_counter() - started)
+        assert reopened.model.as_set() == model
+        reopened.close()
+
+    rebuild_s = float("inf")
+    for _ in range(3):
+        started = time.perf_counter()
+        rebuilt = create_engine("cascade", final_program)
+        rebuild_s = min(rebuild_s, time.perf_counter() - started)
+        assert rebuilt.model.as_set() == model
+
+    print_table(
+        ["scenario", "time_s"],
+        [
+            [f"reopen (snapshot + {TAIL}-record tail)", restore_s],
+            ["rebuild from scratch", rebuild_s],
+        ],
+        "E15b: cascade store, snapshot lagging the journal head, best of 3",
+    )
+    assert rebuild_s / restore_s > 1.0, (
+        f"tail replay reopen ({rebuild_s / restore_s:.2f}x) "
+        "did not beat rebuild"
+    )
+
+    benchmark(lambda: Store.open(directory).close())

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Persistent sessions: crash recovery, transactions and time travel.
+
+The engines of :mod:`repro.core` revise a belief state in memory; the
+:mod:`repro.store` package makes that revision history durable. This
+walkthrough runs a review database inside a store directory, kills the
+"process" mid-flight, reopens the store (snapshot + journal-tail replay),
+rolls back a failing batch, and time-travels the belief state.
+
+Run:  python examples/persistent_session.py
+"""
+
+import shutil
+import tempfile
+from pathlib import Path
+
+from repro import open_store
+from repro.datalog.errors import UpdateError
+
+PODS = """
+% the PODS review database of section 3
+submitted(1). submitted(2). submitted(3). submitted(4). submitted(5).
+accepted(2). accepted(4).
+rejected(X) :- not accepted(X), submitted(X).
+"""
+
+
+def main():
+    directory = Path(tempfile.mkdtemp()) / "reviews"
+
+    # ------------------------------------------------------------------
+    # Session 1: create the store, make some revisions, checkpoint.
+    # ------------------------------------------------------------------
+    store = open_store(directory, program=PODS, engine="cascade")
+    print(f"created {store}")
+
+    store.insert_fact("accepted(1)")          # revision 1
+    store.insert_rule(
+        "notify(X) :- rejected(X), not appealed(X)."
+    )                                         # revision 2
+    store.snapshot()                          # durable checkpoint
+    store.insert_fact("appealed(3)")          # revision 3: journal tail
+    print(f"revision {store.revision}, model has {len(store.model)} facts")
+
+    # A transaction that fails mid-batch leaves no trace: deleting a
+    # never-asserted fact raises, and the whole batch rolls back.
+    try:
+        with store.transaction():
+            store.insert_fact("submitted(6)")
+            store.delete_fact("accepted(99)")     # not asserted -> raises
+    except UpdateError as error:
+        print(f"transaction rolled back: {error}")
+    assert not store.model.contains("submitted", (6,))
+    assert store.head == 3  # nothing extra was journaled
+
+    # ... and a successful batch is one atomic revision.
+    with store.transaction():
+        store.insert_fact("submitted(6)")
+        store.insert_fact("accepted(6)")
+    print(f"committed batch as revision {store.revision}")
+
+    head_model = store.model.as_set()
+    del store  # simulate a crash: no close, no final snapshot
+
+    # ------------------------------------------------------------------
+    # Session 2: reopen. The store restores the newest snapshot and
+    # replays the journal tail — no from-scratch rebuild.
+    # ------------------------------------------------------------------
+    store = open_store(directory)
+    print(f"\nreopened {store}")
+    assert store.model.as_set() == head_model
+    print("recovered model matches the pre-crash state")
+
+    # ------------------------------------------------------------------
+    # Time travel: every belief state in the history is addressable.
+    # ------------------------------------------------------------------
+    store.undo(2)  # back before the appeal and the committed batch
+    print(f"\nafter undo(2): revision {store.revision}")
+    assert not store.model.contains("appealed", (3,))
+    assert store.model.contains("notify", (3,))  # rule still in force
+
+    store.redo(2)  # ... and forward again
+    assert store.model.as_set() == head_model
+    print(f"after redo(2): revision {store.revision}, model restored")
+
+    print("\nrevision history:")
+    for line in store.log():
+        print(" ", line)
+
+    store.close()
+    shutil.rmtree(directory.parent)
+
+
+if __name__ == "__main__":
+    main()

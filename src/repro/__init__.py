@@ -18,6 +18,26 @@ Quickstart::
     print(sorted(map(str, engine.model.facts_of("accepted"))))
     result = engine.insert_fact("rejected(3)")
     print(result.summary())
+
+Durability — the revision history the paper's model implies is a
+first-class, persistent object via :mod:`repro.store`: every admitted
+update is write-ahead journaled, snapshots make reopening cost *restore +
+replay tail* instead of a rebuild, transactions batch updates atomically,
+and ``undo``/``redo`` time-travel the belief state::
+
+    from repro import open_store
+
+    store = open_store("mydb", program="e(1). p(X) :- e(X), not q(X).")
+    store.insert_fact("q(1)")
+    with store.transaction():            # all-or-nothing batch
+        store.insert_fact("e(2)")
+        store.insert_fact("e(3)")
+    store.snapshot()                     # durable checkpoint
+    store.undo(1)                        # contract the last revision
+    store.redo(1)                        # ... and re-expand it
+    store = open_store("mydb")           # crash-safe reopen at the head
+
+See ``examples/persistent_session.py`` for the crash-recovery walkthrough.
 """
 
 from .core import (
@@ -36,8 +56,17 @@ from .core import (
     StaticEngine,
     UpdateResult,
     create_engine,
+    engine_from_state,
     explain,
     explain_absence,
+)
+from .store import (
+    Journal,
+    Store,
+    StoreError,
+    Transaction,
+    TransactionAbort,
+    open_store,
 )
 from .datalog import (
     Atom,
@@ -69,7 +98,7 @@ from .datalog import (
     variables,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Atom",
@@ -82,6 +111,7 @@ __all__ = [
     "Explanation",
     "ExplanationError",
     "FactLevelEngine",
+    "Journal",
     "MaintenanceEngine",
     "MaintenanceStats",
     "Model",
@@ -94,8 +124,12 @@ __all__ = [
     "SafetyError",
     "SetOfSetsEngine",
     "StaticEngine",
+    "Store",
+    "StoreError",
     "StratificationError",
     "StratifiedDatabase",
+    "Transaction",
+    "TransactionAbort",
     "UpdateError",
     "UpdateResult",
     "Variable",
@@ -103,10 +137,12 @@ __all__ = [
     "atom",
     "compute_model",
     "create_engine",
+    "engine_from_state",
     "explain",
     "explain_absence",
     "fact",
     "neg",
+    "open_store",
     "parse_atom",
     "parse_clause",
     "parse_fact",

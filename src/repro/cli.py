@@ -15,11 +15,18 @@ Commands (also shown by ``help``)::
     supports accepted(7)          the engine's support structures
     engine [name]                 show or switch the engine
     stats                         totals for this session
+    open DIR                      attach a durable store (journals updates)
+    commit                        checkpoint the store (snapshot)
+    undo [N] / redo [N]           rewind / re-apply N revisions
+    log                           the store's revision history
+    close                         detach the store
     save FILE                     write the current program to FILE
     help / quit
 
 Every update prints its UpdateResult summary, so the non-monotonic
 consequences (insertions deleting, deletions inserting) are visible live.
+With a store attached (``open``), every update is write-ahead journaled
+and the session survives restarts: ``repro --store DIR`` reopens it.
 """
 
 from __future__ import annotations
@@ -33,31 +40,48 @@ from .core.registry import ENGINE_NAMES, create_engine
 from .datalog.errors import DatalogError
 from .datalog.parser import parse_atom, parse_clause
 from .datalog.query import query as run_query
+from .store import StoreError, open_store
 
 
 class Console:
     """State and command dispatch of the interactive session."""
 
-    def __init__(self, program_text: str = "", engine_name: str = "cascade"):
+    def __init__(
+        self,
+        program_text: str = "",
+        engine_name: str = "cascade",
+        store_path: Optional[str] = None,
+    ):
         self.engine_name = engine_name
-        self.engine = create_engine(engine_name, program_text)
+        self.store = None
+        if store_path is not None:
+            self.store = open_store(
+                store_path, program=program_text, engine=engine_name
+            )
+            self.engine = self.store.engine
+            # An existing store keeps its creation engine regardless of
+            # the flag; reflect what is actually running.
+            self.engine_name = self.store.engine_name
+        else:
+            self.engine = create_engine(engine_name, program_text)
 
     # each handler returns the text to print ------------------------------
 
     def do_update(self, line: str) -> str:
+        target = self.store if self.store is not None else self.engine
         sign, body = line[0], line[1:].strip()
         if ":-" in body or "<-" in body:
             clause = parse_clause(body if body.endswith(".") else body + ".")
             if sign == "+":
-                result = self.engine.insert_rule(clause)
+                result = target.insert_rule(clause)
             else:
-                result = self.engine.delete_rule(clause)
+                result = target.delete_rule(clause)
         else:
             fact = parse_atom(body.rstrip("."))
             if sign == "+":
-                result = self.engine.insert_fact(fact)
+                result = target.insert_fact(fact)
             else:
-                result = self.engine.delete_fact(fact)
+                result = target.delete_fact(fact)
         return result.summary()
 
     def do_query(self, body: str) -> str:
@@ -119,6 +143,11 @@ class Console:
             return f"unknown engine {name!r}; available: " + ", ".join(
                 ENGINE_NAMES
             )
+        if self.store is not None:
+            return (
+                "a store is attached; its engine is fixed at creation "
+                "(`close` first)"
+            )
         self.engine = create_engine(name, self.engine.db.program)
         self.engine_name = name
         return f"switched to {name} ({len(self.engine.model)} facts)"
@@ -137,8 +166,76 @@ class Console:
         if not path:
             return "usage: save FILE"
         with open(path, "w") as handle:
-            handle.write(str(self.engine.db.program) + "\n")
+            handle.write(self.engine.db.source_text())
         return f"wrote {len(self.engine.db.program)} clauses to {path}"
+
+    # store commands ------------------------------------------------------
+
+    def do_open(self, body: str) -> str:
+        path = body.strip()
+        if not path:
+            return "usage: open DIR"
+        if self.store is not None:
+            return f"a store is already attached at {self.store.path}; `close` first"
+        self.store = open_store(
+            path,
+            program=self.engine.db.source_text(),
+            engine=self.engine_name,
+        )
+        self.engine = self.store.engine
+        self.engine_name = self.store.engine_name
+        return (
+            f"store at {self.store.path}: engine {self.store.engine_name}, "
+            f"revision {self.store.revision}, {len(self.engine.model)} facts"
+        )
+
+    def _need_store(self) -> Optional[str]:
+        if self.store is None:
+            return "no store attached; use `open DIR`"
+        return None
+
+    def do_commit(self, body: str) -> str:
+        missing = self._need_store()
+        if missing:
+            return missing
+        path = self.store.snapshot()
+        return f"snapshot at revision {self.store.revision}: {path.name}"
+
+    def do_undo(self, body: str) -> str:
+        missing = self._need_store()
+        if missing:
+            return missing
+        count = int(body.strip() or "1")
+        revision = self.store.undo(count)
+        self.engine = self.store.engine
+        return f"at revision {revision} ({len(self.engine.model)} facts)"
+
+    def do_redo(self, body: str) -> str:
+        missing = self._need_store()
+        if missing:
+            return missing
+        count = int(body.strip() or "1")
+        revision = self.store.redo(count)
+        self.engine = self.store.engine
+        return f"at revision {revision} ({len(self.engine.model)} facts)"
+
+    def do_log(self, body: str) -> str:
+        missing = self._need_store()
+        if missing:
+            return missing
+        lines = self.store.log()
+        if not lines:
+            return "(empty journal)"
+        return "\n".join(lines)
+
+    def do_close(self, body: str) -> str:
+        missing = self._need_store()
+        if missing:
+            return missing
+        path = self.store.path
+        self.store.close()
+        self.store = None
+        return f"detached store at {path} (state stays in memory)"
 
     def do_help(self, body: str) -> str:
         return __doc__.split("Commands", 1)[1].split("::", 1)[1].strip("\n")
@@ -180,6 +277,12 @@ def main(argv=None) -> int:
         default=None,
         help="run a command and exit (repeatable)",
     )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="attach a durable store (created from the program when new)",
+    )
     args = parser.parse_args(argv)
 
     text = ""
@@ -187,18 +290,22 @@ def main(argv=None) -> int:
         with open(args.program) as handle:
             text = handle.read()
     try:
-        console = Console(text, args.engine)
-    except DatalogError as error:
+        console = Console(text, args.engine, store_path=args.store)
+    except (DatalogError, StoreError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
     print(
-        f"repro console — {args.engine} engine, "
+        f"repro console — {console.engine_name} engine, "
         f"{len(console.engine.model)} facts; `help` for commands"
     )
 
     if args.command:
         for command in args.command:
-            output = console.dispatch(command)
+            try:
+                output = console.dispatch(command)
+            except (DatalogError, StoreError, ValueError, LookupError) as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 1
             if output:
                 print(output)
         return 0
@@ -211,7 +318,7 @@ def main(argv=None) -> int:
             return 0
         try:
             output = console.dispatch(line)
-        except DatalogError as error:
+        except (DatalogError, StoreError) as error:
             print(f"error: {error}")
             continue
         except (ValueError, LookupError) as error:

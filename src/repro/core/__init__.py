@@ -23,6 +23,7 @@ from .registry import (
     PAPER_SOLUTION_NAMES,
     SOUND_ENGINE_NAMES,
     create_engine,
+    engine_from_state,
 )
 from .setofsets_engine import SetOfSetsEngine
 from .static_engine import StaticEngine
@@ -63,6 +64,7 @@ __all__ = [
     "UpdateResult",
     "combine",
     "create_engine",
+    "engine_from_state",
     "expand_neg_element",
     "expand_pos_element",
     "explain",

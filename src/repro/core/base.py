@@ -60,6 +60,7 @@ class MaintenanceEngine(ABC):
         *,
         method: str = "seminaive",
         granularity: str = "level",
+        build: bool = True,
     ):
         if isinstance(program, StratifiedDatabase):
             self.db = program.copy()
@@ -70,7 +71,8 @@ class MaintenanceEngine(ABC):
         self.totals = MaintenanceStats()
         self._derivations_fired = 0
         self._transient = 0  # facts added and evicted within one update
-        self.rebuild()
+        if build:
+            self.rebuild()
 
     # ------------------------------------------------------------------
     # Construction
@@ -95,6 +97,65 @@ class MaintenanceEngine(ABC):
             self._derivations_fired += 1
 
         return listener
+
+    # ------------------------------------------------------------------
+    # Durable state (repro.store)
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """A deep, self-contained snapshot of the engine's belief state.
+
+        The returned structure holds plain AST objects (clauses, atoms,
+        immutable support records) and fresh container copies, so mutating
+        the engine afterwards never aliases into it. ``load_state`` on the
+        same (or a freshly constructed) engine restores program, model and
+        supports exactly; :mod:`repro.store.serialize` turns the structure
+        into JSON for on-disk snapshots.
+        """
+        return {
+            "engine": self.name,
+            "method": self.method,
+            "granularity": self.db.granularity,
+            "program": self.db.program.clauses,
+            "model": tuple(self.model.sorted_facts()),
+            "supports": self._support_state(),
+            "derivations_fired": self._derivations_fired,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore the belief state captured by :meth:`state_dict`.
+
+        Rebuilds the database's derived structures (dependency graph,
+        stratification, static closures) from the recorded program — these
+        are cheap, rule-driven computations — but takes the model and the
+        supports verbatim instead of re-running saturation, which is what
+        makes a snapshot restore beat :meth:`rebuild`. When the current
+        database already holds exactly the recorded program (the
+        ``engine_from_state`` path), it is reused as-is.
+        """
+        program = tuple(state["program"])
+        granularity = state.get("granularity", self.db.granularity)
+        if (
+            self.db.program.clauses != program
+            or self.db.granularity != granularity
+        ):
+            self.db = StratifiedDatabase(Program(program), granularity)
+        self.method = state.get("method", self.method)
+        model = Model()
+        for fact in state["model"]:
+            model.add(fact)
+        self.model = model
+        self._load_support_state(state["supports"])
+        self._derivations_fired = state.get("derivations_fired", 0)
+        self._transient = 0
+
+    def _support_state(self) -> dict:
+        """Deep copy of the support structures. Default: support-free."""
+        return {}
+
+    def _load_support_state(self, state: dict) -> None:
+        """Adopt support structures from a :meth:`_support_state` copy."""
+        self._reset_supports()
 
     # ------------------------------------------------------------------
     # Public update API

@@ -106,6 +106,21 @@ class CascadeEngine(MaintenanceEngine):
     def support_entry_count(self) -> int:
         return sum(len(records) for records in self._records.values())
 
+    def _support_state(self) -> dict:
+        return {
+            "records": {
+                fact: set(records) for fact, records in self._records.items()
+            }
+        }
+
+    def _load_support_state(self, state: dict) -> None:
+        self._reset_supports()
+        self._cluster_cache.clear()
+        self._cluster_cache_owner = None
+        self._records = {
+            fact: set(records) for fact, records in state["records"].items()
+        }
+
     # ------------------------------------------------------------------
     # The three procedures of section 5.1
     # ------------------------------------------------------------------

@@ -111,6 +111,13 @@ class DynamicEngine(MaintenanceEngine):
     def support_entry_count(self) -> int:
         return sum(support.size() for support in self._supports.values())
 
+    def _support_state(self) -> dict:
+        # PairSupport is immutable; copying the dict is a deep copy.
+        return {"supports": dict(self._supports)}
+
+    def _load_support_state(self, state: dict) -> None:
+        self._supports = dict(state["supports"])
+
     # ------------------------------------------------------------------
     # Removal phases
     # ------------------------------------------------------------------

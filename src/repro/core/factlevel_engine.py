@@ -83,6 +83,18 @@ class FactLevelEngine(MaintenanceEngine):
             for record in records
         )
 
+    def _support_state(self) -> dict:
+        return {
+            "records": {
+                fact: set(records) for fact, records in self._records.items()
+            }
+        }
+
+    def _load_support_state(self, state: dict) -> None:
+        self._records = {
+            fact: set(records) for fact, records in state["records"].items()
+        }
+
     # ------------------------------------------------------------------
     # The cascade at fact granularity
     # ------------------------------------------------------------------

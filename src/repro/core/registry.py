@@ -65,3 +65,25 @@ def create_engine(name: str, program, **kwargs) -> MaintenanceEngine:
         known = ", ".join(sorted(_FACTORIES))
         raise ValueError(f"unknown engine {name!r}; known engines: {known}")
     return factory(program, **kwargs)
+
+
+def engine_from_state(name: str, state: dict, **kwargs) -> MaintenanceEngine:
+    """Reconstruct the engine registered under *name* from a state snapshot.
+
+    The engine is built with ``build=False`` — no from-scratch saturation —
+    and then adopts the snapshot's program, model and supports via
+    :meth:`~repro.core.base.MaintenanceEngine.load_state`. This is the fast
+    path :mod:`repro.store` uses when reopening a persisted database.
+    """
+    from ..datalog.clauses import Program
+
+    options = {
+        "method": state.get("method", "seminaive"),
+        "granularity": state.get("granularity", "level"),
+    }
+    options.update(kwargs)
+    engine = create_engine(
+        name, Program(state["program"]), build=False, **options
+    )
+    engine.load_state(state)
+    return engine

@@ -169,6 +169,26 @@ class SetOfSetsEngine(MaintenanceEngine):
             for record in records
         )
 
+    def _support_state(self) -> dict:
+        return {
+            "supports": {
+                fact: SetOfSetsSupport(set(support.pos), set(support.neg))
+                for fact, support in self._supports.items()
+            },
+            "records": {
+                fact: set(records) for fact, records in self._records.items()
+            },
+        }
+
+    def _load_support_state(self, state: dict) -> None:
+        self._supports = {
+            fact: SetOfSetsSupport(set(support.pos), set(support.neg))
+            for fact, support in state["supports"].items()
+        }
+        self._records = {
+            fact: set(records) for fact, records in state["records"].items()
+        }
+
     # ------------------------------------------------------------------
     # Removal phases
     # ------------------------------------------------------------------

@@ -220,6 +220,14 @@ class SetOfSetsSupport:
             len(element) + 1 for element in self.neg
         )
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SetOfSetsSupport):
+            return NotImplemented
+        return self.pos == other.pos and self.neg == other.neg
+
+    def __repr__(self) -> str:
+        return f"SetOfSetsSupport(pos={self.pos!r}, neg={self.neg!r})"
+
 
 class PairedRecord(NamedTuple):
     """One deduction's (Pos element, Neg element) pair, kept linked.

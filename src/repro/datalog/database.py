@@ -131,6 +131,11 @@ class StratifiedDatabase:
 
     def add_rule(self, clause: Clause) -> None:
         """Admit a rule insertion, re-checking stratifiability first."""
+        self._check_rule_insertion(clause)
+        self._program.add(clause)
+        self._rebuild()
+
+    def _check_rule_insertion(self, clause: Clause) -> None:
         if clause in self._program:
             raise UpdateError(f"rule already present: {clause}")
         trial = DependencyGraph(self._program)
@@ -141,8 +146,35 @@ class StratifiedDatabase:
                 "rule insertion would break stratification: negative arc "
                 f"{offending.source} -> {offending.target} lies on a cycle"
             )
-        self._program.add(clause)
-        self._rebuild()
+
+    def admits(self, operation: str, subject) -> None:
+        """Raise the error *operation* would raise, without applying it.
+
+        A dry run of the admission rules above, for callers (the durable
+        store) that must refuse an update *before* taking irreversible
+        bookkeeping steps such as discarding a redo tail.
+        """
+        if operation == "insert_fact":
+            if not subject.is_ground():
+                raise UpdateError(f"cannot assert non-ground atom {subject}")
+        elif operation == "delete_fact":
+            if Clause(subject) not in self._program:
+                raise UpdateError(
+                    f"cannot delete {subject}: it is not an asserted fact"
+                )
+        elif operation == "insert_rule":
+            subject.check_safety()
+            self._check_rule_insertion(subject)
+        elif operation == "delete_rule":
+            if not subject.body:
+                raise UpdateError(
+                    f"use retract_fact to delete the asserted fact "
+                    f"{subject.head}"
+                )
+            if subject not in self._program:
+                raise UpdateError(f"rule not present: {subject}")
+        else:
+            raise ValueError(f"unknown operation {operation!r}")
 
     def remove_rule(self, clause: Clause) -> None:
         """Remove a rule; raises :class:`UpdateError` when absent."""
@@ -159,6 +191,23 @@ class StratifiedDatabase:
         self._graph = DependencyGraph(self._program)
         self._stratification = stratify(self._program, self._granularity)
         self._statics.rebase(self._graph)
+
+    def source_text(self) -> str:
+        """Deterministic textual form of the program that round-trips.
+
+        Rules come first in insertion order, then the asserted facts sorted
+        by relation and row; every clause ends with its period and its own
+        line. Parsing the text back yields a program with the same clause
+        set, and saving an unchanged reload reproduces the bytes — the
+        contract the CLI ``save`` command and the store rely on.
+        """
+        rules = [str(clause) for clause in self._program.rules]
+        facts = sorted(
+            (str(Clause(fact)) for fact in self._program.facts),
+            key=str,
+        )
+        lines = rules + facts
+        return "\n".join(lines) + ("\n" if lines else "")
 
     def copy(self) -> "StratifiedDatabase":
         return StratifiedDatabase(self._program, self._granularity)

@@ -94,6 +94,19 @@ class Model:
     def as_set(self) -> frozenset[Atom]:
         return frozenset(self.facts())
 
+    def sorted_facts(self) -> list[Atom]:
+        """All facts in a stable order (relation name, then row repr).
+
+        Serialization (snapshots, journals) iterates the model through this
+        so that equal models always produce byte-identical output,
+        independent of set/dict iteration order.
+        """
+        return [
+            Atom(name, row)
+            for name in sorted(self._relations)
+            for row in sorted(self._relations[name], key=repr)
+        ]
+
     def restrict(self, predicate: Callable[[str], bool]) -> frozenset[Atom]:
         """The facts whose relation satisfies *predicate*."""
         return frozenset(

@@ -1,0 +1,68 @@
+"""repro.store — durable journaling, snapshots and atomic transactions.
+
+The maintenance engines of :mod:`repro.core` revise a belief state in
+memory; this package makes the revision history durable and reversible:
+
+* :mod:`~repro.store.journal` — a write-ahead JSON-lines journal of every
+  admitted update;
+* :mod:`~repro.store.snapshot` — full engine-state checkpoints, so
+  reopening costs *restore + replay tail* instead of a rebuild;
+* :mod:`~repro.store.transaction` — atomic batches with rollback;
+* :mod:`~repro.store.history` — replay, undo/redo and time-travel over the
+  recorded revision sequence;
+* :mod:`~repro.store.store` — the :class:`Store` facade tying it together;
+* :mod:`~repro.store.serialize` — the stable tagged-JSON codec underneath.
+
+Quickstart::
+
+    from repro.store import open_store
+
+    store = open_store("mydb", program="p(X) :- e(X), not q(X). e(1).")
+    store.insert_fact("q(1)")
+    with store.transaction():
+        store.insert_fact("e(2)")
+        store.insert_fact("e(3)")
+    store.snapshot()
+    store.undo(1)          # back before the transaction
+    store.redo(1)          # ... and forward again
+
+    store = open_store("mydb")   # later, or after a crash: same state
+"""
+
+from .history import ReplayError, materialize, replay
+from .journal import Journal, JournalError, describe
+from .serialize import SerializationError, decode, dumps, encode, loads
+from .snapshot import (
+    SnapshotError,
+    best_snapshot,
+    read_snapshot,
+    snapshot_positions,
+    write_snapshot,
+)
+from .store import Store, StoreError, open_store
+from .transaction import Transaction, TransactionAbort, TransactionError
+
+__all__ = [
+    "Journal",
+    "JournalError",
+    "ReplayError",
+    "SerializationError",
+    "SnapshotError",
+    "Store",
+    "StoreError",
+    "Transaction",
+    "TransactionAbort",
+    "TransactionError",
+    "best_snapshot",
+    "decode",
+    "describe",
+    "dumps",
+    "encode",
+    "loads",
+    "materialize",
+    "open_store",
+    "read_snapshot",
+    "replay",
+    "snapshot_positions",
+    "write_snapshot",
+]

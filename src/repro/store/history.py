@@ -1,0 +1,90 @@
+"""Replay and time-travel: materializing any belief state in the history.
+
+The journal is a total order of revisions; a snapshot pins the engine state
+at one position. Any revision ``r`` is then reachable as *restore the best
+snapshot at-or-below r, replay records (seq .. r]* — the machinery behind
+``Store.open`` (r = head), ``Store.undo`` (r = head - n) and explicit
+time-travel. Replay applies each record's updates through the normal
+``MaintenanceEngine.apply`` path, so the reconstructed state is exactly
+the one the live engine reached.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..core.base import MaintenanceEngine
+from ..core.registry import engine_from_state
+from ..datalog.errors import DatalogError
+from .journal import Journal, updates_of
+from .snapshot import SnapshotError, best_snapshot, read_snapshot
+
+
+class ReplayError(Exception):
+    """A journal record failed to re-apply during replay."""
+
+
+def replay(
+    engine: MaintenanceEngine,
+    records: Iterable[dict],
+    tolerate_tail: bool = False,
+) -> tuple[int, Optional[int]]:
+    """Apply journal *records* to *engine* in order.
+
+    Returns ``(applied, failed_seq)``. Replay is deterministic, so a record
+    can only fail where the live apply would have failed too — which
+    happens in exactly one legitimate scenario: the process crashed after
+    the write-ahead append but before the in-memory apply finished. With
+    ``tolerate_tail`` a failure on the *last* record is therefore reported
+    (``failed_seq``) instead of raised, so the caller can truncate it;
+    failures elsewhere always raise :class:`ReplayError`.
+    """
+    records = list(records)
+    applied = 0
+    for position, record in enumerate(records):
+        try:
+            for operation, subject in updates_of(record):
+                engine.apply(operation, subject)
+        except DatalogError as error:
+            if tolerate_tail and position == len(records) - 1:
+                return applied, record["seq"]
+            raise ReplayError(
+                f"journal record seq={record['seq']} failed to replay: "
+                f"{error}"
+            ) from error
+        applied += 1
+    return applied, None
+
+
+def materialize(
+    directory,
+    engine_name: str,
+    journal: Journal,
+    revision: int,
+    engine_kwargs: Optional[dict] = None,
+    tolerate_tail: bool = False,
+) -> tuple[MaintenanceEngine, Optional[int]]:
+    """Reconstruct the engine state as of journal position *revision*.
+
+    Picks the newest snapshot at-or-below *revision* and replays the
+    journal records between the snapshot and *revision*. Returns
+    ``(engine, failed_seq)`` where ``failed_seq`` is only non-None under
+    ``tolerate_tail`` (see :func:`replay`) and only when *revision* is the
+    journal head.
+    """
+    if revision < 0 or revision > len(journal):
+        raise ReplayError(
+            f"revision {revision} outside journal range 0..{len(journal)}"
+        )
+    path = best_snapshot(directory, revision)
+    if path is None:
+        raise SnapshotError(
+            f"no snapshot at-or-below revision {revision} in {directory}; "
+            "the store is missing its base snapshot"
+        )
+    seq, state = read_snapshot(path)
+    engine = engine_from_state(engine_name, state, **(engine_kwargs or {}))
+    tail = journal.records[seq:revision]
+    tolerate = tolerate_tail and revision == len(journal)
+    _, failed_seq = replay(engine, tail, tolerate_tail=tolerate)
+    return engine, failed_seq

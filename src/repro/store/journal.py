@@ -1,0 +1,168 @@
+"""The write-ahead update journal: one JSON line per admitted revision.
+
+The journal is the durable form of the belief-revision sequence the paper's
+model implies: every admitted ``insert_fact`` / ``delete_fact`` /
+``insert_rule`` / ``delete_rule`` is appended *before* the engine applies
+it, and a transaction's batch lands as a single ``commit`` record. Replaying
+the journal over a snapshot (or the empty database) reconstructs any belief
+state in the history — which is what crash recovery, ``undo`` and
+time-travel all reduce to.
+
+Record shapes (all values JSON, subjects encoded by
+:mod:`repro.store.serialize`)::
+
+    {"seq": 3, "kind": "update", "op": "insert_fact",
+     "subject": {...}, "text": "accepted(7)"}
+    {"seq": 4, "kind": "commit",
+     "updates": [{"op": ..., "subject": ..., "text": ...}, ...]}
+
+``seq`` numbers are 1-based and dense; truncation (rolling back a failed
+apply, or dropping the redo tail after an undo) rewrites the file
+atomically via a temp file + rename.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterator
+
+from .serialize import decode, encode
+
+
+class JournalError(Exception):
+    """Raised on a corrupt or inconsistent journal file."""
+
+
+def update_record(operation: str, subject) -> dict:
+    """Build the journal payload of a single update (without its seq)."""
+    return {
+        "kind": "update",
+        "op": operation,
+        "subject": encode(subject),
+        "text": str(subject),
+    }
+
+
+def commit_record(updates) -> dict:
+    """Build the payload of a transaction commit: one revision, many updates."""
+    return {
+        "kind": "commit",
+        "updates": [
+            {"op": operation, "subject": encode(subject), "text": str(subject)}
+            for operation, subject in updates
+        ],
+    }
+
+
+def updates_of(record: dict) -> list[tuple[str, object]]:
+    """The (operation, subject) pairs a record replays to, in order."""
+    if record["kind"] == "update":
+        return [(record["op"], decode(record["subject"]))]
+    if record["kind"] == "commit":
+        return [
+            (entry["op"], decode(entry["subject"]))
+            for entry in record["updates"]
+        ]
+    raise JournalError(f"unknown journal record kind {record['kind']!r}")
+
+
+def describe(record: dict) -> str:
+    """One human-readable line per record, for ``log`` views."""
+    if record["kind"] == "update":
+        return f"{record['seq']:>4}  {record['op']}  {record['text']}"
+    parts = ", ".join(
+        f"{entry['op']} {entry['text']}" for entry in record["updates"]
+    )
+    return f"{record['seq']:>4}  commit[{len(record['updates'])}]  {parts}"
+
+
+class Journal:
+    """An append-only JSON-lines file of sequenced revision records."""
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self._records: list[dict] = []
+        if self.path.exists():
+            self._load()
+        else:
+            self.path.touch()
+
+    def _load(self) -> None:
+        lines = [
+            (number, line.strip())
+            for number, line in enumerate(
+                self.path.read_text(encoding="utf-8").splitlines(), start=1
+            )
+            if line.strip()
+        ]
+        for position, (number, line) in enumerate(lines):
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                # A torn final line is the expected crash artifact: the
+                # process died mid-append, so the record never governed an
+                # applied update. Drop it and continue from the intact
+                # prefix; anything torn *before* the end is real corruption.
+                if position == len(lines) - 1:
+                    self.truncate(len(self._records))
+                    return
+                raise JournalError(
+                    f"{self.path}:{number}: corrupt journal line"
+                ) from error
+            expected = len(self._records) + 1
+            if record.get("seq") != expected:
+                raise JournalError(
+                    f"{self.path}:{number}: expected seq {expected}, "
+                    f"got {record.get('seq')!r}"
+                )
+            self._records.append(record)
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[dict]:
+        return iter(self._records)
+
+    @property
+    def records(self) -> tuple[dict, ...]:
+        return tuple(self._records)
+
+    def record(self, seq: int) -> dict:
+        return self._records[seq - 1]
+
+    def append(self, payload: dict) -> int:
+        """Durably append *payload*, assigning the next seq. Returns it."""
+        record = dict(payload)
+        record["seq"] = len(self._records) + 1
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._records.append(record)
+        return record["seq"]
+
+    def truncate(self, keep: int) -> None:
+        """Keep the first *keep* records, atomically rewriting the file."""
+        if keep < 0 or keep > len(self._records):
+            raise JournalError(
+                f"cannot truncate to {keep} of {len(self._records)} records"
+            )
+        self._records = self._records[:keep]
+        tmp = self.path.with_suffix(".jsonl.tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            for record in self._records:
+                handle.write(
+                    json.dumps(record, sort_keys=True, separators=(",", ":"))
+                    + "\n"
+                )
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+
+    def __repr__(self) -> str:
+        return f"Journal({str(self.path)!r}, {len(self._records)} records)"

@@ -1,0 +1,312 @@
+"""Stable JSON encoding of the engine state: terms, clauses, supports.
+
+Snapshots and journal records must round-trip *exactly* — restoring a
+snapshot has to yield the very model and support structures the live engine
+held — and must be byte-deterministic, so that two equal states produce
+identical files. Both properties come from one tagged encoding:
+
+* every composite object becomes a JSON object whose ``"$"`` key names its
+  type (atom, clause, support record, set, tuple, ...);
+* scalars (str, int, float, bool, None) pass through unchanged — the
+  constants of the function-free language are exactly the JSON scalars plus
+  arbitrary hashables, and the uncommon hashables (tuples) are tagged;
+* unordered containers (sets, frozensets, dicts with atom keys) are written
+  sorted by their members' canonical JSON dump.
+
+The codec knows every support form of the paper's solutions
+(:mod:`repro.core.supports`), so one pair of functions serves all engines.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..datalog.atoms import Atom, Literal
+from ..datalog.clauses import Clause
+from ..datalog.terms import Variable
+from ..core.supports import (
+    FactRecord,
+    PairSupport,
+    PairedRecord,
+    RuleRecord,
+    SetOfSetsSupport,
+    Signed,
+)
+
+FORMAT_VERSION = 1
+
+_SCALARS = (str, int, float, bool, type(None))
+
+
+class SerializationError(ValueError):
+    """Raised when a value cannot be encoded or decoded."""
+
+
+def encode(obj: Any) -> Any:
+    """Turn *obj* into a JSON-serializable structure (deterministically).
+
+    The flat form: every occurrence is expanded in place. For large
+    structures with shared substructure use :func:`encode_tabled`.
+    """
+    return _encode_with_refs(obj, _NO_INTERNING)
+
+
+_NO_INTERNING: dict = {}  # the empty ref table: nothing is shared
+
+
+def _canon(encoded: Any) -> str:
+    return json.dumps(encoded, sort_keys=True)
+
+
+_CONSTRUCTORS = {
+    "var": lambda d: Variable(d["name"]),
+    "atom": lambda d: Atom(d["rel"], tuple(d["args"])),
+    "lit": lambda d: Literal(d["atom"], d["pos"]),
+    "clause": lambda d: Clause(d["head"], tuple(d["body"])),
+    "signed": lambda d: Signed(d["sign"], d["rel"]),
+    "pair": lambda d: PairSupport(d["pos"], d["neg"]),
+    "sos": lambda d: SetOfSetsSupport(d["pos"], d["neg"]),
+    "paired": lambda d: PairedRecord(d["pos"], d["neg"]),
+    "rule_record": lambda d: RuleRecord(d["rule"], d["pos"], d["neg"]),
+    "fact_record": lambda d: FactRecord(d["rule"], d["pos"], d["neg"]),
+    "tuple": lambda d: tuple(d["items"]),
+    "fset": lambda d: frozenset(d["items"]),
+    "set": lambda d: set(d["items"]),
+    "list": lambda d: d["items"],
+    "map": lambda d: {key: value for key, value in d["items"]},
+}
+
+
+def decode(data: Any, _table=None) -> Any:
+    """Inverse of :func:`encode` / :func:`encode_tabled`.
+
+    Children are decoded first, then the ``"$"`` tag picks the
+    constructor; a ``ref`` node resolves through the enclosing ``tabled``
+    wrapper's table.
+    """
+    if isinstance(data, _SCALARS):
+        return data
+    if isinstance(data, list):  # only produced inside tagged containers
+        return [decode(item, _table) for item in data]
+    if isinstance(data, dict):
+        tag = data.get("$")
+        if tag == "tabled":
+            table = [decode(entry) for entry in data["table"]]
+            return decode(data["root"], table)
+        if tag == "ref":
+            if _table is None:
+                raise SerializationError("ref outside a tabled document")
+            return _table[data["i"]]
+        constructor = _CONSTRUCTORS.get(tag)
+        if constructor is None:
+            raise SerializationError(f"unknown tag {tag!r} in {data!r}")
+        children = {
+            key: decode(value, _table)
+            for key, value in data.items()
+            if key != "$"
+        }
+        return constructor(children)
+    raise SerializationError(f"cannot decode {data!r}")
+
+
+# ----------------------------------------------------------------------
+# Interned encoding: share repeated substructures through a table
+# ----------------------------------------------------------------------
+#
+# Engine states repeat the same immutable objects thousands of times — a
+# cascade snapshot holds one RuleRecord (with its full clause) per
+# (fact, rule) pair, a fact-level snapshot cites the same body atoms in
+# record after record. ``encode_tabled`` counts repeated hashable objects,
+# expands each distinct one exactly once in a content-sorted table, and
+# replaces every occurrence in the body with ``{"$": "ref", "i": k}``.
+# Because the table is sorted by its entries' canonical expansion, equal
+# states still produce identical bytes.
+
+_INTERNABLE = (
+    Atom,
+    Literal,
+    Clause,
+    Signed,
+    PairSupport,
+    PairedRecord,
+    RuleRecord,
+    FactRecord,
+    frozenset,
+)
+
+
+def _collect(obj: Any, counts: dict) -> None:
+    """Count occurrences of internable objects reachable from *obj*."""
+    if isinstance(obj, _INTERNABLE):
+        seen = counts.get(obj, 0)
+        counts[obj] = seen + 1
+        if seen:  # children already counted on first encounter
+            return
+    if isinstance(obj, _SCALARS) or isinstance(obj, Variable):
+        return
+    if isinstance(obj, Atom):
+        for term in obj.args:
+            _collect(term, counts)
+    elif isinstance(obj, Literal):
+        _collect(obj.atom, counts)
+    elif isinstance(obj, Clause):
+        _collect(obj.head, counts)
+        for lit in obj.body:
+            _collect(lit, counts)
+    elif isinstance(obj, Signed):
+        pass
+    elif isinstance(obj, (PairSupport, PairedRecord)):
+        _collect(obj[0], counts)
+        _collect(obj[1], counts)
+    elif isinstance(obj, SetOfSetsSupport):
+        _collect(obj.pos, counts)
+        _collect(obj.neg, counts)
+    elif isinstance(obj, (RuleRecord, FactRecord)):
+        if obj.rule is not None:
+            _collect(obj.rule, counts)
+        _collect(obj[1], counts)
+        _collect(obj[2], counts)
+    elif isinstance(obj, (tuple, list, set, frozenset)):
+        for item in obj:
+            _collect(item, counts)
+    elif isinstance(obj, dict):
+        for key, value in obj.items():
+            _collect(key, counts)
+            _collect(value, counts)
+    else:
+        raise SerializationError(
+            f"cannot encode {type(obj).__name__}: {obj!r}"
+        )
+
+
+def _encode_with_refs(obj: Any, index: dict) -> Any:
+    """Like :func:`encode`, but table objects become references."""
+    if isinstance(obj, _INTERNABLE):
+        slot = index.get(obj)
+        if slot is not None:
+            return {"$": "ref", "i": slot}
+    if isinstance(obj, bool) or obj is None or isinstance(obj, (int, float)):
+        return obj
+    if isinstance(obj, str):
+        return obj
+    if isinstance(obj, Variable):
+        return {"$": "var", "name": obj.name}
+    if isinstance(obj, Atom):
+        return {
+            "$": "atom",
+            "rel": obj.relation,
+            "args": [_encode_with_refs(t, index) for t in obj.args],
+        }
+    if isinstance(obj, Literal):
+        return {
+            "$": "lit",
+            "atom": _encode_with_refs(obj.atom, index),
+            "pos": obj.positive,
+        }
+    if isinstance(obj, Clause):
+        return {
+            "$": "clause",
+            "head": _encode_with_refs(obj.head, index),
+            "body": [_encode_with_refs(lit, index) for lit in obj.body],
+        }
+    if isinstance(obj, Signed):
+        return {"$": "signed", "sign": obj.sign, "rel": obj.relation}
+    if isinstance(obj, PairSupport):
+        return {
+            "$": "pair",
+            "pos": _encode_with_refs(obj.pos, index),
+            "neg": _encode_with_refs(obj.neg, index),
+        }
+    if isinstance(obj, SetOfSetsSupport):
+        return {
+            "$": "sos",
+            "pos": _encode_with_refs(obj.pos, index),
+            "neg": _encode_with_refs(obj.neg, index),
+        }
+    if isinstance(obj, PairedRecord):
+        return {
+            "$": "paired",
+            "pos": _encode_with_refs(obj.pos, index),
+            "neg": _encode_with_refs(obj.neg, index),
+        }
+    if isinstance(obj, RuleRecord):
+        return {
+            "$": "rule_record",
+            "rule": _encode_with_refs(obj.rule, index),
+            "pos": _encode_with_refs(obj.positive_relations, index),
+            "neg": _encode_with_refs(obj.negated_relations, index),
+        }
+    if isinstance(obj, FactRecord):
+        return {
+            "$": "fact_record",
+            "rule": _encode_with_refs(obj.rule, index),
+            "pos": _encode_with_refs(obj.positive_facts, index),
+            "neg": _encode_with_refs(obj.negative_facts, index),
+        }
+    if isinstance(obj, tuple):
+        return {
+            "$": "tuple",
+            "items": [_encode_with_refs(item, index) for item in obj],
+        }
+    if isinstance(obj, frozenset):
+        return {
+            "$": "fset",
+            "items": sorted(
+                (_encode_with_refs(v, index) for v in obj), key=_canon
+            ),
+        }
+    if isinstance(obj, set):
+        return {
+            "$": "set",
+            "items": sorted(
+                (_encode_with_refs(v, index) for v in obj), key=_canon
+            ),
+        }
+    if isinstance(obj, list):
+        return {
+            "$": "list",
+            "items": [_encode_with_refs(item, index) for item in obj],
+        }
+    if isinstance(obj, dict):
+        items = [
+            [_encode_with_refs(k, index), _encode_with_refs(v, index)]
+            for k, v in obj.items()
+        ]
+        items.sort(key=lambda pair: _canon(pair[0]))
+        return {"$": "map", "items": items}
+    raise SerializationError(f"cannot encode {type(obj).__name__}: {obj!r}")
+
+
+def encode_tabled(obj: Any) -> Any:
+    """Encode *obj* with repeated substructures interned into a table.
+
+    The result is ``{"$": "tabled", "table": [...], "root": ...}`` where
+    table entries are fully expanded (no references) and sorted by their
+    canonical encoding; the root refers to entry *k* as
+    ``{"$": "ref", "i": k}``. Decodes via :func:`decode`.
+    """
+    counts: dict = {}
+    _collect(obj, counts)
+    repeated = [value for value, count in counts.items() if count > 1]
+    expanded = sorted(
+        ((encode(value), value) for value in repeated),
+        key=lambda pair: _canon(pair[0]),
+    )
+    index = {value: slot for slot, (_, value) in enumerate(expanded)}
+    return {
+        "$": "tabled",
+        "table": [entry for entry, _ in expanded],
+        "root": _encode_with_refs(obj, index),
+    }
+
+
+def dumps(obj: Any) -> str:
+    """Canonical one-line JSON text of *obj* (interned encoding)."""
+    return json.dumps(
+        encode_tabled(obj), sort_keys=True, separators=(",", ":")
+    )
+
+
+def loads(text: str) -> Any:
+    return decode(json.loads(text))

@@ -1,0 +1,88 @@
+"""Snapshots: the full engine state serialized at one journal position.
+
+A snapshot file holds the engine's :meth:`~repro.core.base.MaintenanceEngine.
+state_dict` — program, model, and the engine-specific support structures —
+encoded by :mod:`repro.store.serialize`, together with the journal sequence
+number it corresponds to. Reopening a store then costs *restore the newest
+snapshot at-or-below the target revision, replay the journal tail* instead
+of a from-scratch ``rebuild()``; the replay-vs-rebuild benchmark (E15)
+measures the difference.
+
+Snapshot files are named ``snapshot-<seq:08d>.json`` so every checkpoint in
+the history remains addressable (time-travel needs the older ones, not just
+the newest) and are written atomically via temp file + rename.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from pathlib import Path
+from typing import Optional
+
+from .serialize import FORMAT_VERSION, decode, encode_tabled
+
+_NAME_RE = re.compile(r"^snapshot-(\d{8})\.json$")
+
+
+class SnapshotError(Exception):
+    """Raised on a missing or malformed snapshot file."""
+
+
+def snapshot_name(seq: int) -> str:
+    return f"snapshot-{seq:08d}.json"
+
+
+def write_snapshot(directory, seq: int, state: dict) -> Path:
+    """Atomically write *state* as the snapshot at journal position *seq*."""
+    directory = Path(directory)
+    payload = {
+        "format": FORMAT_VERSION,
+        "seq": seq,
+        "state": encode_tabled(state),
+    }
+    target = directory / snapshot_name(seq)
+    tmp = target.with_suffix(".json.tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, sort_keys=True, separators=(",", ":"))
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, target)
+    return target
+
+
+def read_snapshot(path) -> tuple[int, dict]:
+    """Read a snapshot file; returns ``(seq, state_dict)``."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        raise SnapshotError(f"cannot read snapshot {path}: {error}") from error
+    if payload.get("format") != FORMAT_VERSION:
+        raise SnapshotError(
+            f"{path}: unsupported snapshot format {payload.get('format')!r}"
+        )
+    return payload["seq"], decode(payload["state"])
+
+
+def snapshot_positions(directory) -> list[int]:
+    """The journal positions with a snapshot on disk, ascending."""
+    directory = Path(directory)
+    positions = []
+    if directory.is_dir():
+        for entry in directory.iterdir():
+            match = _NAME_RE.match(entry.name)
+            if match:
+                positions.append(int(match.group(1)))
+    return sorted(positions)
+
+
+def best_snapshot(directory, revision: int) -> Optional[Path]:
+    """The newest snapshot at-or-below *revision*, or None."""
+    candidates = [
+        seq for seq in snapshot_positions(directory) if seq <= revision
+    ]
+    if not candidates:
+        return None
+    return Path(directory) / snapshot_name(max(candidates))

@@ -1,0 +1,87 @@
+"""Atomic transactions: many updates, one revision, all-or-nothing.
+
+The paper treats each update as one belief-revision step; a transaction
+widens the step to a batch while keeping the all-or-nothing contract a
+database expects::
+
+    with store.transaction() as txn:
+        store.insert_fact("submitted(9)")
+        store.delete_fact("accepted(2)")
+        # raise, or txn.abort(), to roll everything back
+
+On entry the engine's full state is captured in memory
+(:meth:`~repro.core.base.MaintenanceEngine.state_dict`); updates issued
+inside the block apply to the live engine immediately (queries see the
+intermediate states) but are buffered rather than journaled. On a clean
+exit the whole batch is journaled as a single ``commit`` record; on any
+exception — including an explicit :meth:`Transaction.abort` — the engine is
+restored to the captured state, so a failure mid-batch leaves the database
+exactly as it was before the transaction began.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class TransactionError(Exception):
+    """Misuse of the transaction API (nesting, reuse, ...)."""
+
+
+class TransactionAbort(Exception):
+    """Control-flow exception raised by :meth:`Transaction.abort`.
+
+    It unwinds the ``with`` block; ``Transaction.__exit__`` rolls the
+    engine back and suppresses it, so an aborted transaction is not an
+    error at the call site.
+    """
+
+
+class Transaction:
+    """One atomic batch of updates against a :class:`~repro.store.Store`."""
+
+    def __init__(self, store):
+        self._store = store
+        self._saved: Optional[dict] = None
+        self._updates: list[tuple[str, object]] = []
+        self._active = False
+        self._finished = False
+
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    @property
+    def updates(self) -> tuple[tuple[str, object], ...]:
+        """The (operation, subject) pairs buffered so far."""
+        return tuple(self._updates)
+
+    def __enter__(self) -> "Transaction":
+        if self._finished or self._active:
+            raise TransactionError("a Transaction object cannot be reused")
+        if self._store._transaction is not None:
+            raise TransactionError("transactions do not nest")
+        self._saved = self._store.engine.state_dict()
+        self._store._transaction = self
+        self._active = True
+        return self
+
+    def _buffer(self, operation: str, subject) -> None:
+        self._updates.append((operation, subject))
+
+    def abort(self) -> None:
+        """Abandon the transaction: rolls back and exits the with-block."""
+        raise TransactionAbort()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._active = False
+        self._finished = True
+        self._store._transaction = None
+        if exc_type is None:
+            if self._updates:
+                self._store._commit_transaction(self._updates)
+            return False
+        # Any exception — abort or failure mid-batch — restores the exact
+        # pre-transaction state, journal untouched.
+        self._store.engine.load_state(self._saved)
+        return exc_type is TransactionAbort

@@ -99,8 +99,91 @@ class TestSession:
         reloaded = Console(target.read_text())
         assert reloaded.engine.model == console.engine.model
 
+    def test_save_round_trips_after_updates(self, console, tmp_path):
+        # Regression: a session's worth of updates must survive
+        # save -> reload -> save byte-identically (deterministic clause
+        # ordering, trailing periods, quoting).
+        console.dispatch("+ accepted(10).")
+        console.dispatch("- accepted(2).")
+        console.dispatch("+ pending(X) :- submitted(X), not accepted(X).")
+        console.dispatch("+ labelled('Weird Name').")
+        first = tmp_path / "first.dl"
+        console.dispatch(f"save {first}")
+        reloaded = Console(first.read_text())
+        assert set(reloaded.engine.db.program.clauses) == set(
+            console.engine.db.program.clauses
+        )
+        assert reloaded.engine.model == console.engine.model
+        second = tmp_path / "second.dl"
+        reloaded.dispatch(f"save {second}")
+        assert second.read_text() == first.read_text()
+        for line in first.read_text().splitlines():
+            assert line.endswith(".")
+
+    def test_save_empty_program(self, tmp_path):
+        console = Console("")
+        target = tmp_path / "empty.dl"
+        console.dispatch(f"save {target}")
+        assert Console(target.read_text()).engine.model == console.engine.model
+
     def test_help(self, console):
         assert "why" in console.dispatch("help")
+
+
+class TestStoreCommands:
+    def test_open_commit_log_close(self, console, tmp_path):
+        output = console.dispatch(f"open {tmp_path / 'db'}")
+        assert "revision 0" in output
+        console.dispatch("+ accepted(1).")
+        assert "insert_fact" in console.dispatch("log")
+        assert "revision 1" in console.dispatch("commit")
+        assert "detached" in console.dispatch("close")
+        assert "no store attached" in console.dispatch("log")
+
+    def test_updates_are_journaled_and_replayed(self, console, tmp_path):
+        console.dispatch(f"open {tmp_path / 'db'}")
+        console.dispatch("+ accepted(1).")
+        console.dispatch("- accepted(2).")
+        model = console.engine.model.as_set()
+        console.dispatch("close")
+        fresh = Console("", store_path=str(tmp_path / "db"))
+        assert fresh.engine.model.as_set() == model
+
+    def test_undo_redo(self, console, tmp_path):
+        console.dispatch(f"open {tmp_path / 'db'}")
+        before = console.engine.model.as_set()
+        console.dispatch("+ accepted(1).")
+        after = console.engine.model.as_set()
+        console.dispatch("undo")
+        assert console.engine.model.as_set() == before
+        console.dispatch("redo 1")
+        assert console.engine.model.as_set() == after
+
+    def test_engine_switch_blocked_with_store(self, console, tmp_path):
+        console.dispatch(f"open {tmp_path / 'db'}")
+        assert "fixed" in console.dispatch("engine static")
+        console.dispatch("close")
+        assert "switched" in console.dispatch("engine static")
+
+    def test_open_twice_refused(self, console, tmp_path):
+        console.dispatch(f"open {tmp_path / 'db'}")
+        assert "already attached" in console.dispatch(
+            f"open {tmp_path / 'other'}"
+        )
+
+    def test_main_store_flag(self, tmp_path, capsys):
+        program = tmp_path / "db.dl"
+        program.write_text(PODS)
+        code = main(
+            [str(program), "--store", str(tmp_path / "store"),
+             "-c", "+ accepted(1).", "-c", "log"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "insert_fact" in out
+        code = main(["--store", str(tmp_path / "store"), "-c", "? accepted(1)"])
+        assert code == 0
+        assert "yes" in capsys.readouterr().out
 
 
 class TestMain:
