@@ -165,7 +165,9 @@ class Console:
         path = body.strip()
         if not path:
             return "usage: save FILE"
-        with open(path, "w") as handle:
+        # Pin UTF-8: the store layer writes programs as UTF-8, and `save`
+        # must round-trip non-ASCII constants under any locale.
+        with open(path, "w", encoding="utf-8") as handle:
             handle.write(self.engine.db.source_text())
         return f"wrote {len(self.engine.db.program)} clauses to {path}"
 
@@ -287,7 +289,7 @@ def main(argv=None) -> int:
 
     text = ""
     if args.program:
-        with open(args.program) as handle:
+        with open(args.program, encoding="utf-8") as handle:
             text = handle.read()
     try:
         console = Console(text, args.engine, store_path=args.store)

@@ -23,6 +23,7 @@ from ..datalog.errors import UpdateError
 from ..datalog.evaluation import saturate
 from ..datalog.model import Model
 from ..datalog.parser import parse_clause, parse_fact
+from ..datalog.plan import Planner
 from .metrics import MaintenanceStats, UpdateResult
 
 Source = Union[Atom, Clause, str]
@@ -68,6 +69,7 @@ class MaintenanceEngine(ABC):
             self.db = StratifiedDatabase(program, granularity)
         self.method = method
         self.model = Model()
+        self.planner = Planner()  # engine-owned plan cache, reused across updates
         self.totals = MaintenanceStats()
         self._derivations_fired = 0
         self._transient = 0  # facts added and evicted within one update
@@ -84,7 +86,8 @@ class MaintenanceEngine(ABC):
         self._reset_supports()
         for stratum in self.db.stratification:
             saturate(
-                stratum.clauses, self.model, self._build_listener(), self.method
+                stratum.clauses, self.model, self._build_listener(),
+                self.method, planner=self.planner,
             )
 
     def _reset_supports(self) -> None:
@@ -206,6 +209,7 @@ class MaintenanceEngine(ABC):
         self._transient = 0
         fired_before = self._derivations_fired
         self.db.add_rule(rule)  # checks stratification, raises on duplicates
+        self.planner.invalidate(rule)
         removed, added = self._apply_insert_rule(rule)
         return self._result(
             "insert_rule", rule, removed, added, started, fired_before
@@ -218,6 +222,7 @@ class MaintenanceEngine(ABC):
         self._transient = 0
         fired_before = self._derivations_fired
         self.db.remove_rule(rule)  # raises when absent
+        self.planner.invalidate(rule)
         removed, added = self._apply_delete_rule(rule)
         return self._result(
             "delete_rule", rule, removed, added, started, fired_before
@@ -315,7 +320,10 @@ class MaintenanceEngine(ABC):
         added: set[Atom] = set()
         strata = self.db.stratification.strata
         for stratum in strata[index - 1 :]:
-            added |= saturate(stratum.clauses, self.model, listener, self.method)
+            added |= saturate(
+                stratum.clauses, self.model, listener, self.method,
+                planner=self.planner,
+            )
         return added
 
     def _result(

@@ -357,6 +357,7 @@ class CascadeEngine(MaintenanceEngine):
             stratum.clauses,
             self.model,
             listener,
+            planner=self.planner,
             initial_full=False,
             delta=delta,
             full_fire=full_fire,

@@ -131,6 +131,7 @@ class FactLevelEngine(MaintenanceEngine):
             initial_full=False,
             delta=delta,
             full_fire=full_fire,
+            planner=self.planner,
         )
 
     def _kill_records(

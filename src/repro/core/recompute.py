@@ -4,6 +4,11 @@ Not one of the paper's solutions: it simply recomputes ``M(P')`` from
 scratch after every update. It never migrates anything (there is no removal
 phase), always produces the exact standard model, and its cost is what the
 incremental solutions must beat (experiment E10 locates the crossover).
+
+Every recomputation runs through the engine-owned
+:class:`~repro.datalog.plan.Planner` (see :meth:`MaintenanceEngine.rebuild`),
+so the clause compilation is paid once per rule, not once per update — the
+baseline measures join execution, not plan construction.
 """
 
 from __future__ import annotations

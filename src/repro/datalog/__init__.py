@@ -34,6 +34,7 @@ from .evaluation import (
 )
 from .model import Model
 from .parser import parse_atom, parse_clause, parse_fact, parse_program
+from .plan import DEFAULT_PLANNER, ClausePlan, Planner
 from .query import ask, iter_answers, parse_query, query
 from .relations import Relation
 from .stratify import Stratification, Stratum, stratify
@@ -43,12 +44,15 @@ __all__ = [
     "Atom",
     "Backchainer",
     "Clause",
+    "ClausePlan",
+    "DEFAULT_PLANNER",
     "DatalogError",
     "DependencyGraph",
     "Derivation",
     "Literal",
     "Model",
     "ParseError",
+    "Planner",
     "Program",
     "ProgramBuilder",
     "Relation",

@@ -20,6 +20,12 @@ semi-naive can hit one instantiation through two delta positions), so
 listeners must be idempotent — every support construction in the paper is a
 set union, which is.
 
+Both paths enumerate rule bodies through compiled, selectivity-ordered
+join plans (:mod:`.plan`); passing an engine-owned
+:class:`~repro.datalog.plan.Planner` reuses the compiled clauses across
+saturations, and ``Planner(reorder=False)`` pins the written left-to-right
+join order (experiment E16 measures the difference).
+
 The standard model M(P) = Mn (section 2) is built by
 :func:`compute_model`, which saturates stratum by stratum.
 """
@@ -31,9 +37,9 @@ from typing import Callable, Iterable, Iterator, Mapping, NamedTuple, Optional
 from .atoms import Atom
 from .clauses import Clause, Program
 from .model import Model
+from .plan import DEFAULT_PLANNER, Planner
 from .stratify import Stratification, stratify
 from .terms import Variable
-from .unify import substitute_args
 
 
 class Derivation(NamedTuple):
@@ -60,95 +66,34 @@ def _iter_matches(
     delta_position: int | None = None,
     delta_rows: Iterable[tuple] | None = None,
     exclude: Mapping[int, set[tuple]] | None = None,
+    planner: Planner | None = None,
 ) -> Iterator[tuple[dict[Variable, object], tuple[Atom, ...]]]:
     """Yield (substitution, positive body facts) for *clause* over *model*.
 
+    The clause is compiled (and cached) by the *planner* into a
+    selectivity-ordered join plan — see :mod:`.plan`. Whatever order runs,
+    the facts come back in original body position order.
+
     When *delta_position* is given, that positive literal matches only
     *delta_rows* (the increment) instead of the full relation, and it is
-    moved to the front of the join so the increment drives the whole
+    pinned to the front of the join so the increment drives the whole
     enumeration — per-round cost proportional to the delta, not to the
     other relations. This is what makes the [RLK] mechanism actually win
     (E9). The delta is additionally indexed on first probe in case bound
-    columns remain (constants or repeated variables).
+    columns remain (constants).
 
     *exclude* (keyed by original body position) removes rows from other
     literals' candidates — the triangular old/new split that fires an
     instantiation whose body facts arrived in the same round exactly once.
     """
-    exclusions: list[set[tuple] | None] = [
-        (exclude or {}).get(index) for index in range(len(clause.positive_body))
-    ]
-    if delta_position is not None:
-        order = [delta_position] + [
-            index
-            for index in range(len(clause.positive_body))
-            if index != delta_position
-        ]
-        positives = tuple(clause.positive_body[index] for index in order)
-        exclusions = [exclusions[index] for index in order]
-        delta_position = 0
-    else:
-        positives = clause.positive_body
-    delta_index: dict[tuple, list[tuple]] | None = None
-    delta_index_cols: tuple[int, ...] = ()
-
-    def delta_candidates(bound: dict[int, object]) -> Iterable[tuple]:
-        nonlocal delta_index, delta_index_cols
-        if not bound:
-            return delta_rows
-        if delta_index is None:
-            delta_index_cols = tuple(sorted(bound))
-            delta_index = {}
-            for row in delta_rows:
-                key = tuple(row[c] for c in delta_index_cols)
-                delta_index.setdefault(key, []).append(row)
-        probe = tuple(bound[c] for c in delta_index_cols)
-        return delta_index.get(probe, ())
-
-    def recurse(
-        index: int, subst: dict[Variable, object], facts: list[Atom]
-    ) -> Iterator[tuple[dict[Variable, object], tuple[Atom, ...]]]:
-        if index == len(positives):
-            yield subst, tuple(facts)
-            return
-        literal = positives[index]
-        args = literal.args
-        bound: dict[int, object] = {}
-        free: list[tuple[int, Variable]] = []
-        for column, term in enumerate(args):
-            if isinstance(term, Variable):
-                value = subst.get(term)
-                if value is None:
-                    free.append((column, term))
-                else:
-                    bound[column] = value
-            else:
-                bound[column] = term
-        if index == delta_position:
-            candidates: Iterable[tuple] = delta_candidates(bound)
-        else:
-            candidates = model.relation(literal.relation).select(bound)
-        excluded = exclusions[index]
-        for row in candidates:
-            if excluded is not None and row in excluded:
-                continue
-            extended = dict(subst)
-            ok = True
-            for column, var in free:
-                value = row[column]
-                existing = extended.get(var)
-                if existing is None:
-                    extended[var] = value
-                elif existing != value:
-                    ok = False
-                    break
-            if not ok:
-                continue
-            facts.append(Atom(literal.relation, row))
-            yield from recurse(index + 1, extended, facts)
-            facts.pop()
-
-    yield from recurse(0, {}, [])
+    if planner is None:
+        planner = DEFAULT_PLANNER
+    plan = planner.plan_for(clause)
+    rows = tuple(delta_rows) if delta_rows is not None else None
+    for subst, facts in plan.execute(
+        model, delta_position, rows, exclude, planner.reorder
+    ):
+        yield plan.subst_dict(subst), tuple(facts)
 
 
 def iter_derivations(
@@ -157,36 +102,45 @@ def iter_derivations(
     delta_position: int | None = None,
     delta_rows: Iterable[tuple] | None = None,
     exclude: Mapping[int, set[tuple]] | None = None,
+    planner: Planner | None = None,
 ) -> Iterator[Derivation]:
     """Yield the currently firing ground instances of *clause*.
 
     An instance fires when its positive body is contained in the model and
     none of its negative atoms is. The free variables of a rule are bound by
-    the positive body (safety), so the negative atoms and head are ground.
+    the positive body (safety), so the negative atoms and head are ground —
+    both are built straight from the plan's substitution array.
     """
-    negatives = clause.negative_body
+    if planner is None:
+        planner = DEFAULT_PLANNER
+    plan = planner.plan_for(clause)
     rows = tuple(delta_rows) if delta_rows is not None else None
-    for subst, facts in _iter_matches(
-        clause, model, delta_position, rows, exclude
+    negatives = plan.negatives
+    head_relation = clause.head.relation
+    head_spec = plan.head_spec
+    for subst, facts in plan.execute(
+        model, delta_position, rows, exclude, planner.reorder
     ):
         neg_atoms = []
         blocked = False
-        for literal in negatives:
-            ground = substitute_args(literal.args, subst)
-            if model.contains(literal.relation, ground):
+        for relation, spec in negatives:
+            ground = plan.build(spec, subst)
+            if model.contains(relation, ground):
                 blocked = True
                 break
-            neg_atoms.append(Atom(literal.relation, ground))
+            neg_atoms.append(Atom(relation, ground))
         if blocked:
             continue
-        head = Atom(clause.head.relation, substitute_args(clause.head.args, subst))
-        yield Derivation(head, clause, facts, tuple(neg_atoms))
+        head = Atom(head_relation, plan.build(head_spec, subst))
+        yield Derivation(head, clause, tuple(facts), tuple(neg_atoms))
 
 
 def naive_saturate(
     rules: Iterable[Clause],
     model: Model,
     listener: Optional[DerivationListener] = None,
+    *,
+    planner: Optional[Planner] = None,
 ) -> set[Atom]:
     """Close *model* under *rules* by brute-force iteration.
 
@@ -199,7 +153,7 @@ def naive_saturate(
     while changed:
         changed = False
         for clause in rules:
-            for derivation in iter_derivations(clause, model):
+            for derivation in iter_derivations(clause, model, planner=planner):
                 is_new = derivation.head not in model
                 if listener is not None:
                     listener(derivation, is_new)
@@ -218,6 +172,7 @@ def semi_naive_saturate(
     initial_full: bool = True,
     delta: Optional[Mapping[str, set[tuple]]] = None,
     full_fire: Iterable[Clause] = (),
+    planner: Optional[Planner] = None,
 ) -> set[Atom]:
     """Close *model* under *rules* with the delta-driven mechanism.
 
@@ -255,25 +210,31 @@ def semi_naive_saturate(
         # would only make the first delta round repeat the full joins.
         for clause in rules:
             if not clause.body:
-                for derivation in iter_derivations(clause, model):
+                for derivation in iter_derivations(
+                    clause, model, planner=planner
+                ):
                     emit(derivation)
         next_delta.clear()
         for clause in rules:
             if clause.body:
-                for derivation in iter_derivations(clause, model):
+                for derivation in iter_derivations(
+                    clause, model, planner=planner
+                ):
                     emit(derivation)
     else:
         external: Mapping[str, set[tuple]] = delta or {}
         for clause in rules:
             if clause in full_fire:
-                for derivation in iter_derivations(clause, model):
+                for derivation in iter_derivations(
+                    clause, model, planner=planner
+                ):
                     emit(derivation)
                 continue
             for position, literal in enumerate(clause.positive_body):
                 rows = external.get(literal.relation)
                 if rows:
                     for derivation in iter_derivations(
-                        clause, model, position, rows
+                        clause, model, position, rows, planner=planner
                     ):
                         emit(derivation)
 
@@ -302,6 +263,7 @@ def semi_naive_saturate(
                     position,
                     current[body[position].relation],
                     restrict or None,
+                    planner=planner,
                 ):
                     emit(derivation)
     return added
@@ -312,12 +274,14 @@ def saturate(
     model: Model,
     listener: Optional[DerivationListener] = None,
     method: str = "seminaive",
+    *,
+    planner: Optional[Planner] = None,
 ) -> set[Atom]:
     """From-scratch saturation of one stratum with the chosen method."""
     if method == "seminaive":
-        return semi_naive_saturate(rules, model, listener)
+        return semi_naive_saturate(rules, model, listener, planner=planner)
     if method == "naive":
-        return naive_saturate(rules, model, listener)
+        return naive_saturate(rules, model, listener, planner=planner)
     raise ValueError(f"unknown saturation method {method!r}")
 
 
@@ -328,6 +292,7 @@ def compute_model(
     method: str = "seminaive",
     listener: Optional[DerivationListener] = None,
     granularity: str = "level",
+    planner: Optional[Planner] = None,
 ) -> Model:
     """Compute the standard model M(P) by iterated saturation.
 
@@ -340,5 +305,5 @@ def compute_model(
         stratification = stratify(program, granularity=granularity)
     model = Model()
     for stratum in stratification:
-        saturate(stratum.clauses, model, listener, method)
+        saturate(stratum.clauses, model, listener, method, planner=planner)
     return model

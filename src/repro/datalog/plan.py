@@ -1,0 +1,356 @@
+"""Join planning: clauses compiled into selectivity-ordered join plans.
+
+The saturation loops spend almost all their time enumerating the ground
+instances of rule bodies. This module compiles each clause once into a
+:class:`ClausePlan` — per-literal column maps, integer variable slots, and
+argument templates for the head and the negative hypotheses — and executes
+it with a substitution *array* instead of per-row dict copies. At execution
+time the positive literals are greedily reordered by estimated selectivity
+(current relation cardinality, discounted per bound column), so a rule like
+``q(Y) :- big(X, Y), probe(X)`` starts from ``probe`` and index-probes
+``big`` instead of scanning it (experiment E16).
+
+Three invariants keep the planner a drop-in replacement for the naive
+left-to-right enumerator in :mod:`.evaluation`:
+
+* the delta literal of the [RLK] mechanism is always placed first, so the
+  increment keeps driving the whole join;
+* exclusion sets (the triangular old/new split) stay keyed by *original*
+  body position, whatever the executed order;
+* the positive body facts of every match are reported in original body
+  order, so derivations are identical objects whichever order ran.
+
+Unbound slots hold :data:`~.unify.UNBOUND`, never ``None`` — ``None`` is a
+legal constant and must join like any other value.
+
+Plans depend only on the clause structure; the cardinality statistics are
+read per execution, so a cached plan never goes stale. A :class:`Planner`
+caches plans per clause (facts are compiled but not cached — they have no
+join): engines own one each, invalidated on rule insertion/deletion so
+deleted rules do not pin memory, and the module keeps a bounded default
+instance for ad-hoc callers (queries, constraint checks).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping, Optional
+
+from .atoms import Atom
+from .terms import Variable
+from .unify import UNBOUND
+
+if TYPE_CHECKING:  # imported lazily to avoid a cycle with clauses.py
+    from .clauses import Clause
+    from .model import Model
+
+# An argument template: (True, slot) reads the substitution array, while
+# (False, value) is a constant (or a variable foreign to the positive body,
+# left in place exactly as substitute_args would leave it).
+ArgSpec = tuple[tuple[bool, object], ...]
+
+
+class LiteralPlan:
+    """Order-independent description of one positive body literal."""
+
+    __slots__ = ("position", "relation", "const_cols", "var_cols", "slots")
+
+    def __init__(
+        self,
+        position: int,
+        relation: str,
+        const_cols: tuple[tuple[int, object], ...],
+        var_cols: tuple[tuple[int, int], ...],
+    ):
+        self.position = position
+        self.relation = relation
+        self.const_cols = const_cols  # (column, constant) pairs
+        self.var_cols = var_cols  # (column, slot) pairs, in column order
+        self.slots = frozenset(slot for _column, slot in var_cols)
+
+
+class _Step:
+    """One literal of an executable order, split against what is bound.
+
+    ``bound_cols`` were bound by earlier steps (pushed into the index
+    probe); ``free_cols`` bind their slot from the row (first occurrence of
+    the variable in this step); ``check_cols`` are repeated occurrences of a
+    slot first bound *within this same step* and are verified per row.
+    """
+
+    __slots__ = (
+        "position", "relation", "select_consts", "bound_cols", "free_cols",
+        "check_cols",
+    )
+
+    def __init__(self, literal: LiteralPlan, bound_slots: set[int]):
+        self.position = literal.position
+        self.relation = literal.relation
+        self.select_consts = dict(literal.const_cols)
+        bound: list[tuple[int, int]] = []
+        free: list[tuple[int, int]] = []
+        check: list[tuple[int, int]] = []
+        fresh: set[int] = set()
+        for column, slot in literal.var_cols:
+            if slot in bound_slots:
+                bound.append((column, slot))
+            elif slot in fresh:
+                check.append((column, slot))
+            else:
+                fresh.add(slot)
+                free.append((column, slot))
+        self.bound_cols = tuple(bound)
+        self.free_cols = tuple(free)
+        self.check_cols = tuple(check)
+        bound_slots |= fresh
+
+
+class ClausePlan:
+    """A compiled clause: slots, literal maps, head/negative templates."""
+
+    __slots__ = (
+        "clause", "slot_of", "num_slots", "literals", "head_spec",
+        "negatives", "_orders",
+    )
+
+    def __init__(self, clause: "Clause"):
+        self.clause = clause
+        slot_of: dict[Variable, int] = {}
+        literals = []
+        for position, literal in enumerate(clause.positive_body):
+            const_cols = []
+            var_cols = []
+            for column, term in enumerate(literal.args):
+                if isinstance(term, Variable):
+                    slot = slot_of.setdefault(term, len(slot_of))
+                    var_cols.append((column, slot))
+                else:
+                    const_cols.append((column, term))
+            literals.append(
+                LiteralPlan(
+                    position, literal.relation,
+                    tuple(const_cols), tuple(var_cols),
+                )
+            )
+        self.slot_of = slot_of
+        self.num_slots = len(slot_of)
+        self.literals = tuple(literals)
+        self.head_spec = self._spec(clause.head.args)
+        self.negatives = tuple(
+            (literal.relation, self._spec(literal.args))
+            for literal in clause.negative_body
+        )
+        # executed orders, keyed by the order tuple — shapes recur because
+        # relative cardinalities rarely flip between rounds
+        self._orders: dict[tuple[int, ...], tuple[_Step, ...]] = {}
+
+    def _spec(self, args: tuple) -> ArgSpec:
+        # Variables outside the positive body (unsafe clauses never reach
+        # evaluation, but ad-hoc probes may) stay in place, mirroring
+        # substitute_args on an unbound variable.
+        return tuple(
+            (True, self.slot_of[term])
+            if isinstance(term, Variable) and term in self.slot_of
+            else (False, term)
+            for term in args
+        )
+
+    def build(self, spec: ArgSpec, subst: list) -> tuple:
+        """Instantiate an argument template from the substitution array."""
+        return tuple(
+            subst[value] if is_slot else value for is_slot, value in spec
+        )
+
+    def subst_dict(self, subst: list) -> dict[Variable, object]:
+        """The array as a plain substitution dict (external callers)."""
+        return {
+            variable: subst[slot]
+            for variable, slot in self.slot_of.items()
+            if subst[slot] is not UNBOUND
+        }
+
+    # ------------------------------------------------------------------
+    # Ordering
+    # ------------------------------------------------------------------
+
+    def order_for(
+        self,
+        model: "Model",
+        delta_position: Optional[int] = None,
+        reorder: bool = True,
+    ) -> tuple[int, ...]:
+        """Greedy selectivity order over the positive literals.
+
+        At each step the literal with the smallest estimated candidate
+        count is taken: current cardinality, discounted tenfold per column
+        bound by a constant or an already-bound variable. The delta literal,
+        when present, is pinned first; ties break towards the original
+        position, so equally-estimated plans keep the written order.
+        """
+        count = len(self.literals)
+        if delta_position is None:
+            order: list[int] = []
+            remaining = list(range(count))
+        else:
+            order = [delta_position]
+            remaining = [i for i in range(count) if i != delta_position]
+        if not reorder or count <= 1:
+            return tuple(order + remaining)
+        bound_slots: set[int] = set()
+        for position in order:
+            bound_slots |= self.literals[position].slots
+        while remaining:
+            best = remaining[0]
+            best_cost: Optional[float] = None
+            for position in remaining:
+                literal = self.literals[position]
+                bound = len(literal.const_cols) + sum(
+                    1
+                    for _column, slot in literal.var_cols
+                    if slot in bound_slots
+                )
+                cost = model.count_of(literal.relation) * (0.1 ** bound)
+                if best_cost is None or cost < best_cost:
+                    best, best_cost = position, cost
+            order.append(best)
+            remaining.remove(best)
+            bound_slots |= self.literals[best].slots
+        return tuple(order)
+
+    def steps_for(self, order: tuple[int, ...]) -> tuple[_Step, ...]:
+        steps = self._orders.get(order)
+        if steps is None:
+            bound_slots: set[int] = set()
+            steps = tuple(
+                _Step(self.literals[position], bound_slots)
+                for position in order
+            )
+            self._orders[order] = steps
+        return steps
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        model: "Model",
+        delta_position: Optional[int] = None,
+        delta_rows: Optional[Iterable[tuple]] = None,
+        exclude: Optional[Mapping[int, set[tuple]]] = None,
+        reorder: bool = True,
+    ) -> Iterator[tuple[list, list]]:
+        """Yield (substitution array, facts by original position).
+
+        Both yielded lists are live scratch buffers reused across matches —
+        consume them before advancing the iterator. When *delta_position*
+        is given, that literal enumerates *delta_rows* (lazily indexed on
+        its constant columns) instead of its relation. *exclude* removes
+        rows per original body position.
+        """
+        if delta_position is None:
+            delta_rows = None
+        order = self.order_for(model, delta_position, reorder)
+        steps = self.steps_for(order)
+        subst = [UNBOUND] * self.num_slots
+        facts: list = [None] * len(self.literals)
+        if not steps:
+            yield subst, facts
+            return
+        exclusions = tuple(
+            (exclude or {}).get(step.position) for step in steps
+        )
+        delta_index: Optional[dict[tuple, list[tuple]]] = None
+        delta_index_cols: tuple[int, ...] = ()
+
+        def delta_candidates(bound: Mapping[int, object]) -> Iterable[tuple]:
+            nonlocal delta_index, delta_index_cols
+            if not bound:
+                return delta_rows
+            if delta_index is None:
+                delta_index_cols = tuple(sorted(bound))
+                delta_index = {}
+                for row in delta_rows:
+                    key = tuple(row[c] for c in delta_index_cols)
+                    delta_index.setdefault(key, []).append(row)
+            probe = tuple(bound[c] for c in delta_index_cols)
+            return delta_index.get(probe, ())
+
+        last = len(steps) - 1
+
+        def recurse(index: int) -> Iterator[tuple[list, list]]:
+            step = steps[index]
+            if step.bound_cols:
+                bound = dict(step.select_consts)
+                for column, slot in step.bound_cols:
+                    bound[column] = subst[slot]
+            else:
+                bound = step.select_consts
+            if index == 0 and delta_rows is not None:
+                candidates: Iterable[tuple] = delta_candidates(bound)
+            else:
+                candidates = model.relation(step.relation).select(bound)
+            excluded = exclusions[index]
+            free_cols = step.free_cols
+            check_cols = step.check_cols
+            relation = step.relation
+            position = step.position
+            for row in candidates:
+                if excluded is not None and row in excluded:
+                    continue
+                for column, slot in free_cols:
+                    subst[slot] = row[column]
+                if check_cols and any(
+                    subst[slot] != row[column] for column, slot in check_cols
+                ):
+                    continue
+                facts[position] = Atom(relation, row)
+                if index == last:
+                    yield subst, facts
+                else:
+                    yield from recurse(index + 1)
+
+        yield from recurse(0)
+
+
+class Planner:
+    """A per-clause cache of compiled plans.
+
+    ``reorder=False`` pins the written left-to-right join order (the
+    pre-planner behaviour) — the baseline of experiment E16 and an escape
+    hatch for debugging plan choices.
+    """
+
+    MAX_PLANS = 4096  # ad-hoc query probes churn; cap the cache
+
+    __slots__ = ("reorder", "_plans")
+
+    def __init__(self, reorder: bool = True):
+        self.reorder = reorder
+        self._plans: dict["Clause", ClausePlan] = {}
+
+    def plan_for(self, clause: "Clause") -> ClausePlan:
+        plan = self._plans.get(clause)
+        if plan is None:
+            plan = ClausePlan(clause)
+            # Bodiless clauses (facts) have no join to plan; compiling one
+            # is trivial and caching them would let a large fact base
+            # evict the hot rule plans.
+            if clause.positive_body:
+                if len(self._plans) >= self.MAX_PLANS:
+                    self._plans.clear()
+                self._plans[clause] = plan
+        return plan
+
+    def invalidate(self, clause: "Clause") -> None:
+        """Drop the cached plan of *clause* (rule insertion/deletion)."""
+        self._plans.pop(clause, None)
+
+    def clear(self) -> None:
+        self._plans.clear()
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+
+DEFAULT_PLANNER = Planner()
+"""Module-level cache used when no engine-owned planner is passed."""

@@ -16,6 +16,23 @@ from .terms import Term, Variable
 Substitution = Mapping[Variable, Term]
 
 
+class _UnboundType:
+    """The "no binding yet" marker.
+
+    Any hashable constant — including ``None`` — is a legal term
+    (:mod:`.terms`), so absence of a binding must be signalled by a value no
+    program can contain. Compare with ``is``.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "UNBOUND"
+
+
+UNBOUND: Term = _UnboundType()
+
+
 def match_tuple(
     pattern: tuple[Term, ...],
     ground: tuple[Term, ...],
@@ -29,8 +46,8 @@ def match_tuple(
     """
     for pat, value in zip(pattern, ground):
         if isinstance(pat, Variable):
-            bound = subst.get(pat)
-            if bound is None:
+            bound = subst.get(pat, UNBOUND)
+            if bound is UNBOUND:
                 subst[pat] = value
             elif bound != value:
                 return False

@@ -1,7 +1,13 @@
 """Tests for the interactive console (repro.cli)."""
 
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 
+import repro
 from repro.cli import Console, main
 
 PODS = """
@@ -128,6 +134,38 @@ class TestSession:
 
     def test_help(self, console):
         assert "why" in console.dispatch("help")
+
+    def test_non_ascii_round_trip_under_c_locale(self, tmp_path):
+        # Regression: `save` and `--program` opened files with the locale
+        # encoding while the store layer pins UTF-8; under LC_ALL=C a
+        # program with a non-ASCII constant crashed the round trip.
+        source = tmp_path / "prog.dl"
+        saved = tmp_path / "saved.dl"
+        source.write_text("labelled('café').\n", encoding="utf-8")
+        env = dict(
+            os.environ,
+            LC_ALL="C",
+            LANG="C",
+            PYTHONCOERCECLOCALE="0",
+            PYTHONUTF8="0",
+            PYTHONIOENCODING="utf-8",  # stdio only; open() stays ASCII
+            PYTHONPATH=str(Path(repro.__file__).resolve().parents[1]),
+        )
+        again = tmp_path / "again.dl"
+        for program, target in ((source, saved), (saved, again)):
+            result = subprocess.run(
+                [
+                    sys.executable, "-m", "repro", str(program),
+                    "-c", f"save {target}",
+                ],
+                capture_output=True,
+                env=env,
+            )
+            assert result.returncode == 0, result.stderr.decode("utf-8")
+        # `save` normalises quoting, so compare save -> load -> save.
+        assert again.read_bytes() == saved.read_bytes()
+        reloaded = Console(saved.read_text(encoding="utf-8"))
+        assert reloaded.engine.model.contains("labelled", ("café",))
 
 
 class TestStoreCommands:

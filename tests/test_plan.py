@@ -1,0 +1,254 @@
+"""The join planner (repro.datalog.plan).
+
+Three layers:
+
+* unit tests for compilation, selectivity ordering, the delta-first pin,
+  and plan caching/invalidation;
+* regressions for the unbound-variable sentinel: ``None`` is a legal
+  constant and must join like any other value (it used to read as
+  "unbound" and silently corrupt joins);
+* the differential harness: on every workload in :mod:`repro.workloads`
+  the planned executor must produce the exact model *and* the exact
+  derivation set of the naive left-to-right evaluator.
+"""
+
+import pytest
+
+from repro.core.registry import create_engine
+from repro.datalog.atoms import Atom
+from repro.datalog.builder import ProgramBuilder
+from repro.datalog.evaluation import (
+    compute_model,
+    iter_derivations,
+    semi_naive_saturate,
+)
+from repro.datalog.model import Model
+from repro.datalog.parser import parse_clause
+from repro.datalog.plan import Planner
+from repro.workloads import (
+    access_control,
+    bill_of_materials,
+    cascade_example,
+    conf,
+    congress,
+    generate,
+    meet,
+    negation_chain,
+    pods,
+    reachability,
+    review_pipeline,
+    staleness_counterexample,
+)
+
+
+def star_join_model(big_rows=60, buckets=6, probes=2):
+    """big/2 joined against a tiny probe/1 — selectivity ordering bait."""
+    model = Model()
+    for i in range(big_rows):
+        model.add(Atom("big", (i % buckets, i)))
+    for i in range(probes):
+        model.add(Atom("probe", (i,)))
+    return model
+
+
+STAR_RULE = parse_clause("hit(Y) :- big(X, Y), probe(X).")
+
+
+class TestOrdering:
+    def test_small_relation_drives_the_join(self):
+        model = star_join_model()
+        plan = Planner().plan_for(STAR_RULE)
+        # probe (2 rows) must run before big (60 rows)
+        assert plan.order_for(model) == (1, 0)
+
+    def test_left_to_right_when_reorder_disabled(self):
+        model = star_join_model()
+        plan = Planner(reorder=False).plan_for(STAR_RULE)
+        assert plan.order_for(model, reorder=False) == (0, 1)
+
+    def test_delta_literal_pinned_first(self):
+        model = star_join_model()
+        plan = Planner().plan_for(STAR_RULE)
+        # even though big is larger, the increment drives the join
+        assert plan.order_for(model, delta_position=0)[0] == 0
+
+    def test_bound_columns_discount_cardinality(self):
+        # path(Y, Z) binds nothing at first but shares Y with edge(X, Y):
+        # after edge is placed, path becomes cheaper than its raw count.
+        clause = parse_clause("p(X, Z) :- edge(X, Y), path(Y, Z).")
+        model = Model()
+        for i in range(5):
+            model.add(Atom("edge", (i, i + 1)))
+        for i in range(30):
+            model.add(Atom("path", (i % 6, i)))
+        plan = Planner().plan_for(clause)
+        assert plan.order_for(model) == (0, 1)
+
+    def test_facts_reported_in_original_body_order(self):
+        model = star_join_model()
+        for derivation in iter_derivations(STAR_RULE, model):
+            assert derivation.positive_facts[0].relation == "big"
+            assert derivation.positive_facts[1].relation == "probe"
+
+
+class TestPlannedResults:
+    def test_star_join_matches_left_to_right(self):
+        model_a = star_join_model()
+        model_b = star_join_model()
+        added_planned = semi_naive_saturate([STAR_RULE], model_a)
+        added_ltr = semi_naive_saturate(
+            [STAR_RULE], model_b, planner=Planner(reorder=False)
+        )
+        assert added_planned == added_ltr
+        assert model_a == model_b
+
+    def test_exclusions_keyed_by_original_position(self):
+        model = star_join_model(big_rows=6, buckets=2, probes=2)
+        excluded = {0: {(0, 0)}}  # remove one big row, whatever the order
+        heads = {
+            d.head
+            for d in iter_derivations(STAR_RULE, model, exclude=excluded)
+        }
+        assert Atom("hit", (0,)) not in heads
+        assert Atom("hit", (2,)) in heads
+
+    def test_repeated_variable_across_and_within_literals(self):
+        clause = parse_clause("q(X) :- p(X, X), r(X).")
+        model = Model()
+        model.add(Atom("p", ("a", "a")))
+        model.add(Atom("p", ("a", "b")))
+        model.add(Atom("r", ("a",)))
+        model.add(Atom("r", ("b",)))
+        heads = {d.head for d in iter_derivations(clause, model)}
+        assert heads == {Atom("q", ("a",))}
+
+
+class TestPlanCache:
+    def test_plans_are_cached_per_clause(self):
+        planner = Planner()
+        assert planner.plan_for(STAR_RULE) is planner.plan_for(STAR_RULE)
+
+    def test_invalidate_drops_the_plan(self):
+        planner = Planner()
+        plan = planner.plan_for(STAR_RULE)
+        planner.invalidate(STAR_RULE)
+        assert planner.plan_for(STAR_RULE) is not plan
+
+    def test_fact_clauses_are_not_cached(self):
+        # A large fact base must not evict the hot rule plans.
+        planner = Planner()
+        fact_clause = parse_clause("f(1).")
+        planner.plan_for(fact_clause)
+        assert len(planner) == 0
+        planner.plan_for(STAR_RULE)
+        assert len(planner) == 1
+
+    def test_engine_rule_updates_invalidate_engine_planner(self):
+        engine = create_engine("cascade", "base(1). base(2).")
+        rule = parse_clause("derived(X) :- base(X).")
+        engine.insert_rule(rule)
+        plan = engine.planner.plan_for(rule)
+        engine.delete_rule(rule)
+        assert engine.planner.plan_for(rule) is not plan
+
+
+class TestNoneConstantRegressions:
+    """``None`` used to mean "unbound" inside the join — ISSUE 3."""
+
+    def test_none_does_not_join_with_other_constants(self):
+        # p(None). r(a). q(X) :- p(X), r(X).  must derive nothing.
+        builder = ProgramBuilder()
+        builder.fact("p", None)
+        builder.fact("r", "a")
+        builder.rule("q", ("X",)).pos("p", "X").pos("r", "X")
+        program = builder.build()
+        for method in ("naive", "seminaive"):
+            model = compute_model(program, method=method)
+            assert model.count_of("q") == 0, method
+
+    def test_none_joins_with_none(self):
+        builder = ProgramBuilder()
+        builder.fact("p", None)
+        builder.fact("r", None)
+        builder.rule("q", ("X",)).pos("p", "X").pos("r", "X")
+        model = compute_model(builder.build())
+        assert model.contains("q", (None,))
+
+    def test_none_respects_repeated_variables(self):
+        builder = ProgramBuilder()
+        builder.fact("p", None, "a")
+        builder.fact("p", None, None)
+        builder.rule("q", ("X",)).pos("p", "X", "X")
+        model = compute_model(builder.build())
+        assert set(model.facts_of("q")) == {Atom("q", (None,))}
+
+    def test_none_through_the_delta_mechanism(self):
+        # The incremental path (delta rows, engine updates) must treat
+        # None the same way as the from-scratch path.
+        builder = ProgramBuilder()
+        builder.fact("r", "a")
+        builder.rule("q", ("X",)).pos("p", "X").pos("r", "X")
+        engine = create_engine("cascade", builder.build())
+        engine.insert_fact(Atom("p", (None,)))
+        assert engine.model.count_of("q") == 0
+        assert engine.is_consistent()
+        engine.insert_fact(Atom("r", (None,)))
+        assert engine.model.contains("q", (None,))
+        engine.delete_fact(Atom("p", (None,)))
+        assert engine.model.count_of("q") == 0
+        assert engine.is_consistent()
+
+
+def _model_and_derivations(program, method, planner):
+    derivations = set()
+
+    def listener(derivation, is_new):
+        derivations.add(derivation)
+
+    model = compute_model(
+        program, method=method, listener=listener, planner=planner
+    )
+    return model, derivations
+
+
+WORKLOADS = {
+    "pods": pods,
+    "conf": conf,
+    "congress": congress,
+    "meet": meet,
+    "negation_chain": negation_chain,
+    "cascade_example": cascade_example,
+    "staleness_counterexample": staleness_counterexample,
+    "review_pipeline": review_pipeline,
+    "reachability": reachability,
+    "bill_of_materials": bill_of_materials,
+    "access_control": access_control,
+    "synthetic_0": lambda: generate(0).program,
+    "synthetic_1": lambda: generate(1).program,
+    "synthetic_2": lambda: generate(2).program,
+}
+
+
+class TestDifferentialHarness:
+    """Planned execution == naive left-to-right on every workload."""
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_models_and_derivation_sets_identical(self, name):
+        program = WORKLOADS[name]()
+        baseline_model, baseline_derivations = _model_and_derivations(
+            program, "naive", Planner(reorder=False)
+        )
+        for method in ("naive", "seminaive"):
+            model, derivations = _model_and_derivations(
+                program, method, Planner()
+            )
+            assert model == baseline_model, (name, method)
+            assert derivations == baseline_derivations, (name, method)
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_maintained_engines_stay_consistent(self, name):
+        # The planner also runs under every engine's incremental paths;
+        # spot-check the cascade engine end-to-end per workload.
+        program = WORKLOADS[name]()
+        engine = create_engine("cascade", program)
+        assert engine.is_consistent(), name

@@ -18,6 +18,7 @@ from hypothesis import strategies as st
 
 from repro.core.registry import SOUND_ENGINE_NAMES, create_engine
 from repro.datalog.evaluation import compute_model, iter_derivations
+from repro.datalog.plan import Planner
 from repro.tms.bridge import standard_model_via_jtms
 from repro.workloads.synthetic import SyntheticSpec, generate
 from repro.workloads.updates import mixed_updates, random_updates
@@ -80,6 +81,28 @@ class TestModelSemantics:
         assert compute_model(program, method="naive") == compute_model(
             program, method="seminaive"
         )
+
+    @given(seed=seeds)
+    @common
+    def test_planned_execution_is_exact(self, seed):
+        # The selectivity-ordered join plans must not change the model nor
+        # the set of reported derivations, for either saturation method,
+        # against the naive left-to-right baseline.
+        program = generate(seed, SMALL).program
+
+        def run(method, planner):
+            derivations = set()
+            model = compute_model(
+                program,
+                method=method,
+                listener=lambda d, is_new: derivations.add(d),
+                planner=planner,
+            )
+            return model, derivations
+
+        baseline = run("naive", Planner(reorder=False))
+        assert run("naive", Planner()) == baseline
+        assert run("seminaive", Planner()) == baseline
 
     @given(seed=seeds)
     @common

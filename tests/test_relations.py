@@ -78,6 +78,38 @@ class TestSelect:
         for row in r.select({}):
             r.add((row[1], row[0] + "!"))  # mutate during iteration
 
+    def test_lazy_index_consistent_after_discard(self):
+        # An index built lazily AFTER a discard must not resurrect rows.
+        r = self._store()
+        r.discard(("a", "c"))
+        assert set(r.select({1: "c"})) == {("b", "c")}
+        assert set(r.select({0: "a"})) == {("a", "b")}
+
+    def test_indexes_dropped_by_clear(self):
+        r = self._store()
+        list(r.select({0: "a"}))  # force index on column 0
+        r.clear()
+        assert list(r.select({0: "a"})) == []
+        r.add(("a", "q"))
+        assert set(r.select({0: "a"})) == {("a", "q")}
+
+    def test_none_values_select_like_any_constant(self):
+        r = Relation("p", 2)
+        r.add((None, "a"))
+        r.add(("b", None))
+        assert set(r.select({0: None})) == {(None, "a")}
+        assert set(r.select({1: None})) == {("b", None)}
+        r.discard((None, "a"))
+        assert list(r.select({0: None})) == []
+
+    def test_empty_bucket_removed_then_readded(self):
+        r = self._store()
+        list(r.select({0: "b"}))  # index on column 0
+        r.discard(("b", "c"))
+        assert list(r.select({0: "b"})) == []
+        r.add(("b", "z"))
+        assert set(r.select({0: "b"})) == {("b", "z")}
+
 
 class TestCopy:
     def test_copy_is_independent(self):

@@ -35,6 +35,18 @@ class TestMatchTuple:
         assert match_tuple(("a", 1), ("a", 1), {})
         assert not match_tuple(("a",), ("b",), {})
 
+    def test_none_is_a_legal_constant(self):
+        # Regression (ISSUE 3): a binding to None used to read as
+        # "unbound", letting a repeated variable rebind to anything.
+        subst = {}
+        assert match_tuple((X,), (None,), subst)
+        assert subst == {X: None}
+        assert not match_tuple((X, X), (None, "a"), {})
+        assert match_tuple((X, X), (None, None), {})
+        assert not match_tuple((X,), ("a",), {X: None})
+        assert not match_tuple((None,), ("a",), {})
+        assert match_tuple((None,), (None,), {})
+
 
 class TestMatchAtom:
     def test_relation_must_agree(self):
