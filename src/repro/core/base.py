@@ -84,11 +84,25 @@ class MaintenanceEngine(ABC):
         """Compute the model (and supports) from scratch."""
         self.model = Model()
         self._reset_supports()
+        self._pin_rule_plans()
         for stratum in self.db.stratification:
             saturate(
                 stratum.clauses, self.model, self._build_listener(),
                 self.method, planner=self.planner,
             )
+
+    def _pin_rule_plans(self) -> None:
+        """Pin exactly the current program rules' plans in the planner.
+
+        Pinned plans are exempt from the planner's LRU eviction, so a
+        flood of ad-hoc probes (queries, constraint checks) through the
+        same planner can never evict the rule plans the maintenance loops
+        re-execute on every update. Syncing (not just adding) matters on
+        the restore path: a rollback or snapshot load may swap in a
+        program with fewer rules, and the dropped rules' pins must lapse
+        or they would leak one unevictable plan each.
+        """
+        self.planner.sync_pins(self.db.program.rules)
 
     def _reset_supports(self) -> None:
         """Clear the support store before a rebuild. Default: nothing."""
@@ -96,7 +110,7 @@ class MaintenanceEngine(ABC):
     def _build_listener(self):
         """Derivation listener used during (re)builds. Default: counter only."""
 
-        def listener(derivation, is_new: bool) -> None:
+        def listener(derivation, is_new: bool, plan) -> None:
             self._derivations_fired += 1
 
         return listener
@@ -144,7 +158,11 @@ class MaintenanceEngine(ABC):
         ):
             self.db = StratifiedDatabase(Program(program), granularity)
         self.method = state.get("method", self.method)
+        self._pin_rule_plans()
         model = Model()
+        # Re-adding the facts rebuilds each relation's per-column
+        # distinct-value statistics deterministically; indexes refill
+        # lazily on first probe, so a snapshot needs to carry neither.
         for fact in state["model"]:
             model.add(fact)
         self.model = model
@@ -210,6 +228,7 @@ class MaintenanceEngine(ABC):
         fired_before = self._derivations_fired
         self.db.add_rule(rule)  # checks stratification, raises on duplicates
         self.planner.invalidate(rule)
+        self.planner.pin(rule)
         removed, added = self._apply_insert_rule(rule)
         return self._result(
             "insert_rule", rule, removed, added, started, fired_before

@@ -89,10 +89,13 @@ class CascadeEngine(MaintenanceEngine):
         return record
 
     def _build_listener(self):
-        def listener(derivation: Derivation, is_new: bool) -> None:
+        def listener(derivation: Derivation, is_new: bool, plan) -> None:
             self._derivations_fired += 1
+            # The rule-pointer record is a pure function of the clause:
+            # the plan carries it as a support template, so the hot path
+            # is one attribute-dict probe instead of hashing the clause.
             self._records.setdefault(derivation.head, set()).add(
-                self._record_for(derivation.clause)
+                plan.support_template("rule_record", self._record_for)
             )
 
         return listener
@@ -347,8 +350,8 @@ class CascadeEngine(MaintenanceEngine):
             listener = base_listener
         else:
 
-            def listener(derivation: Derivation, is_new: bool) -> None:
-                base_listener(derivation, is_new)
+            def listener(derivation: Derivation, is_new: bool, plan) -> None:
+                base_listener(derivation, is_new, plan)
                 journal.add(
                     (derivation.head, self._record_for(derivation.clause))
                 )

@@ -61,35 +61,45 @@ class DynamicEngine(MaintenanceEngine):
         self._supports.clear()
 
     def _build_listener(self):
-        def listener(derivation: Derivation, is_new: bool) -> None:
+        def listener(derivation: Derivation, is_new: bool, plan) -> None:
             self._derivations_fired += 1
-            self._note_deduction(derivation)
+            self._note_deduction(derivation, plan)
 
         return listener
 
-    def _note_deduction(self, derivation: Derivation) -> None:
-        body_supports = [
-            self._supports[fact] for fact in derivation.positive_facts
-        ]
-        positive_relations = [
-            fact.relation for fact in derivation.positive_facts
-        ]
-        negated_relations = [
-            atom.relation for atom in derivation.negative_atoms
-        ]
-        if self.signed_statics:
-            support = pair_support_of_derivation(
-                body_supports, positive_relations, negated_relations
-            )
-        else:
-            # The paper's first, incorrect attempt: negated relations are
-            # recorded plainly and dependencies through them are lost.
-            pos: set = set(positive_relations)
-            neg: set = set(negated_relations)
-            for body in body_supports:
-                pos |= body.pos
-                neg |= body.neg
-            support = PairSupport(frozenset(pos), frozenset(neg))
+    def _base_pair(self, clause) -> PairSupport:
+        """The clause-level contribution to a deduction's (Pos, Neg) pair.
+
+        Depends only on the rule's body relations, so it is built once per
+        clause and attached to the plan as a support template; per
+        derivation only the body facts' supports are unioned in.
+        """
+        return pair_support_of_derivation(
+            (),
+            (lit.relation for lit in clause.positive_body),
+            (lit.relation for lit in clause.negative_body),
+        )
+
+    def _base_plain(self, clause) -> PairSupport:
+        # The paper's first, incorrect attempt: negated relations are
+        # recorded plainly and dependencies through them are lost.
+        return PairSupport(
+            frozenset(lit.relation for lit in clause.positive_body),
+            frozenset(lit.relation for lit in clause.negative_body),
+        )
+
+    def _note_deduction(self, derivation: Derivation, plan) -> None:
+        base: PairSupport = plan.support_template(
+            "pair_signed" if self.signed_statics else "pair_plain",
+            self._base_pair if self.signed_statics else self._base_plain,
+        )
+        pos: set = set(base.pos)
+        neg: set = set(base.neg)
+        for fact in derivation.positive_facts:
+            body = self._supports[fact]
+            pos |= body.pos
+            neg |= body.neg
+        support = PairSupport(frozenset(pos), frozenset(neg))
         existing = self._supports.get(derivation.head)
         if existing is None:
             self._supports[derivation.head] = support

@@ -38,6 +38,10 @@ from .base import MaintenanceEngine
 from .supports import FactRecord
 
 
+def _make_assertion_record(_clause) -> FactRecord:
+    return FactRecord.assertion()
+
+
 class FactLevelEngine(MaintenanceEngine):
     """Fact-level supports keeping all deductions (section 5.2 discussion)."""
 
@@ -55,17 +59,23 @@ class FactLevelEngine(MaintenanceEngine):
         self._records.clear()
 
     def _build_listener(self):
-        def listener(derivation: Derivation, is_new: bool) -> None:
+        def listener(derivation: Derivation, is_new: bool, plan) -> None:
             self._derivations_fired += 1
-            record = (
-                FactRecord.assertion()
-                if not derivation.clause.body
-                else FactRecord(
+            if not derivation.clause.body:
+                # the assertion record is clause-independent; the plan
+                # template just avoids re-allocating it per derivation
+                record = plan.support_template(
+                    "fact_assertion", _make_assertion_record
+                )
+            else:
+                # fact-level records cite ground body facts, so only the
+                # clause pointer is plan-level; the frozensets are
+                # inherently per-derivation
+                record = FactRecord(
                     derivation.clause,
                     frozenset(derivation.positive_facts),
                     frozenset(derivation.negative_atoms),
                 )
-            )
             self._records.setdefault(derivation.head, set()).add(record)
 
         return listener

@@ -71,21 +71,31 @@ class SetOfSetsEngine(MaintenanceEngine):
         self._records.clear()
 
     def _build_listener(self):
-        def listener(derivation: Derivation, is_new: bool) -> None:
+        def listener(derivation: Derivation, is_new: bool, plan) -> None:
             self._derivations_fired += 1
-            self._note_deduction(derivation)
+            self._note_deduction(derivation, plan)
 
         return listener
 
-    def _note_deduction(self, derivation: Derivation) -> None:
-        negated = tuple(
-            atom.relation for atom in derivation.negative_atoms
-        )
+    @staticmethod
+    def _base_elements(clause) -> tuple[frozenset, frozenset]:
+        """The clause-level (Pos element, Neg element) contribution.
+
+        Only the rule's body relations matter, so the pair is built once
+        per clause and attached to the plan as a support template.
+        """
+        negated = tuple(lit.relation for lit in clause.negative_body)
         base_pos = frozenset(
-            {fact.relation for fact in derivation.positive_facts}
+            {lit.relation for lit in clause.positive_body}
             | {Signed("-", relation) for relation in negated}
         )
         base_neg = frozenset(Signed("+", relation) for relation in negated)
+        return base_pos, base_neg
+
+    def _note_deduction(self, derivation: Derivation, plan) -> None:
+        base_pos, base_neg = plan.support_template(
+            "sos_base", self._base_elements
+        )
         if self.mode == "paper":
             pos_factors = [
                 self._supports[fact].pos for fact in derivation.positive_facts

@@ -55,9 +55,13 @@ class Derivation(NamedTuple):
     negative_atoms: tuple[Atom, ...]
 
 
-DerivationListener = Callable[[Derivation, bool], None]
-"""Called as ``listener(derivation, is_new)``; *is_new* says whether the
-head was absent from the model before this instantiation."""
+DerivationListener = Callable[[Derivation, bool, "ClausePlan"], None]
+"""Called as ``listener(derivation, is_new, plan)``; *is_new* says whether
+the head was absent from the model before this instantiation, and *plan* is
+the compiled :class:`~repro.datalog.plan.ClausePlan` of the derivation's
+clause — engines hang per-clause support templates off it
+(:meth:`~repro.datalog.plan.ClausePlan.support_template`), so a listener
+builds the clause-level part of a support once, not per derivation."""
 
 
 def _iter_matches(
@@ -91,7 +95,8 @@ def _iter_matches(
     plan = planner.plan_for(clause)
     rows = tuple(delta_rows) if delta_rows is not None else None
     for subst, facts in plan.execute(
-        model, delta_position, rows, exclude, planner.reorder
+        model, delta_position, rows, exclude, planner.reorder,
+        planner.estimator, planner.composite,
     ):
         yield plan.subst_dict(subst), tuple(facts)
 
@@ -113,13 +118,35 @@ def iter_derivations(
     """
     if planner is None:
         planner = DEFAULT_PLANNER
-    plan = planner.plan_for(clause)
+    return _plan_derivations(
+        planner.plan_for(clause), model, delta_position, delta_rows,
+        exclude, planner,
+    )
+
+
+def _plan_derivations(
+    plan,
+    model: Model,
+    delta_position: int | None,
+    delta_rows: Iterable[tuple] | None,
+    exclude: Mapping[int, set[tuple]] | None,
+    planner: Planner,
+) -> Iterator[Derivation]:
+    """:func:`iter_derivations` over an already-compiled plan.
+
+    The saturation loops fetch each clause's plan once (they hand it to
+    the derivation listener) and iterate through this, so a bodiless
+    clause — whose plan the cache deliberately never holds — is not
+    recompiled a second time inside the loop body.
+    """
+    clause = plan.clause
     rows = tuple(delta_rows) if delta_rows is not None else None
     negatives = plan.negatives
     head_relation = clause.head.relation
     head_spec = plan.head_spec
     for subst, facts in plan.execute(
-        model, delta_position, rows, exclude, planner.reorder
+        model, delta_position, rows, exclude, planner.reorder,
+        planner.estimator, planner.composite,
     ):
         neg_atoms = []
         blocked = False
@@ -147,16 +174,21 @@ def naive_saturate(
     Returns the facts added. Simple and obviously correct; used as the
     reference point for the delta-driven evaluator (experiment E9).
     """
+    if planner is None:
+        planner = DEFAULT_PLANNER
     rules = tuple(rules)
     added: set[Atom] = set()
     changed = True
     while changed:
         changed = False
         for clause in rules:
-            for derivation in iter_derivations(clause, model, planner=planner):
+            plan = planner.plan_for(clause)
+            for derivation in _plan_derivations(
+                plan, model, None, None, None, planner
+            ):
                 is_new = derivation.head not in model
                 if listener is not None:
-                    listener(derivation, is_new)
+                    listener(derivation, is_new, plan)
                 if is_new:
                     model.add(derivation.head)
                     added.add(derivation.head)
@@ -188,15 +220,17 @@ def semi_naive_saturate(
     saturation: an instance fires in the round its last positive body fact
     entered the increment, so supports built from the listener are complete.
     """
+    if planner is None:
+        planner = DEFAULT_PLANNER
     rules = tuple(rules)
     full_fire = set(full_fire)
     added: set[Atom] = set()
     next_delta: dict[str, set[tuple]] = {}
 
-    def emit(derivation: Derivation) -> None:
+    def emit(derivation: Derivation, plan) -> None:
         is_new = derivation.head not in model
         if listener is not None:
-            listener(derivation, is_new)
+            listener(derivation, is_new, plan)
         if is_new:
             model.add(derivation.head)
             added.add(derivation.head)
@@ -210,33 +244,36 @@ def semi_naive_saturate(
         # would only make the first delta round repeat the full joins.
         for clause in rules:
             if not clause.body:
-                for derivation in iter_derivations(
-                    clause, model, planner=planner
+                plan = planner.plan_for(clause)
+                for derivation in _plan_derivations(
+                    plan, model, None, None, None, planner
                 ):
-                    emit(derivation)
+                    emit(derivation, plan)
         next_delta.clear()
         for clause in rules:
             if clause.body:
-                for derivation in iter_derivations(
-                    clause, model, planner=planner
+                plan = planner.plan_for(clause)
+                for derivation in _plan_derivations(
+                    plan, model, None, None, None, planner
                 ):
-                    emit(derivation)
+                    emit(derivation, plan)
     else:
         external: Mapping[str, set[tuple]] = delta or {}
         for clause in rules:
+            plan = planner.plan_for(clause)
             if clause in full_fire:
-                for derivation in iter_derivations(
-                    clause, model, planner=planner
+                for derivation in _plan_derivations(
+                    plan, model, None, None, None, planner
                 ):
-                    emit(derivation)
+                    emit(derivation, plan)
                 continue
             for position, literal in enumerate(clause.positive_body):
                 rows = external.get(literal.relation)
                 if rows:
-                    for derivation in iter_derivations(
-                        clause, model, position, rows, planner=planner
+                    for derivation in _plan_derivations(
+                        plan, model, position, rows, None, planner
                     ):
-                        emit(derivation)
+                        emit(derivation, plan)
 
     while next_delta:
         current = next_delta
@@ -248,25 +285,101 @@ def semi_naive_saturate(
                 for position, literal in enumerate(body)
                 if current.get(literal.relation)
             ]
+            if not delta_positions:
+                continue
+            plan = planner.plan_for(clause)
+            delta_positions, first_live = _choose_delta_positions(
+                plan, model, clause, delta_positions, current, planner
+            )
             for k, position in enumerate(delta_positions):
                 # Triangular split: later delta positions are restricted to
                 # their pre-round content, so an instantiation whose body
                 # facts all arrived this round fires exactly once (at its
-                # last delta position).
+                # last delta position in the chosen order).
+                if k < first_live:
+                    # Dominated: a later position's relation is entirely
+                    # inside the increment, so its restricted candidate
+                    # set is empty and this firing cannot match (see
+                    # _choose_delta_positions).
+                    continue
                 restrict = {
                     later: current[body[later].relation]
                     for later in delta_positions[k + 1 :]
                 }
-                for derivation in iter_derivations(
-                    clause,
+                for derivation in _plan_derivations(
+                    plan,
                     model,
                     position,
                     current[body[position].relation],
                     restrict or None,
-                    planner=planner,
+                    planner,
                 ):
-                    emit(derivation)
+                    emit(derivation, plan)
     return added
+
+
+def _choose_delta_positions(
+    plan,
+    model: Model,
+    clause: Clause,
+    positions: list[int],
+    current: Mapping[str, set[tuple]],
+    planner: "Planner",
+) -> tuple[list[int], int]:
+    """Cost-based ordering of a helpful rule's delta positions.
+
+    The triangular split is valid under *any* permutation of the delta
+    positions (each instantiation still fires exactly once, at its last
+    delta position in the chosen order), so the order is free to choose by
+    cost. Two levers:
+
+    * positions whose relation is *entirely covered* by the increment
+      (every tuple arrived this round) are moved to the front. A firing is
+      provably empty whenever a **later** position is covered — its
+      restricted candidate set (relation minus increment) has nothing left
+      — so with the covered positions up front, every firing before the
+      last covered one is dominated and skipped. The returned index is the
+      first live firing.
+    * the remaining positions are ordered by the plan's estimated firing
+      cost (:meth:`~repro.datalog.plan.ClausePlan.estimate_firing`), so
+      the costliest drivers fire last, where the exclusion sets of the
+      triangular split have already thinned the most candidates.
+
+    With ``reorder=False`` or ``delta_choice=False`` the enumeration
+    order is kept and nothing is skipped — the pre-statistics behaviour,
+    and the baseline the differential harness compares against.
+    """
+    if (
+        not planner.reorder
+        or not planner.delta_choice
+        or len(positions) <= 1
+    ):
+        return positions, 0
+    body = clause.positive_body
+    covered = [
+        position
+        for position in positions
+        # increments are already in the model, so equal sizes mean the
+        # whole relation arrived this round
+        if len(current[body[position].relation])
+        >= model.count_of(body[position].relation)
+    ]
+    if len(covered) <= 1 and len(positions) <= 2:
+        # nothing to skip and at most one free choice: keep written order
+        ordered = positions
+    else:
+        rest = [p for p in positions if p not in covered]
+        rest.sort(
+            key=lambda position: plan.estimate_firing(
+                model,
+                position,
+                len(current[body[position].relation]),
+                planner.estimator,
+            )
+        )
+        ordered = covered + rest
+    first_live = max(len(covered) - 1, 0)
+    return ordered, first_live
 
 
 def saturate(

@@ -26,11 +26,23 @@ class Model:
             self.add(fact)
 
     def relation(self, name: str, arity: int | None = None) -> Relation:
-        """The store for *name*, created empty on first use."""
+        """The store for *name*, created empty on first use.
+
+        Passing an *arity* that conflicts with the existing store's is an
+        error — the same mismatch :meth:`Relation.add` rejects per tuple.
+        (It used to be silently ignored, which let a caller's wrong arity
+        pass unnoticed until a confusing failure at insert time.)
+        """
         store = self._relations.get(name)
         if store is None:
             store = Relation(name, arity)
             self._relations[name] = store
+        elif arity is not None and store.arity is not None and arity != store.arity:
+            raise ValueError(
+                f"relation {name} has arity {store.arity}, got arity {arity}"
+            )
+        elif arity is not None and store.arity is None:
+            store.arity = arity
         return store
 
     def has_relation(self, name: str) -> bool:
@@ -83,6 +95,18 @@ class Model:
     def count_of(self, relation: str) -> int:
         store = self._relations.get(relation)
         return 0 if store is None else len(store)
+
+    def estimated_matches(
+        self, relation: str, bound_columns: Iterable[int]
+    ) -> float:
+        """Expected rows of *relation* matching a probe on *bound_columns*.
+
+        Cardinality divided by the product of the bound columns' distinct
+        counts (:meth:`Relation.estimated_matches`) — the planner's
+        estimator. 0.0 for an absent relation.
+        """
+        store = self._relations.get(relation)
+        return 0.0 if store is None else store.estimated_matches(bound_columns)
 
     def per_relation_counts(self) -> dict[str, int]:
         return {

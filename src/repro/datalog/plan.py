@@ -1,14 +1,18 @@
-"""Join planning: clauses compiled into selectivity-ordered join plans.
+"""Join planning: clauses compiled into statistics-ordered join plans.
 
 The saturation loops spend almost all their time enumerating the ground
 instances of rule bodies. This module compiles each clause once into a
 :class:`ClausePlan` — per-literal column maps, integer variable slots, and
 argument templates for the head and the negative hypotheses — and executes
 it with a substitution *array* instead of per-row dict copies. At execution
-time the positive literals are greedily reordered by estimated selectivity
-(current relation cardinality, discounted per bound column), so a rule like
-``q(Y) :- big(X, Y), probe(X)`` starts from ``probe`` and index-probes
-``big`` instead of scanning it (experiment E16).
+time the positive literals are greedily reordered by estimated candidate
+count — relation cardinality divided by the distinct-value counts of the
+bound columns, statistics :class:`~.relations.Relation` maintains
+incrementally — so a rule like ``q(Y) :- big(X, Y), probe(X)`` starts from
+``probe`` and index-probes ``big`` instead of scanning it (experiments E16
+and E17). Each executed step knows its full bound-column combination at
+compile time and probes the relation's *composite* index on it: one dict
+lookup per step, not an intersection of single-column buckets.
 
 Three invariants keep the planner a drop-in replacement for the naive
 left-to-right enumerator in :mod:`.evaluation`:
@@ -25,15 +29,22 @@ legal constant and must join like any other value.
 
 Plans depend only on the clause structure; the cardinality statistics are
 read per execution, so a cached plan never goes stale. A :class:`Planner`
-caches plans per clause (facts are compiled but not cached — they have no
-join): engines own one each, invalidated on rule insertion/deletion so
-deleted rules do not pin memory, and the module keeps a bounded default
-instance for ad-hoc callers (queries, constraint checks).
+caches plans per clause with bounded LRU eviction (facts are compiled but
+not cached — they have no join): engines own one each, *pin* their rule
+plans so ad-hoc probe churn can never evict them, and invalidate on rule
+insertion/deletion so deleted rules do not pin memory. The module keeps a
+bounded default instance for ad-hoc callers (queries, constraint checks).
+
+Plans also carry *support templates*: engines attach their per-clause
+support records (rule pointers, signed base sets) to the plan once and
+reuse them on every derivation, instead of re-deriving the clause-level
+part of a support on each firing (see the listeners in
+:mod:`repro.core`).
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, Iterator, Mapping, Optional
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Mapping, Optional
 
 from .atoms import Atom
 from .terms import Variable
@@ -47,6 +58,11 @@ if TYPE_CHECKING:  # imported lazily to avoid a cycle with clauses.py
 # (False, value) is a constant (or a variable foreign to the positive body,
 # left in place exactly as substitute_args would leave it).
 ArgSpec = tuple[tuple[bool, object], ...]
+
+ESTIMATORS = ("stats", "heuristic")
+"""``stats`` divides cardinality by the bound columns' distinct counts;
+``heuristic`` is the pre-statistics flat 0.1-per-bound-column discount,
+kept as the measurable baseline of experiment E17."""
 
 
 class LiteralPlan:
@@ -67,6 +83,14 @@ class LiteralPlan:
         self.var_cols = var_cols  # (column, slot) pairs, in column order
         self.slots = frozenset(slot for _column, slot in var_cols)
 
+    def bound_columns(self, bound_slots: set[int]) -> list[int]:
+        """The columns a probe binds once *bound_slots* are available."""
+        columns = [column for column, _constant in self.const_cols]
+        columns.extend(
+            column for column, slot in self.var_cols if slot in bound_slots
+        )
+        return columns
+
 
 class _Step:
     """One literal of an executable order, split against what is bound.
@@ -75,11 +99,18 @@ class _Step:
     probe); ``free_cols`` bind their slot from the row (first occurrence of
     the variable in this step); ``check_cols`` are repeated occurrences of a
     slot first bound *within this same step* and are verified per row.
+
+    ``probe_cols``/``probe_parts`` describe the step's full bound-column
+    combination — constants plus already-bound variables, in column order.
+    They are fixed at compile time, which is where the composite index on
+    exactly that combination is requested: the executor builds the key
+    tuple from the substitution array and resolves the step in one dict
+    lookup.
     """
 
     __slots__ = (
         "position", "relation", "select_consts", "bound_cols", "free_cols",
-        "check_cols",
+        "check_cols", "probe_cols", "probe_parts",
     )
 
     def __init__(self, literal: LiteralPlan, bound_slots: set[int]):
@@ -101,6 +132,14 @@ class _Step:
         self.bound_cols = tuple(bound)
         self.free_cols = tuple(free)
         self.check_cols = tuple(check)
+        probe: list[tuple[int, tuple[bool, object]]] = [
+            (column, (False, constant))
+            for column, constant in literal.const_cols
+        ]
+        probe.extend((column, (True, slot)) for column, slot in bound)
+        probe.sort(key=lambda item: item[0])
+        self.probe_cols = tuple(column for column, _spec in probe)
+        self.probe_parts = tuple(spec for _column, spec in probe)
         bound_slots |= fresh
 
 
@@ -109,7 +148,8 @@ class ClausePlan:
 
     __slots__ = (
         "clause", "slot_of", "num_slots", "literals", "head_spec",
-        "negatives", "_orders",
+        "negatives", "positive_relations", "negated_relations", "_orders",
+        "_templates",
     )
 
     def __init__(self, clause: "Clause"):
@@ -139,9 +179,17 @@ class ClausePlan:
             (literal.relation, self._spec(literal.args))
             for literal in clause.negative_body
         )
+        self.positive_relations = tuple(
+            literal.relation for literal in clause.positive_body
+        )
+        self.negated_relations = tuple(
+            literal.relation for literal in clause.negative_body
+        )
         # executed orders, keyed by the order tuple — shapes recur because
         # relative cardinalities rarely flip between rounds
         self._orders: dict[tuple[int, ...], tuple[_Step, ...]] = {}
+        # engine-attached per-clause support records (see module docstring)
+        self._templates: dict[str, object] = {}
 
     def _spec(self, args: tuple) -> ArgSpec:
         # Variables outside the positive body (unsafe clauses never reach
@@ -168,23 +216,56 @@ class ClausePlan:
             if subst[slot] is not UNBOUND
         }
 
+    def support_template(self, key: str, factory: Callable) -> object:
+        """The engine support record attached under *key*, built once.
+
+        ``factory(clause)`` runs on first request; afterwards every
+        derivation of this clause reuses the same object — the plan-level
+        support construction that replaces a per-derivation re-derivation
+        in the engines' listeners.
+        """
+        template = self._templates.get(key)
+        if template is None:
+            template = factory(self.clause)
+            self._templates[key] = template
+        return template
+
     # ------------------------------------------------------------------
-    # Ordering
+    # Ordering and cost estimation
     # ------------------------------------------------------------------
+
+    def _candidate_estimate(
+        self,
+        model: "Model",
+        literal: LiteralPlan,
+        bound_slots: set[int],
+        estimator: str,
+    ) -> float:
+        if estimator == "stats":
+            return model.estimated_matches(
+                literal.relation, literal.bound_columns(bound_slots)
+            )
+        bound = len(literal.const_cols) + sum(
+            1 for _column, slot in literal.var_cols if slot in bound_slots
+        )
+        return model.count_of(literal.relation) * (0.1 ** bound)
 
     def order_for(
         self,
         model: "Model",
         delta_position: Optional[int] = None,
         reorder: bool = True,
+        estimator: str = "stats",
     ) -> tuple[int, ...]:
         """Greedy selectivity order over the positive literals.
 
         At each step the literal with the smallest estimated candidate
-        count is taken: current cardinality, discounted tenfold per column
-        bound by a constant or an already-bound variable. The delta literal,
-        when present, is pinned first; ties break towards the original
-        position, so equally-estimated plans keep the written order.
+        count is taken — cardinality divided by the distinct counts of the
+        columns bound by a constant or an already-bound variable (the
+        ``heuristic`` estimator keeps the old flat tenfold discount per
+        bound column). The delta literal, when present, is pinned first;
+        ties break towards the original position, so equally-estimated
+        plans keep the written order.
         """
         count = len(self.literals)
         if delta_position is None:
@@ -202,19 +283,42 @@ class ClausePlan:
             best = remaining[0]
             best_cost: Optional[float] = None
             for position in remaining:
-                literal = self.literals[position]
-                bound = len(literal.const_cols) + sum(
-                    1
-                    for _column, slot in literal.var_cols
-                    if slot in bound_slots
+                cost = self._candidate_estimate(
+                    model, self.literals[position], bound_slots, estimator
                 )
-                cost = model.count_of(literal.relation) * (0.1 ** bound)
                 if best_cost is None or cost < best_cost:
                     best, best_cost = position, cost
             order.append(best)
             remaining.remove(best)
             bound_slots |= self.literals[best].slots
         return tuple(order)
+
+    def estimate_firing(
+        self,
+        model: "Model",
+        delta_position: int,
+        delta_size: int,
+        estimator: str = "stats",
+    ) -> float:
+        """Estimated cost of firing the clause with *delta_position* driving.
+
+        The sum of estimated intermediate result sizes along the greedy
+        order with the delta literal (of *delta_size* rows) pinned first —
+        the estimator the semi-naive loop uses for cost-based
+        delta-position choice.
+        """
+        order = self.order_for(model, delta_position, True, estimator)
+        rows = cost = float(max(delta_size, 0))
+        bound_slots = set(self.literals[delta_position].slots)
+        for position in order[1:]:
+            literal = self.literals[position]
+            per_row = self._candidate_estimate(
+                model, literal, bound_slots, estimator
+            )
+            rows *= max(per_row, 0.0)
+            cost += rows
+            bound_slots |= literal.slots
+        return cost
 
     def steps_for(self, order: tuple[int, ...]) -> tuple[_Step, ...]:
         steps = self._orders.get(order)
@@ -238,6 +342,8 @@ class ClausePlan:
         delta_rows: Optional[Iterable[tuple]] = None,
         exclude: Optional[Mapping[int, set[tuple]]] = None,
         reorder: bool = True,
+        estimator: str = "stats",
+        composite: bool = True,
     ) -> Iterator[tuple[list, list]]:
         """Yield (substitution array, facts by original position).
 
@@ -245,11 +351,13 @@ class ClausePlan:
         consume them before advancing the iterator. When *delta_position*
         is given, that literal enumerates *delta_rows* (lazily indexed on
         its constant columns) instead of its relation. *exclude* removes
-        rows per original body position.
+        rows per original body position. ``composite=False`` probes through
+        single-column index intersection instead of the composite index
+        (the E17 baseline).
         """
         if delta_position is None:
             delta_rows = None
-        order = self.order_for(model, delta_position, reorder)
+        order = self.order_for(model, delta_position, reorder, estimator)
         steps = self.steps_for(order)
         subst = [UNBOUND] * self.num_slots
         facts: list = [None] * len(self.literals)
@@ -279,16 +387,32 @@ class ClausePlan:
 
         def recurse(index: int) -> Iterator[tuple[list, list]]:
             step = steps[index]
-            if step.bound_cols:
+            if index == 0 and delta_rows is not None:
+                if step.bound_cols:
+                    bound = dict(step.select_consts)
+                    for column, slot in step.bound_cols:
+                        bound[column] = subst[slot]
+                else:
+                    bound = step.select_consts
+                candidates: Iterable[tuple] = delta_candidates(bound)
+            elif not step.probe_cols:
+                candidates = model.relation(step.relation).select({})
+            elif composite:
+                key = tuple(
+                    subst[value] if is_slot else value
+                    for is_slot, value in step.probe_parts
+                )
+                # snapshot: the bucket is live and saturation mutates it
+                candidates = tuple(
+                    model.relation(step.relation).probe(step.probe_cols, key)
+                )
+            else:
                 bound = dict(step.select_consts)
                 for column, slot in step.bound_cols:
                     bound[column] = subst[slot]
-            else:
-                bound = step.select_consts
-            if index == 0 and delta_rows is not None:
-                candidates: Iterable[tuple] = delta_candidates(bound)
-            else:
-                candidates = model.relation(step.relation).select(bound)
+                candidates = model.relation(step.relation).select_intersect(
+                    bound
+                )
             excluded = exclusions[index]
             free_cols = step.free_cols
             check_cols = step.check_cols
@@ -313,43 +437,114 @@ class ClausePlan:
 
 
 class Planner:
-    """A per-clause cache of compiled plans.
+    """A per-clause cache of compiled plans with bounded LRU eviction.
 
     ``reorder=False`` pins the written left-to-right join order (the
     pre-planner behaviour) — the baseline of experiment E16 and an escape
-    hatch for debugging plan choices.
+    hatch for debugging plan choices. ``estimator``/``composite`` select
+    the cost model and probe path (see :data:`ESTIMATORS`); their defaults
+    are the statistics-driven ones, and experiment E17 measures them
+    against the old guesses.
+
+    Engines :meth:`pin` their rule plans: pinned entries are exempt from
+    eviction, so a flood of ad-hoc query probes can never wipe the hot rule
+    plans (a full cache used to be *cleared*, which did exactly that).
     """
 
     MAX_PLANS = 4096  # ad-hoc query probes churn; cap the cache
 
-    __slots__ = ("reorder", "_plans")
+    __slots__ = (
+        "reorder", "estimator", "composite", "delta_choice", "_plans",
+        "_pinned",
+    )
 
-    def __init__(self, reorder: bool = True):
+    def __init__(
+        self,
+        reorder: bool = True,
+        estimator: str = "stats",
+        composite: bool = True,
+        delta_choice: bool = True,
+    ):
+        if estimator not in ESTIMATORS:
+            raise ValueError(
+                f"unknown estimator {estimator!r}; use one of {ESTIMATORS}"
+            )
         self.reorder = reorder
-        self._plans: dict["Clause", ClausePlan] = {}
+        self.estimator = estimator
+        self.composite = composite
+        # cost-based delta-position ordering/skipping in the semi-naive
+        # loop; False fires every position in enumeration order (the PR 3
+        # behaviour, the E17c ablation baseline)
+        self.delta_choice = delta_choice
+        self._plans: dict["Clause", ClausePlan] = {}  # insertion = LRU order
+        self._pinned: set["Clause"] = set()
 
     def plan_for(self, clause: "Clause") -> ClausePlan:
         plan = self._plans.get(clause)
-        if plan is None:
-            plan = ClausePlan(clause)
-            # Bodiless clauses (facts) have no join to plan; compiling one
-            # is trivial and caching them would let a large fact base
-            # evict the hot rule plans.
-            if clause.positive_body:
-                if len(self._plans) >= self.MAX_PLANS:
-                    self._plans.clear()
+        if plan is not None:
+            if clause not in self._pinned:
+                # refresh recency; pinned entries never move (or leave)
+                del self._plans[clause]
                 self._plans[clause] = plan
+            return plan
+        plan = ClausePlan(clause)
+        # Bodiless clauses (facts) have no join to plan; compiling one
+        # is trivial and caching them would let a large fact base
+        # churn the cache.
+        if clause.body:
+            if len(self._plans) >= self.MAX_PLANS:
+                self._evict_one()
+            self._plans[clause] = plan
         return plan
+
+    def _evict_one(self) -> None:
+        """Drop the least-recently-used unpinned plan, if any."""
+        for clause in self._plans:
+            if clause not in self._pinned:
+                del self._plans[clause]
+                return
+        # Everything is pinned: grow past MAX_PLANS rather than evict a
+        # hot engine rule plan — engines pin one entry per program rule,
+        # so this stays bounded by the program size.
+
+    def pin(self, clause: "Clause") -> ClausePlan:
+        """Compile (if needed) and exempt *clause*'s plan from eviction."""
+        plan = self.plan_for(clause)
+        if clause in self._plans:
+            self._pinned.add(clause)
+        return plan
+
+    def sync_pins(self, clauses: Iterable["Clause"]) -> None:
+        """Pin exactly *clauses*; stale pins rejoin the LRU pool.
+
+        Engines call this whenever their program is replaced wholesale
+        (rebuild, snapshot restore, transaction rollback): without the
+        sync, every formerly pinned rule of the old program would stay
+        exempt from eviction forever and the cache would leak one plan
+        per replaced rule.
+        """
+        keep = set(clauses)
+        self._pinned &= keep
+        for clause in keep:
+            self.pin(clause)
+
+    def unpin(self, clause: "Clause") -> None:
+        self._pinned.discard(clause)
 
     def invalidate(self, clause: "Clause") -> None:
         """Drop the cached plan of *clause* (rule insertion/deletion)."""
         self._plans.pop(clause, None)
+        self._pinned.discard(clause)
 
     def clear(self) -> None:
         self._plans.clear()
+        self._pinned.clear()
 
     def __len__(self) -> int:
         return len(self._plans)
+
+    def pinned_count(self) -> int:
+        return len(self._pinned)
 
 
 DEFAULT_PLANNER = Planner()

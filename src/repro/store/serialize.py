@@ -15,6 +15,14 @@ identical files. Both properties come from one tagged encoding:
 
 The codec knows every support form of the paper's solutions
 (:mod:`repro.core.supports`), so one pair of functions serves all engines.
+
+Derived per-relation state — hash indexes and the planner's per-column
+distinct-value statistics — is deliberately *not* serialized: a snapshot
+records the sorted fact list only, and restoring re-adds each fact through
+:meth:`~repro.datalog.relations.Relation.add`, which rebuilds the
+statistics deterministically (indexes refill lazily on first probe). The
+property tests assert the restored distinct counts equal the live
+engine's, so a reopened store plans joins exactly as the live one did.
 """
 
 from __future__ import annotations

@@ -113,7 +113,7 @@ class TestListener:
         program = parse_program(TC)
         seen = set()
 
-        def listener(derivation, is_new):
+        def listener(derivation, is_new, plan):
             seen.add((derivation.head, derivation.clause))
 
         compute_model(program, listener=listener)
@@ -131,7 +131,7 @@ class TestListener:
         program = parse_program("e(1). p(X) :- e(X). p(1).")
         flags = []
 
-        def listener(derivation, is_new):
+        def listener(derivation, is_new, plan):
             if derivation.head == fact("p", 1):
                 flags.append(is_new)
 

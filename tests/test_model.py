@@ -1,5 +1,7 @@
 """Unit tests for repro.datalog.model."""
 
+import pytest
+
 from repro.datalog.atoms import fact
 from repro.datalog.model import Model
 
@@ -37,6 +39,33 @@ class TestBasics:
     def test_restrict(self):
         m = Model([fact("p", 1), fact("q", 1)])
         assert m.restrict(lambda name: name == "p") == {fact("p", 1)}
+
+
+class TestRelationAccessor:
+    def test_conflicting_arity_raises(self):
+        # relation() used to silently ignore a mismatching arity argument,
+        # deferring the failure to a confusing add() much later.
+        m = Model([fact("p", 1, 2)])
+        with pytest.raises(ValueError):
+            m.relation("p", 3)
+
+    def test_matching_arity_is_fine(self):
+        m = Model([fact("p", 1, 2)])
+        assert m.relation("p", 2).arity == 2
+        assert m.relation("p").arity == 2
+
+    def test_arity_adopted_by_unknown_store(self):
+        m = Model()
+        m.relation("p")  # created with unknown arity
+        assert m.relation("p", 2).arity == 2
+        with pytest.raises(ValueError):
+            m.relation("p", 3)
+
+    def test_estimated_matches(self):
+        m = Model([fact("e", i % 2, i) for i in range(10)])
+        assert m.estimated_matches("e", ()) == 10.0
+        assert m.estimated_matches("e", (0,)) == 5.0
+        assert m.estimated_matches("ghost", (0,)) == 0.0
 
 
 class TestEquality:

@@ -1,15 +1,20 @@
 """The join planner (repro.datalog.plan).
 
-Three layers:
+Four layers:
 
-* unit tests for compilation, selectivity ordering, the delta-first pin,
-  and plan caching/invalidation;
+* unit tests for compilation, statistics-driven ordering, the delta-first
+  pin, cost-based delta-position choice, and plan caching/invalidation
+  (bounded LRU eviction with pinned engine rule plans);
 * regressions for the unbound-variable sentinel: ``None`` is a legal
   constant and must join like any other value (it used to read as
   "unbound" and silently corrupt joins);
-* the differential harness: on every workload in :mod:`repro.workloads`
-  the planned executor must produce the exact model *and* the exact
-  derivation set of the naive left-to-right evaluator.
+* regressions for the plan cache: a full cache used to be *cleared*,
+  wiping the hot engine rule plans the moment ad-hoc probes pushed past
+  ``MAX_PLANS``;
+* the differential harness: on every workload in :mod:`repro.workloads`,
+  and for every estimator/probe-path configuration, the planned executor
+  must produce the exact model *and* the exact derivation set of the
+  naive left-to-right evaluator.
 """
 
 import pytest
@@ -90,6 +95,37 @@ class TestOrdering:
             assert derivation.positive_facts[0].relation == "big"
             assert derivation.positive_facts[1].relation == "probe"
 
+    def test_statistics_see_through_skew_where_heuristic_cannot(self):
+        # seed(K), hay(K, V), pin(V, W): hay is large with only two
+        # distinct keys (a bound K barely narrows it), pin is small. The
+        # flat tenfold discount rates hay at 1000*0.1 == pin's 100 and
+        # keeps the written order; real distinct counts rate hay at
+        # 1000/2 = 500 and drive through pin first.
+        clause = parse_clause("out(W) :- seed(K), hay(K, V), pin(V, W).")
+        model = Model()
+        model.add(Atom("seed", (0,)))
+        model.add(Atom("seed", (1,)))
+        for i in range(1000):
+            model.add(Atom("hay", (i % 2, i)))
+        for i in range(100):
+            model.add(Atom("pin", (i, i)))
+        plan = Planner().plan_for(clause)
+        assert plan.order_for(model, estimator="stats") == (0, 2, 1)
+        assert plan.order_for(model, estimator="heuristic") == (0, 1, 2)
+
+    def test_estimate_firing_prefers_selective_driver(self):
+        model = star_join_model(big_rows=60, buckets=6, probes=2)
+        plan = Planner().plan_for(STAR_RULE)
+        # driving from a 2-row delta on probe is cheaper than from a
+        # 60-row delta on big
+        cheap = plan.estimate_firing(model, 1, 2)
+        costly = plan.estimate_firing(model, 0, 60)
+        assert cheap < costly
+
+    def test_unknown_estimator_rejected(self):
+        with pytest.raises(ValueError):
+            Planner(estimator="vibes")
+
 
 class TestPlannedResults:
     def test_star_join_matches_left_to_right(self):
@@ -151,6 +187,103 @@ class TestPlanCache:
         engine.delete_rule(rule)
         assert engine.planner.plan_for(rule) is not plan
 
+    def test_support_templates_built_once_per_plan(self):
+        planner = Planner()
+        plan = planner.plan_for(STAR_RULE)
+        calls = []
+
+        def factory(clause):
+            calls.append(clause)
+            return ("template", clause.head.relation)
+
+        first = plan.support_template("probe", factory)
+        second = plan.support_template("probe", factory)
+        assert first is second
+        assert calls == [STAR_RULE]
+
+
+def _adhoc_clauses(count):
+    return [
+        parse_clause(f"q{i}(X) :- adhoc{i}(X), filter{i}(X).")
+        for i in range(count)
+    ]
+
+
+class TestCacheEviction:
+    """A full cache used to be cleared wholesale — ISSUE 4."""
+
+    def test_cache_is_bounded(self, monkeypatch):
+        monkeypatch.setattr(Planner, "MAX_PLANS", 4)
+        planner = Planner()
+        for clause in _adhoc_clauses(10):
+            planner.plan_for(clause)
+        assert len(planner) == 4
+
+    def test_eviction_is_lru_not_wipeout(self, monkeypatch):
+        monkeypatch.setattr(Planner, "MAX_PLANS", 4)
+        planner = Planner()
+        clauses = _adhoc_clauses(5)
+        plans = [planner.plan_for(clause) for clause in clauses[:4]]
+        # touch the oldest so it is the most recent, then overflow
+        assert planner.plan_for(clauses[0]) is plans[0]
+        planner.plan_for(clauses[4])
+        assert planner.plan_for(clauses[0]) is plans[0]  # survived
+        assert planner.plan_for(clauses[1]) is not plans[1]  # evicted
+
+    def test_pinned_plans_survive_cache_pressure(self, monkeypatch):
+        monkeypatch.setattr(Planner, "MAX_PLANS", 4)
+        planner = Planner()
+        pinned = planner.pin(STAR_RULE)
+        for clause in _adhoc_clauses(20):
+            planner.plan_for(clause)
+        assert planner.plan_for(STAR_RULE) is pinned
+        planner.invalidate(STAR_RULE)  # rule deletion unpins and drops
+        assert planner.plan_for(STAR_RULE) is not pinned
+
+    def test_sync_pins_releases_stale_pins(self):
+        planner = Planner()
+        old = parse_clause("old(X) :- e(X).")
+        new = parse_clause("new(X) :- e(X).")
+        planner.pin(old)
+        planner.sync_pins([new])
+        assert planner.pinned_count() == 1
+        assert planner.plan_for(new) is planner.pin(new)
+
+    def test_load_state_does_not_leak_pins(self):
+        # Transaction rollback and snapshot restore go through load_state;
+        # rules dropped by the restored program must lose their pins or
+        # the planner leaks one unevictable plan per replaced rule.
+        engine = create_engine("cascade", "e(1). r(X) :- e(X).")
+        state = engine.state_dict()
+        engine.insert_rule("s(X) :- e(X).")
+        assert engine.planner.pinned_count() == 2
+        for _ in range(5):
+            engine.load_state(state)
+        assert engine.planner.pinned_count() == 1
+        assert engine.is_consistent()
+
+    def test_engine_rule_plans_survive_cache_pressure(self, monkeypatch):
+        # The regression: ad-hoc probes past MAX_PLANS used to clear the
+        # engine planner, wiping every hot rule plan and its compiled
+        # orders.
+        monkeypatch.setattr(Planner, "MAX_PLANS", 8)
+        engine = create_engine(
+            "cascade",
+            "e(1). e(2). r(X) :- e(X). s(X) :- r(X), e(X).",
+        )
+        rule_plans = {
+            rule: engine.planner.plan_for(rule)
+            for rule in engine.db.program.rules
+        }
+        for clause in _adhoc_clauses(30):
+            engine.planner.plan_for(clause)
+        for rule, plan in rule_plans.items():
+            assert engine.planner.plan_for(rule) is plan
+        assert len(engine.planner) <= 8 + len(rule_plans)
+        # and the engine still maintains correctly under pressure
+        engine.insert_fact("e(3)")
+        assert engine.is_consistent()
+
 
 class TestNoneConstantRegressions:
     """``None`` used to mean "unbound" inside the join — ISSUE 3."""
@@ -199,10 +332,81 @@ class TestNoneConstantRegressions:
         assert engine.is_consistent()
 
 
+class TestDeltaPositionChoice:
+    """Cost-based ordering and dominated-position skipping — ISSUE 4."""
+
+    def _setup(self):
+        from repro.datalog.evaluation import _choose_delta_positions
+
+        clause = parse_clause("t(X, Z) :- e(X, Y), e(Y, Z).")
+        planner = Planner()
+        plan = planner.plan_for(clause)
+        return _choose_delta_positions, clause, plan, planner
+
+    def test_fully_covered_positions_skip_dominated_firings(self):
+        choose, clause, plan, planner = self._setup()
+        model = Model()
+        rows = {(1, 2), (2, 3)}
+        for row in rows:
+            model.add(Atom("e", row))
+        # the whole relation arrived this round: both positions covered,
+        # only the last firing can match (earlier ones are restricted to
+        # an empty pre-round content)
+        ordered, first_live = choose(
+            plan, model, clause, [0, 1], {"e": set(rows)}, planner
+        )
+        assert sorted(ordered) == [0, 1]
+        assert first_live == 1
+
+    def test_partial_delta_fires_every_position(self):
+        choose, clause, plan, planner = self._setup()
+        model = Model()
+        for i in range(5):
+            model.add(Atom("e", (i, i + 1)))
+        ordered, first_live = choose(
+            plan, model, clause, [0, 1], {"e": {(0, 1)}}, planner
+        )
+        assert sorted(ordered) == [0, 1]
+        assert first_live == 0
+
+    def test_reorder_false_keeps_enumeration_order(self):
+        choose, clause, plan, _ = self._setup()
+        planner = Planner(reorder=False)
+        model = Model()
+        model.add(Atom("e", (1, 2)))
+        ordered, first_live = choose(
+            plan, model, clause, [0, 1], {"e": {(1, 2)}}, planner
+        )
+        assert ordered == [0, 1]
+        assert first_live == 0
+
+    def test_recursive_closure_exact_when_relation_fully_new(self):
+        # End to end: inserting the very first facts of a relation makes
+        # every delta round fully covered; the skip must not lose
+        # derivations.
+        rules = [parse_clause("t(X, Y) :- e(X, Y)."),
+                 parse_clause("t(X, Z) :- t(X, Y), t(Y, Z).")]
+        chain = [Atom("e", (i, i + 1)) for i in range(6)]
+
+        def run(planner):
+            model = Model()
+            for atom in chain:
+                model.add(atom)
+            derivations = set()
+            semi_naive_saturate(
+                rules, model,
+                lambda d, is_new, plan: derivations.add(d),
+                planner=planner,
+            )
+            return model.as_set(), derivations
+
+        assert run(Planner()) == run(Planner(reorder=False))
+
+
 def _model_and_derivations(program, method, planner):
     derivations = set()
 
-    def listener(derivation, is_new):
+    def listener(derivation, is_new, plan):
         derivations.add(derivation)
 
     model = compute_model(
@@ -229,21 +433,30 @@ WORKLOADS = {
 }
 
 
-class TestDifferentialHarness:
-    """Planned execution == naive left-to-right on every workload."""
+PLANNER_CONFIGS = {
+    "stats": lambda: Planner(),
+    "stats_intersect": lambda: Planner(composite=False),
+    "heuristic": lambda: Planner(estimator="heuristic"),
+}
 
+
+class TestDifferentialHarness:
+    """Planned execution == naive left-to-right on every workload,
+    whatever the estimator and probe path."""
+
+    @pytest.mark.parametrize("config", sorted(PLANNER_CONFIGS))
     @pytest.mark.parametrize("name", sorted(WORKLOADS))
-    def test_models_and_derivation_sets_identical(self, name):
+    def test_models_and_derivation_sets_identical(self, name, config):
         program = WORKLOADS[name]()
         baseline_model, baseline_derivations = _model_and_derivations(
             program, "naive", Planner(reorder=False)
         )
         for method in ("naive", "seminaive"):
             model, derivations = _model_and_derivations(
-                program, method, Planner()
+                program, method, PLANNER_CONFIGS[config]()
             )
-            assert model == baseline_model, (name, method)
-            assert derivations == baseline_derivations, (name, method)
+            assert model == baseline_model, (name, method, config)
+            assert derivations == baseline_derivations, (name, method, config)
 
     @pytest.mark.parametrize("name", sorted(WORKLOADS))
     def test_maintained_engines_stay_consistent(self, name):

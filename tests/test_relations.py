@@ -111,6 +111,70 @@ class TestSelect:
         assert set(r.select({0: "b"})) == {("b", "z")}
 
 
+class TestCompositeIndexes:
+    def _store(self):
+        r = Relation("t", 3)
+        for i in range(40):
+            r.add((i % 4, i % 5, i))
+        return r
+
+    def test_multi_bound_probe_is_one_composite_lookup(self):
+        r = self._store()
+        rows = set(r.select({0: 1, 1: 2}))
+        assert rows == {row for row in r.tuples if row[0] == 1 and row[1] == 2}
+        # one composite index on the full bound combination, no
+        # single-column indexes were built
+        assert set(r._indexes) == {(0, 1)}
+
+    def test_composite_index_maintained_after_add_and_discard(self):
+        r = self._store()
+        list(r.select({0: 1, 1: 2}))  # force the (0, 1) index
+        r.add((1, 2, 99))
+        assert (1, 2, 99) in set(r.select({0: 1, 1: 2}))
+        r.discard((1, 2, 99))
+        assert (1, 2, 99) not in set(r.select({0: 1, 1: 2}))
+
+    def test_probe_matches_select_intersect(self):
+        r = self._store()
+        for bound in ({0: 2}, {1: 3}, {0: 2, 1: 3}, {0: 2, 2: 7}):
+            assert set(r.select(bound)) == set(r.select_intersect(bound))
+
+    def test_probe_missing_key(self):
+        r = self._store()
+        assert list(r.select({0: 99, 1: 99})) == []
+
+
+class TestStatistics:
+    def test_distinct_counts_maintained(self):
+        r = Relation("p", 2)
+        r.add(("a", 1))
+        r.add(("a", 2))
+        r.add(("b", 1))
+        assert r.distinct_count(0) == 2
+        assert r.distinct_count(1) == 2
+        r.discard(("a", 1))
+        assert r.distinct_count(0) == 2  # "a" still present via ("a", 2)
+        r.discard(("a", 2))
+        assert r.distinct_count(0) == 1
+        r.clear()
+        assert r.distinct_count(0) == 0
+        r.add(("c", 9))
+        assert r.distinct_counts() == {0: 1, 1: 1}
+
+    def test_estimated_matches_divides_by_distinct(self):
+        r = Relation("p", 2)
+        for i in range(30):
+            r.add((i % 3, i))
+        assert r.estimated_matches(()) == 30.0
+        assert r.estimated_matches((0,)) == 10.0  # 30 / 3 distinct
+        assert r.estimated_matches((1,)) == 1.0  # 30 / 30 distinct
+
+    def test_empty_relation_estimates_zero(self):
+        r = Relation("p", 2)
+        assert r.estimated_matches((0,)) == 0.0
+        assert r.distinct_count(0) == 0
+
+
 class TestCopy:
     def test_copy_is_independent(self):
         r = self._store = Relation("p", 1)
@@ -118,3 +182,37 @@ class TestCopy:
         dup = r.copy()
         dup.add(("b",))
         assert len(r) == 1 and len(dup) == 2
+
+    def test_copy_carries_indexes(self):
+        # Model.copy (undo/redo, rollback, recompute baselines) used to
+        # drop every lazily-built index, re-paying the build on first probe.
+        r = Relation("edge", 2)
+        for row in [("a", "b"), ("a", "c"), ("b", "c")]:
+            r.add(row)
+        list(r.select({0: "a"}))
+        list(r.select({0: "a", 1: "c"}))
+        dup = r.copy()
+        assert set(dup._indexes) == {(0,), (0, 1)}
+        # answering a select must not build anything new
+        assert set(dup.select({0: "a"})) == {("a", "b"), ("a", "c")}
+        assert set(dup._indexes) == {(0,), (0, 1)}
+
+    def test_copied_indexes_are_independent(self):
+        r = Relation("edge", 2)
+        r.add(("a", "b"))
+        list(r.select({0: "a"}))
+        dup = r.copy()
+        dup.add(("a", "z"))
+        dup.discard(("a", "b"))
+        assert set(dup.select({0: "a"})) == {("a", "z")}
+        assert set(r.select({0: "a"})) == {("a", "b")}
+
+    def test_copy_carries_statistics(self):
+        r = Relation("p", 2)
+        for i in range(12):
+            r.add((i % 3, i))
+        dup = r.copy()
+        assert dup.distinct_counts() == r.distinct_counts()
+        dup.discard((0, 0))
+        assert dup.distinct_count(1) == 11
+        assert r.distinct_count(1) == 12
