@@ -5,10 +5,15 @@ costs *decode the snapshot + replay the journal tail* instead of
 re-saturating the whole program. On a derivation-heavy workload (two
 levels of join rules over a branching edge relation, plus a negation
 layer) restore skips every join the rebuild performs, so a checkpointed
-store must reopen faster than ``create_engine`` for every relation-level
-support engine. The fact-level engine is reported but not asserted: its
-per-deduction records make the snapshot itself enormous — section 5.2's
-"prohibitive bookkeeping" showing up again, this time at serialization.
+store must reopen faster than ``create_engine`` for every engine. Until
+the v2 snapshot codec (columnar facts, compact array-tagged supports,
+bulk-loaded restore) the fact-level engine was report-only here: its
+per-deduction records made the snapshot enormous — section 5.2's
+"prohibitive bookkeeping" showing up again, this time at serialization —
+and the tagged-object decode could lose to a planned rebuild outright.
+This test is also CI's timing-regression guard for the restore path: it
+fails the build if any engine's restore stops beating its rebuild on
+this dense workload.
 
 A second scenario reopens a cascade store whose snapshot is a few
 revisions behind the head, so the journal tail is actually replayed; the
@@ -23,8 +28,10 @@ from repro.bench.reporting import print_table
 from repro.core.registry import create_engine
 from repro.store import Store
 
-RESTORE_MUST_WIN = ("static", "dynamic", "cascade", "setofsets-paired")
-REPORT_ONLY = ("factlevel",)
+RESTORE_MUST_WIN = (
+    "static", "dynamic", "cascade", "setofsets-paired", "factlevel"
+)
+REPORT_ONLY: tuple = ()
 NODES = 160
 TAIL = 3  # journal records replayed on top of the snapshot (scenario 2)
 

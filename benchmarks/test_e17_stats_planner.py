@@ -30,6 +30,13 @@ workloads the guesses get wrong:
   passes outright; the structural win grows with the number of covered
   self-join positions.
 
+* **E17d (composite-index cardinality)** — the uniform-independence
+  estimate ``|R| / Π distinct(c)`` misjudges correlated columns; once the
+  composite index on a column combination exists, its key count is the
+  *exact* distinct count of the combination, and
+  ``Relation.estimated_matches`` uses it. On the E17a star the pair
+  estimate tightens from an order of magnitude off to exact.
+
 Every comparison also asserts the two configurations produce identical
 results — speed must not buy semantics.
 """
@@ -199,6 +206,50 @@ def test_e17b_skewed_cardinality_ordering(benchmark):
     benchmark(
         lambda: semi_naive_saturate(rules, model.copy(), planner=Planner())
     )
+
+
+# ----------------------------------------------------------------------
+# E17d: composite-index key counts fix correlated-column estimates
+# ----------------------------------------------------------------------
+
+
+def _correlated_star_model(rows: int) -> Model:
+    """The E17a star with its columns *functionally* correlated: B is
+    determined by A, so there are only ``A_BUCKETS`` distinct (A, B)
+    pairs however many rows exist — the shape ROADMAP flagged as the
+    estimator's worst case."""
+    model = Model()
+    for i in range(rows):
+        a = 1 + (i % A_BUCKETS)
+        b = (a * 17) % B_BUCKETS
+        model.add(Atom("triple", (a, b, i)))
+    return model
+
+
+def test_e17d_composite_index_tightens_correlated_estimate():
+    """Uniform independence multiplies the per-column distinct counts
+    (~200 x ~200) and predicts a sub-row bucket; in truth every A drags
+    its B along, so a pair probe returns a full per-A bucket (~100 rows).
+    Once the composite (A, B) index exists its key count is the exact
+    distinct count of the combination and the estimate becomes exact."""
+    model = _correlated_star_model(TRIPLE_ROWS[0])
+    triple = model.relation("triple")
+    columns = (0, 1)
+    independence = triple.estimated_matches(columns)  # no index yet
+    index = triple.index_for(columns)  # first probe builds it
+    composite = triple.estimated_matches(columns)
+    true_mean = len(triple) / len(index)
+    print_table(
+        ["estimator", "estimated_rows", "true_mean_bucket"],
+        [
+            ["independence", independence, true_mean],
+            ["composite index", composite, true_mean],
+        ],
+        "E17d: functionally correlated (A, B) probe estimate",
+    )
+    # The composite estimate is exact; independence is off by >= 50x.
+    assert composite == true_mean
+    assert independence < true_mean / 50
 
 
 # ----------------------------------------------------------------------

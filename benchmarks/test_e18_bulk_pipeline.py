@@ -1,0 +1,246 @@
+"""E18 — the bulk-operation pipeline: ingest, restore, restricted deltas.
+
+PR 5's contract is that every bulk path — snapshot restore, ``Model.copy``,
+transaction rollback, batch maintenance — scales with data volume, not
+with per-tuple bookkeeping. The paper's maintenance procedure is only
+profitable while the bookkeeping stays cheaper than recomputation, and the
+related view-revision literature (arXiv:1407.3512, arXiv:1301.5154)
+stresses that revision systems live or die on the cost of applying *sets*
+of changes. Three measurements on the dense E15 workload:
+
+* **E18a (bulk ingest)** — loading the full derived model into a fresh
+  ``Model`` three ways: per-tuple ``add`` (the pre-PR path, O(arity) dict
+  updates per tuple), ``add_many`` (one batched statistics pass per
+  relation), and ``Model.from_relation_data`` (``Relation.bulk_load``:
+  set construction + one C-level Counter pass per column). The bulk paths
+  must be >= 2x faster while leaving tuples *and* distinct counts
+  identical.
+
+* **E18b (restore paths)** — the in-memory restore per-fact vs bulk
+  (>= 2x), and a full ``Store.open`` against a v1 snapshot (per-fact
+  tagged atoms) vs a v2 snapshot (columnar facts + compact state): the
+  new codec must never be slower.
+
+* **E18c (materialized restricted deltas)** — from-scratch transitive
+  closure over the dense edge set, where every semi-naive round restricts
+  the second self-join position to its pre-round content. Materialized
+  bucket subtraction (``Relation.probe_excluding``) vs the per-candidate
+  membership filter (``Planner(materialize_deltas=False)``); identical
+  models, parity-or-better wall clock.
+"""
+
+import time
+
+from test_e15_snapshot_restore import _workload
+
+from repro.bench.reporting import print_table
+from repro.core.registry import create_engine
+from repro.datalog.atoms import Atom
+from repro.datalog.builder import ProgramBuilder
+from repro.datalog.evaluation import semi_naive_saturate
+from repro.datalog.model import Model
+from repro.datalog.plan import Planner
+from repro.store import Store
+from repro.store.serialize import relation_data_to_facts
+from repro.store.snapshot import write_snapshot
+
+REPEATS = 5  # micro-measurements; E18c passes repeats=3 (each run is seconds)
+
+
+def _best_of(action, repeats: int = REPEATS):
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = action()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def _dense_engine():
+    return create_engine("cascade", _workload())
+
+
+def _assert_equivalent(reference: Model, candidate: Model) -> None:
+    """Same facts AND same planner statistics, relation by relation."""
+    assert candidate.as_set() == reference.as_set()
+    for name in reference.relation_names():
+        assert (
+            candidate.relation(name).distinct_counts()
+            == reference.relation(name).distinct_counts()
+        ), name
+
+
+# ----------------------------------------------------------------------
+# E18a: bulk ingest
+# ----------------------------------------------------------------------
+
+
+def test_e18a_bulk_ingest(benchmark):
+    engine = _dense_engine()
+    facts = list(engine.model.facts())
+    data = engine.model.relation_data()
+
+    def per_tuple():
+        model = Model()
+        for fact in facts:
+            model.add(fact)
+        return model
+
+    def add_many():
+        model = Model()
+        model.add_many(facts)
+        return model
+
+    def bulk_load():
+        return Model.from_relation_data(data)
+
+    per_tuple_s, reference = _best_of(per_tuple)
+    add_many_s, via_many = _best_of(add_many)
+    bulk_load_s, via_bulk = _best_of(bulk_load)
+    _assert_equivalent(reference, via_many)
+    _assert_equivalent(reference, via_bulk)
+
+    print_table(
+        ["path", "time_s", "speedup_vs_per_tuple"],
+        [
+            ["per-tuple add", per_tuple_s, 1.0],
+            ["add_many", add_many_s, per_tuple_s / add_many_s],
+            ["bulk_load", bulk_load_s, per_tuple_s / bulk_load_s],
+        ],
+        f"E18a: ingest {len(facts)} facts into a fresh model, best of "
+        f"{REPEATS}",
+    )
+    # Acceptance bar (ISSUE 5): the bulk paths win by >= 2x.
+    assert per_tuple_s / add_many_s >= 2.0
+    assert per_tuple_s / bulk_load_s >= 2.0
+
+    benchmark(bulk_load)
+
+
+# ----------------------------------------------------------------------
+# E18b: restore paths (in-memory, and v1 vs v2 snapshot files)
+# ----------------------------------------------------------------------
+
+
+def test_e18b_restore_paths(benchmark, tmp_path):
+    program = _workload()
+    store = Store.create(tmp_path / "v2", program, engine="cascade")
+    store.snapshot()
+    state = store.engine.state_dict()
+    expected = store.model.as_set()
+    store.close()
+
+    # The same belief state as a v1 snapshot file: identical store layout,
+    # only the base snapshot uses the per-fact tagged codec.
+    legacy = Store.create(tmp_path / "v1", program, engine="cascade")
+    legacy.close()
+    write_snapshot(tmp_path / "v1", 0, state, format_version=1)
+
+    facts = relation_data_to_facts(state["model"])
+
+    def per_fact_restore():
+        model = Model()
+        for fact in facts:
+            model.add(fact)
+        return model
+
+    def bulk_restore():
+        return Model.from_relation_data(state["model"])
+
+    per_fact_s, reference = _best_of(per_fact_restore)
+    bulk_s, restored = _best_of(bulk_restore)
+    _assert_equivalent(reference, restored)
+
+    def open_store(directory):
+        def action():
+            reopened = Store.open(directory)
+            model = reopened.model.as_set()
+            reopened.close()
+            return model
+
+        return action
+
+    v2_s, v2_model = _best_of(open_store(tmp_path / "v2"))
+    v1_s, v1_model = _best_of(open_store(tmp_path / "v1"))
+    assert v1_model == v2_model == expected
+
+    print_table(
+        ["path", "time_s", "speedup"],
+        [
+            ["model per-fact add", per_fact_s, 1.0],
+            ["model bulk_load", bulk_s, per_fact_s / bulk_s],
+            ["Store.open, v1 snapshot", v1_s, 1.0],
+            ["Store.open, v2 snapshot", v2_s, v1_s / v2_s],
+        ],
+        f"E18b: restore the dense E15 cascade state, best of {REPEATS}",
+    )
+    # Acceptance bar (ISSUE 5): bulk model restore >= 2x over per-fact;
+    # the v2 codec must never lose to v1 (floor allows scheduler noise).
+    assert per_fact_s / bulk_s >= 2.0
+    assert v1_s / v2_s >= 0.9
+
+    benchmark(open_store(tmp_path / "v2"))
+
+
+# ----------------------------------------------------------------------
+# E18c: materialized restricted deltas
+# ----------------------------------------------------------------------
+
+
+def _closure_rules():
+    builder = ProgramBuilder()
+    builder.rule("t", ("X", "Y")).pos("e", "X", "Y")
+    (
+        builder.rule("t", ("X", "Z"))
+        .pos("t", "X", "Y")
+        .pos("t", "Y", "Z")
+    )
+    return builder.build().rules
+
+
+def _edge_model() -> Model:
+    """The dense E15 edge set (chain plus skip edges) as plain facts."""
+    model = Model()
+    nodes = 160
+    for i in range(nodes - 1):
+        model.add(Atom("e", (i, i + 1)))
+        for skip in (3, 5, 7, 11, 13):
+            if i + skip < nodes:
+                model.add(Atom("e", (i, i + skip)))
+    return model
+
+
+def test_e18c_materialized_delta_ablation(benchmark):
+    """Every round of the self-joined closure restricts the later delta
+    position to its pre-round content; subtracting the round's increment
+    from the probed buckets once (set subtraction) must match the
+    per-candidate membership filter exactly and cost no more."""
+    rules = _closure_rules()
+
+    def saturate(planner_factory):
+        def action():
+            model = _edge_model()
+            semi_naive_saturate(rules, model, planner=planner_factory())
+            return model
+
+        return action
+
+    filtered_s, filtered_model = _best_of(
+        saturate(lambda: Planner(materialize_deltas=False)), repeats=3
+    )
+    materialized_s, materialized_model = _best_of(saturate(Planner), repeats=3)
+    assert materialized_model == filtered_model
+    speedup = filtered_s / materialized_s
+    print_table(
+        ["configuration", "time_s", "speedup"],
+        [
+            ["per-candidate filter", filtered_s, 1.0],
+            ["materialized subtraction", materialized_s, speedup],
+        ],
+        "E18c: restricted delta probes on the dense transitive closure, "
+        "best of 3",
+    )
+    # The subtraction must never cost; the floor allows scheduler noise.
+    assert speedup >= 0.85
+
+    benchmark(saturate(Planner))

@@ -27,6 +27,9 @@ Every update prints its UpdateResult summary, so the non-monotonic
 consequences (insertions deleting, deletions inserting) are visible live.
 With a store attached (``open``), every update is write-ahead journaled
 and the session survives restarts: ``repro --store DIR`` reopens it.
+``commit`` checkpoints through the v2 snapshot codec (columnar facts,
+compact state) and reopening bulk-loads the model per relation, so
+save/open round-trips scale with data volume, not per-tuple overhead.
 """
 
 from __future__ import annotations

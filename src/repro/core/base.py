@@ -128,15 +128,24 @@ class MaintenanceEngine(ABC):
         same (or a freshly constructed) engine restores program, model and
         supports exactly; :mod:`repro.store.serialize` turns the structure
         into JSON for on-disk snapshots.
+
+        Only *belief state* is recorded — program, model, supports.
+        Telemetry like the derivations-fired counter is deliberately
+        excluded: it depends on the path taken (a batch replay legally
+        fires fewer derivations than the same updates applied one by
+        one), and equal belief states must serialize to equal bytes.
         """
         return {
             "engine": self.name,
             "method": self.method,
             "granularity": self.db.granularity,
             "program": self.db.program.clauses,
-            "model": tuple(self.model.sorted_facts()),
+            # Columnar model dump (relation, arity, sorted rows): the bulk
+            # form Model.from_relation_data restores without per-fact
+            # work, and the v2 snapshot codec writes compactly. Flattening
+            # it reproduces the old sorted_facts tuple exactly.
+            "model": self.model.relation_data(),
             "supports": self._support_state(),
-            "derivations_fired": self._derivations_fired,
         }
 
     def load_state(self, state: dict) -> None:
@@ -159,15 +168,24 @@ class MaintenanceEngine(ABC):
             self.db = StratifiedDatabase(Program(program), granularity)
         self.method = state.get("method", self.method)
         self._pin_rule_plans()
-        model = Model()
-        # Re-adding the facts rebuilds each relation's per-column
-        # distinct-value statistics deterministically; indexes refill
-        # lazily on first probe, so a snapshot needs to carry neither.
-        for fact in state["model"]:
-            model.add(fact)
+        # Bulk-load the facts: one batched statistics pass per relation
+        # rebuilds the per-column distinct-value counts deterministically;
+        # indexes refill lazily on first probe, so a snapshot needs to
+        # carry neither. Legacy states (and v1 snapshots) carry a flat
+        # fact tuple instead of relation_data; group-and-bulk-load those.
+        model_state = state["model"]
+        if model_state and isinstance(model_state[0], Atom):
+            model = Model()
+            model.add_many(model_state)
+        else:
+            model = Model.from_relation_data(model_state)
         self.model = model
         self._load_support_state(state["supports"])
-        self._derivations_fired = state.get("derivations_fired", 0)
+        # The counter measures work done by *this* engine instance; a
+        # restored engine starts from zero (legacy states that carried
+        # the counter are ignored for the same determinism reason it
+        # left state_dict).
+        self._derivations_fired = 0
         self._transient = 0
 
     def _support_state(self) -> dict:

@@ -562,12 +562,17 @@ class CascadeEngine(MaintenanceEngine):
         removed: set[Atom] = set()
         seed_evicted: set[str] = set()
         seed_killed: set[str] = set()
+        # Seed the whole net insertion set through the bulk path: one
+        # batched model mutation per relation instead of per-fact
+        # index/statistics maintenance (experiment E18).
+        fresh = [fact for fact in net_new_facts if fact not in self.model]
         for fact in net_new_facts:
             if fact in self.model:
                 self._register_assertion(fact)
-                continue
-            self.model.add(fact)
-            self._records[fact] = {RuleRecord.assertion()}
+        self.model.add_many(fresh)
+        assertion = RuleRecord.assertion()
+        for fact in fresh:
+            self._records[fact] = {assertion}
             inc.setdefault(fact.relation, set()).add(fact.args)
         for rule in net_gone_rules:
             target = self._record_for(rule)

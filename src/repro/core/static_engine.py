@@ -46,8 +46,9 @@ class StaticEngine(MaintenanceEngine):
             if not at_risk:
                 continue
             doomed = list(self.model.facts_of(name))
-            for fact in doomed:
-                self.model.discard(fact)
+            # Relation-level eviction is a bulk operation: one batched
+            # statistics/index update instead of per-fact maintenance.
+            self.model.discard_many(doomed)
             removed.update(doomed)
         return removed
 

@@ -96,7 +96,7 @@ def _iter_matches(
     rows = tuple(delta_rows) if delta_rows is not None else None
     for subst, facts in plan.execute(
         model, delta_position, rows, exclude, planner.reorder,
-        planner.estimator, planner.composite,
+        planner.estimator, planner.composite, planner.materialize_deltas,
     ):
         yield plan.subst_dict(subst), tuple(facts)
 
@@ -146,7 +146,7 @@ def _plan_derivations(
     head_spec = plan.head_spec
     for subst, facts in plan.execute(
         model, delta_position, rows, exclude, planner.reorder,
-        planner.estimator, planner.composite,
+        planner.estimator, planner.composite, planner.materialize_deltas,
     ):
         neg_atoms = []
         blocked = False

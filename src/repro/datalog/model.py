@@ -66,6 +66,65 @@ class Model:
             return False
         return store.discard(fact.args)
 
+    # ------------------------------------------------------------------
+    # Bulk operations (experiment E18)
+    # ------------------------------------------------------------------
+
+    def add_many(self, facts: Iterable[Atom]) -> int:
+        """Insert a batch of facts; return how many were new.
+
+        Groups the batch per relation and hands each group to
+        :meth:`Relation.add_many`, so the statistics and index
+        maintenance are paid once per (relation, batch) instead of once
+        per fact.
+        """
+        by_relation: dict[str, list[tuple]] = {}
+        for fact in facts:
+            by_relation.setdefault(fact.relation, []).append(fact.args)
+        added = 0
+        for name, rows in by_relation.items():
+            store = self._relations.get(name)
+            if store is None:
+                store = self._relations[name] = Relation(name)
+            added += store.add_many(rows)
+        return added
+
+    def discard_many(self, facts: Iterable[Atom]) -> int:
+        """Remove a batch of facts; return how many were present."""
+        by_relation: dict[str, list[tuple]] = {}
+        for fact in facts:
+            by_relation.setdefault(fact.relation, []).append(fact.args)
+        removed = 0
+        for name, rows in by_relation.items():
+            store = self._relations.get(name)
+            if store is not None:
+                removed += store.discard_many(rows)
+        return removed
+
+    def relation_data(self) -> list[tuple[str, int | None, list[tuple]]]:
+        """Columnar dump: ``(name, arity, sorted rows)`` per non-empty
+        relation, relations sorted by name, rows by repr.
+
+        The deterministic bulk counterpart of :meth:`sorted_facts`:
+        flattening it to atoms reproduces that list exactly, and
+        :meth:`from_relation_data` bulk-loads it back. Engine snapshots
+        (``state_dict``) and the v2 store codec carry the model in this
+        form.
+        """
+        return [
+            (name, store.arity, sorted(store, key=repr))
+            for name, store in sorted(self._relations.items())
+            if len(store)
+        ]
+
+    @classmethod
+    def from_relation_data(cls, data) -> "Model":
+        """Rebuild a model from :meth:`relation_data` via bulk loads."""
+        model = cls()
+        for name, arity, rows in data:
+            model._relations[name] = Relation.bulk_load(name, rows, arity)
+        return model
+
     def __contains__(self, fact: Atom) -> bool:
         store = self._relations.get(fact.relation)
         return store is not None and fact.args in store

@@ -344,6 +344,7 @@ class ClausePlan:
         reorder: bool = True,
         estimator: str = "stats",
         composite: bool = True,
+        materialize: bool = True,
     ) -> Iterator[tuple[list, list]]:
         """Yield (substitution array, facts by original position).
 
@@ -353,7 +354,12 @@ class ClausePlan:
         its constant columns) instead of its relation. *exclude* removes
         rows per original body position. ``composite=False`` probes through
         single-column index intersection instead of the composite index
-        (the E17 baseline).
+        (the E17 baseline). With ``materialize=True`` (default) an excluded
+        step resolves through one set subtraction of the probed bucket
+        (:meth:`~.relations.Relation.probe_excluding`) instead of a
+        per-candidate membership filter — the materialized restricted
+        delta of E17c/E18; ``materialize=False`` keeps the per-candidate
+        check as the ablation baseline.
         """
         if delta_position is None:
             delta_rows = None
@@ -387,6 +393,7 @@ class ClausePlan:
 
         def recurse(index: int) -> Iterator[tuple[list, list]]:
             step = steps[index]
+            excluded = exclusions[index]
             if index == 0 and delta_rows is not None:
                 if step.bound_cols:
                     bound = dict(step.select_consts)
@@ -396,16 +403,29 @@ class ClausePlan:
                     bound = step.select_consts
                 candidates: Iterable[tuple] = delta_candidates(bound)
             elif not step.probe_cols:
-                candidates = model.relation(step.relation).select({})
+                if excluded is not None and materialize:
+                    # one set subtraction replaces both the defensive
+                    # snapshot copy and the per-candidate filter
+                    candidates = model.relation(step.relation).rows_excluding(
+                        excluded
+                    )
+                    excluded = None
+                else:
+                    candidates = model.relation(step.relation).select({})
             elif composite:
                 key = tuple(
                     subst[value] if is_slot else value
                     for is_slot, value in step.probe_parts
                 )
-                # snapshot: the bucket is live and saturation mutates it
-                candidates = tuple(
-                    model.relation(step.relation).probe(step.probe_cols, key)
-                )
+                store = model.relation(step.relation)
+                if excluded is not None and materialize:
+                    candidates = store.probe_excluding(
+                        step.probe_cols, key, excluded
+                    )
+                    excluded = None
+                else:
+                    # snapshot: the bucket is live and saturation mutates it
+                    candidates = tuple(store.probe(step.probe_cols, key))
             else:
                 bound = dict(step.select_consts)
                 for column, slot in step.bound_cols:
@@ -413,7 +433,6 @@ class ClausePlan:
                 candidates = model.relation(step.relation).select_intersect(
                     bound
                 )
-            excluded = exclusions[index]
             free_cols = step.free_cols
             check_cols = step.check_cols
             relation = step.relation
@@ -454,8 +473,8 @@ class Planner:
     MAX_PLANS = 4096  # ad-hoc query probes churn; cap the cache
 
     __slots__ = (
-        "reorder", "estimator", "composite", "delta_choice", "_plans",
-        "_pinned",
+        "reorder", "estimator", "composite", "delta_choice",
+        "materialize_deltas", "_plans", "_pinned",
     )
 
     def __init__(
@@ -464,6 +483,7 @@ class Planner:
         estimator: str = "stats",
         composite: bool = True,
         delta_choice: bool = True,
+        materialize_deltas: bool = True,
     ):
         if estimator not in ESTIMATORS:
             raise ValueError(
@@ -476,6 +496,10 @@ class Planner:
         # loop; False fires every position in enumeration order (the PR 3
         # behaviour, the E17c ablation baseline)
         self.delta_choice = delta_choice
+        # restricted candidate sets resolve through bucket set-subtraction
+        # (Relation.probe_excluding); False keeps the per-candidate
+        # membership filter (the E18 ablation baseline)
+        self.materialize_deltas = materialize_deltas
         self._plans: dict["Clause", ClausePlan] = {}  # insertion = LRU order
         self._pinned: set["Clause"] = set()
 

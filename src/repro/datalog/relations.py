@@ -15,11 +15,27 @@ a value died). They cost a few dict operations per mutation and give the
 join planner real cardinality estimates: the expected number of rows
 matching a probe on columns ``C`` is ``len(R) / Π_{c∈C} distinct(c)``,
 which is what replaces the old flat 0.1-per-bound-column guess on skewed
-data (experiment E17).
+data (experiment E17). When the composite index on exactly ``C`` already
+exists, its key count *is* the distinct count of the combination, so the
+estimator uses it directly instead of assuming column independence.
+
+Bulk mutation goes through :meth:`Relation.add_many` /
+:meth:`Relation.discard_many` / :meth:`Relation.bulk_load`, which pay the
+statistics once per batch (a C-level ``Counter`` pass per column) instead
+of O(arity) dict operations per tuple — the contract snapshot restore,
+``Model.copy``, transaction rollback and batch maintenance build on
+(experiment E18).
+
+Composite indexes are reclaimed when they go cold: every mutation call is
+one *epoch*, and an index that has not been probed for
+:attr:`Relation.index_idle_epochs` epochs is dropped (it rebuilds lazily
+on the next probe), so a long-lived store serving varied ad-hoc queries
+stops paying maintenance for dead indexes.
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Hashable, Iterable, Iterator, Mapping
 
 Tuple_ = tuple  # ground tuples are plain Python tuples of constants
@@ -32,7 +48,17 @@ class Relation:
     tuple inserted; afterwards mismatching tuples are rejected.
     """
 
-    __slots__ = ("name", "arity", "_tuples", "_indexes", "_value_counts")
+    #: Mutation epochs a composite index may go unprobed before it is
+    #: reclaimed. Large enough that the equivalence between per-tuple and
+    #: bulk mutation (which advance the epoch at different rates) is
+    #: unobservable in ordinary workloads; tests lower it per instance.
+    INDEX_IDLE_EPOCHS = 4096
+
+    __slots__ = (
+        "name", "arity", "_tuples", "_indexes", "_value_counts",
+        "_epoch", "_index_hits", "_index_last_probe", "_reclaim_at",
+        "index_idle_epochs",
+    )
 
     def __init__(self, name: str, arity: int | None = None):
         self.name = name
@@ -44,6 +70,15 @@ class Relation:
         # per-column value→multiplicity maps; len() of one is the distinct
         # count. Keyed lazily so unknown-arity relations cost nothing.
         self._value_counts: dict[int, dict[Hashable, int]] = {}
+        # index-reclamation bookkeeping: one epoch per mutation call, a
+        # probe-hit count and last-probed epoch per composite index.
+        # _reclaim_at is a lower bound on the earliest epoch any index
+        # can be stale, so the per-mutation check is one comparison.
+        self._epoch = 0
+        self._index_hits: dict[tuple[int, ...], int] = {}
+        self._index_last_probe: dict[tuple[int, ...], int] = {}
+        self._reclaim_at = 0
+        self.index_idle_epochs = self.INDEX_IDLE_EPOCHS
 
     def __len__(self) -> int:
         return len(self._tuples)
@@ -58,14 +93,50 @@ class Relation:
     def tuples(self) -> frozenset[tuple]:
         return frozenset(self._tuples)
 
-    def add(self, row: tuple) -> bool:
-        """Insert *row*; return True when it was not present."""
+    def _adopt_arity(self, row: tuple) -> None:
         if self.arity is None:
             self.arity = len(row)
         elif len(row) != self.arity:
             raise ValueError(
                 f"relation {self.name} has arity {self.arity}, got {row!r}"
             )
+
+    def _bump_epoch(self) -> None:
+        """One mutation epoch: reclaim composite indexes that went cold.
+
+        The hot path is one comparison: ``_reclaim_at`` lower-bounds the
+        earliest epoch any index can be stale (probes only postpone
+        staleness, so the bound stays valid between scans). Only when the
+        clock reaches it does the O(live indexes) scan run, dropping
+        stale indexes *before* the mutation would maintain them and
+        recomputing the bound from the survivors' last-probe epochs.
+        """
+        self._epoch += 1
+        idle = self.index_idle_epochs
+        if not idle or not self._indexes or self._epoch < self._reclaim_at:
+            return
+        epoch = self._epoch
+        last = self._index_last_probe
+        stale = [
+            columns
+            for columns in self._indexes
+            if epoch - last.get(columns, 0) > idle
+        ]
+        for columns in stale:
+            del self._indexes[columns]
+            self._index_hits.pop(columns, None)
+            last.pop(columns, None)
+        if self._indexes:
+            self._reclaim_at = (
+                min(last[columns] for columns in self._indexes) + idle + 1
+            )
+        else:
+            self._reclaim_at = epoch + idle + 1
+
+    def add(self, row: tuple) -> bool:
+        """Insert *row*; return True when it was not present."""
+        self._adopt_arity(row)
+        self._bump_epoch()
         if row in self._tuples:
             return False
         self._tuples.add(row)
@@ -82,6 +153,7 @@ class Relation:
 
     def discard(self, row: tuple) -> bool:
         """Remove *row*; return True when it was present."""
+        self._bump_epoch()
         if row not in self._tuples:
             return False
         self._tuples.discard(row)
@@ -104,10 +176,105 @@ class Relation:
                     del index[key]
         return True
 
+    # ------------------------------------------------------------------
+    # Bulk operations (experiment E18)
+    # ------------------------------------------------------------------
+
+    def _batch_count(self, rows: Iterable[tuple], sign: int) -> None:
+        """Fold *rows* into the per-column statistics in one pass per
+        column — a C-level ``Counter`` over the column's values instead of
+        O(arity) dict operations per tuple."""
+        if not rows or self.arity is None:
+            return
+        for column in range(self.arity):
+            counts = self._value_counts.get(column)
+            if counts is None:
+                counts = self._value_counts[column] = {}
+            batch = Counter(row[column] for row in rows)
+            if sign > 0:
+                for value, gained in batch.items():
+                    counts[value] = counts.get(value, 0) + gained
+            else:
+                for value, lost in batch.items():
+                    remaining = counts.get(value, 0) - lost
+                    if remaining > 0:
+                        counts[value] = remaining
+                    else:
+                        counts.pop(value, None)
+
+    def add_many(self, rows: Iterable[tuple]) -> int:
+        """Insert a batch of rows; return how many were new.
+
+        One mutation epoch, one set union, one batched statistics pass,
+        and one index-maintenance sweep over the genuinely new rows —
+        equivalent to calling :meth:`add` per row (same tuples, same
+        distinct counts, same index contents) at a fraction of the
+        per-tuple bookkeeping.
+        """
+        rows = rows if isinstance(rows, (set, frozenset)) else set(rows)
+        if not rows:
+            return 0
+        for row in rows:
+            self._adopt_arity(row)
+        self._bump_epoch()
+        new = rows - self._tuples if self._tuples else set(rows)
+        if not new:
+            return 0
+        self._tuples |= new
+        self._batch_count(new, +1)
+        for columns, index in self._indexes.items():
+            setdefault = index.setdefault
+            for row in new:
+                setdefault(tuple(row[c] for c in columns), set()).add(row)
+        return len(new)
+
+    def discard_many(self, rows: Iterable[tuple]) -> int:
+        """Remove a batch of rows; return how many were present."""
+        rows = rows if isinstance(rows, (set, frozenset)) else set(rows)
+        self._bump_epoch()
+        dead = self._tuples & rows
+        if not dead:
+            return 0
+        self._tuples -= dead
+        self._batch_count(dead, -1)
+        for columns, index in self._indexes.items():
+            for row in dead:
+                key = tuple(row[c] for c in columns)
+                bucket = index.get(key)
+                if bucket is not None:
+                    bucket.discard(row)
+                    if not bucket:
+                        del index[key]
+        return len(dead)
+
+    @classmethod
+    def bulk_load(
+        cls, name: str, rows: Iterable[tuple], arity: int | None = None
+    ) -> "Relation":
+        """Construct a relation around *rows* with deferred maintenance.
+
+        The fastest ingest path: the tuple set is built in one pass, the
+        statistics are batch-counted once at the end, and no indexes exist
+        yet (they fill lazily on first probe) — exactly the state a fresh
+        relation reaches after per-tuple :meth:`add` calls, minus the
+        per-tuple overhead. Snapshot restore and ``Model`` bulk loading
+        are built on this.
+        """
+        relation = cls(name, arity)
+        tuples = set(rows)
+        for row in tuples:
+            relation._adopt_arity(row)
+        relation._tuples = tuples
+        relation._batch_count(tuples, +1)
+        return relation
+
     def clear(self) -> None:
         self._tuples.clear()
         self._indexes.clear()
         self._value_counts.clear()
+        self._index_hits.clear()
+        self._index_last_probe.clear()
+        self._reclaim_at = 0
 
     # ------------------------------------------------------------------
     # Statistics
@@ -125,15 +292,40 @@ class Relation:
             for column, counts in self._value_counts.items()
         }
 
+    def index_columns(self) -> tuple[tuple[int, ...], ...]:
+        """The column combinations with a live composite index (sorted)."""
+        return tuple(sorted(self._indexes))
+
+    def index_probe_counts(self) -> dict[tuple[int, ...], int]:
+        """Probe hits per live composite index, for reclamation tests."""
+        return {
+            columns: self._index_hits.get(columns, 0)
+            for columns in self._indexes
+        }
+
+    @property
+    def mutation_epoch(self) -> int:
+        """Mutation calls so far — the clock index reclamation runs on."""
+        return self._epoch
+
     def estimated_matches(self, bound_columns: Iterable[int]) -> float:
         """Expected rows matching a probe binding *bound_columns*.
 
-        The textbook uniform-independence estimate
-        ``len(R) / Π distinct(c)``. The result may drop below one row —
-        that is the signal a very selective probe should rank first.
+        When the composite index on exactly this column combination is
+        already live, its key count is the *exact* distinct count of the
+        combination, so the estimate ``len(R) / len(index)`` is immune to
+        column correlation (experiment E17d). Otherwise the textbook
+        uniform-independence estimate ``len(R) / Π distinct(c)`` applies.
+        The result may drop below one row — that is the signal a very
+        selective probe should rank first.
         """
+        columns = tuple(sorted(bound_columns))
+        if len(columns) > 1:
+            index = self._indexes.get(columns)
+            if index:
+                return len(self._tuples) / len(index)
         estimate = float(len(self._tuples))
-        for column in bound_columns:
+        for column in columns:
             distinct = self.distinct_count(column)
             if distinct > 1:
                 estimate /= distinct
@@ -155,6 +347,8 @@ class Relation:
                 key = tuple(row[column] for column in columns)
                 index.setdefault(key, set()).add(row)
             self._indexes[columns] = index
+        self._index_hits[columns] = self._index_hits.get(columns, 0) + 1
+        self._index_last_probe[columns] = self._epoch
         return index
 
     def probe(self, columns: tuple[int, ...], key: tuple) -> set[tuple]:
@@ -162,6 +356,24 @@ class Relation:
         lookup once the composite index exists. The hot path of the join
         executor; *columns* must be sorted ascending."""
         return self.index_for(columns).get(key, _EMPTY)
+
+    def probe_excluding(
+        self, columns: tuple[int, ...], key: tuple, exclude: set[tuple]
+    ) -> set[tuple]:
+        """:meth:`probe` with *exclude* subtracted — one C-level set
+        difference instead of a per-candidate membership filter, and the
+        result is a fresh set, safe against saturation mutating the live
+        bucket underneath the caller. The materialized restricted delta
+        of the semi-naive loop (experiment E17c/E18)."""
+        bucket = self.index_for(columns).get(key)
+        if not bucket:
+            return set()
+        return bucket - exclude
+
+    def rows_excluding(self, exclude: set[tuple]) -> set[tuple]:
+        """All rows minus *exclude* — the full-scan counterpart of
+        :meth:`probe_excluding`, also a fresh set."""
+        return self._tuples - exclude
 
     def select(self, bound: Mapping[int, Hashable]) -> Iterable[tuple]:
         """Tuples matching the given column bindings.
@@ -220,10 +432,17 @@ class Relation:
             columns: {key: set(bucket) for key, bucket in index.items()}
             for columns, index in self._indexes.items()
         }
+        # Clone the statistics instead of recounting: a copy of n tuples
+        # costs the set/dict copies, never another O(n·arity) count pass.
         dup._value_counts = {
             column: dict(counts)
             for column, counts in self._value_counts.items()
         }
+        dup._epoch = self._epoch
+        dup._index_hits = dict(self._index_hits)
+        dup._index_last_probe = dict(self._index_last_probe)
+        dup._reclaim_at = self._reclaim_at
+        dup.index_idle_epochs = self.index_idle_epochs
         return dup
 
     def __repr__(self) -> str:

@@ -4,9 +4,12 @@ The journal is a total order of revisions; a snapshot pins the engine state
 at one position. Any revision ``r`` is then reachable as *restore the best
 snapshot at-or-below r, replay records (seq .. r]* — the machinery behind
 ``Store.open`` (r = head), ``Store.undo`` (r = head - n) and explicit
-time-travel. Replay applies each record's updates through the normal
-``MaintenanceEngine.apply`` path, so the reconstructed state is exactly
-the one the live engine reached.
+time-travel. Replay applies single-update records through the normal
+``MaintenanceEngine.apply`` path; a multi-update record (a transaction
+commit) replays through ``apply_batch``, so engines with a single-pass
+batch treatment (cascade) seed the whole update set at once. Replay is
+deterministic either way, and the reconstructed model is exactly the one
+the live engine reached.
 """
 
 from __future__ import annotations
@@ -43,8 +46,16 @@ def replay(
     applied = 0
     for position, record in enumerate(records):
         try:
-            for operation, subject in updates_of(record):
-                engine.apply(operation, subject)
+            updates = list(updates_of(record))
+            if len(updates) > 1:
+                # A multi-update record (transaction commit) replays as
+                # one batch, so engines with a single-pass batch path
+                # (cascade) seed the whole update set at once instead of
+                # cascading per update.
+                engine.apply_batch(updates)
+            else:
+                for operation, subject in updates:
+                    engine.apply(operation, subject)
         except DatalogError as error:
             if tolerate_tail and position == len(records) - 1:
                 return applied, record["seq"]

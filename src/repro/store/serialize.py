@@ -18,11 +18,22 @@ The codec knows every support form of the paper's solutions
 
 Derived per-relation state — hash indexes and the planner's per-column
 distinct-value statistics — is deliberately *not* serialized: a snapshot
-records the sorted fact list only, and restoring re-adds each fact through
-:meth:`~repro.datalog.relations.Relation.add`, which rebuilds the
-statistics deterministically (indexes refill lazily on first probe). The
-property tests assert the restored distinct counts equal the live
-engine's, so a reopened store plans joins exactly as the live one did.
+records the sorted fact rows only, and restoring bulk-loads each relation
+(:meth:`~repro.datalog.relations.Relation.bulk_load`), which rebuilds the
+statistics deterministically in one batched pass (indexes refill lazily on
+first probe). The property tests assert the restored distinct counts equal
+the live engine's, so a reopened store starts from the same per-column
+estimates the live one computed. (Composite-index key counts — the exact
+combination cardinalities ``estimated_matches`` prefers once an index is
+live — return only after the first probe rebuilds the index.)
+
+Format version 2 stores the model *columnar*: one ``[relation, arity,
+[row, row, ...]]`` block per relation (:func:`encode_relations`) instead of
+one tagged atom object per fact — most rows are plain JSON arrays of
+scalars, so the dominant part of a snapshot skips the tagged-object decode
+entirely (the E15/E18 restore-path bottleneck). Version-1 snapshots remain
+readable: :mod:`repro.store.snapshot` converts their flat fact tuple back
+into the columnar form on read.
 """
 
 from __future__ import annotations
@@ -42,7 +53,7 @@ from ..core.supports import (
     Signed,
 )
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
 
 _SCALARS = (str, int, float, bool, type(None))
 
@@ -318,3 +329,333 @@ def dumps(obj: Any) -> str:
 
 def loads(text: str) -> Any:
     return decode(json.loads(text))
+
+
+# ----------------------------------------------------------------------
+# Compact array-tagged encoding (snapshot format v2 state section)
+# ----------------------------------------------------------------------
+#
+# The object-tagged encoding above is the canonical in-memory codec
+# (``dumps``/``loads``) and the v1 file format, but on support-heavy
+# snapshots (the fact-level engine's per-deduction records) the JSON
+# *objects* themselves are the restore bottleneck: every node costs a
+# dict with string keys both to parse and to walk. The compact form
+# writes each tagged node as a JSON array ``[tag, field, field, ...]``
+# with positional fields and one-character tags — scalars still pass
+# through untouched, and interning works the same way (``["r", k]`` is a
+# table reference). Arrays parse several times faster than objects and
+# the decoder indexes positionally instead of building a children dict,
+# which is what lets a fact-level snapshot restore beat its rebuild
+# (experiment E15).
+
+_COMPACT_TABLED = "T"
+
+
+def _encode_compact(obj: Any, index: dict) -> Any:
+    """The array-tagged mirror of :func:`_encode_with_refs`."""
+    if isinstance(obj, _INTERNABLE):
+        slot = index.get(obj)
+        if slot is not None:
+            return ["r", slot]
+    if isinstance(obj, _SCALARS):
+        return obj
+    if isinstance(obj, Variable):
+        return ["v", obj.name]
+    if isinstance(obj, Atom):
+        return [
+            "a",
+            obj.relation,
+            [_encode_compact(term, index) for term in obj.args],
+        ]
+    if isinstance(obj, Literal):
+        return ["L", _encode_compact(obj.atom, index), obj.positive]
+    if isinstance(obj, Clause):
+        return [
+            "c",
+            _encode_compact(obj.head, index),
+            [_encode_compact(lit, index) for lit in obj.body],
+        ]
+    if isinstance(obj, Signed):
+        return ["g", obj.sign, obj.relation]
+    if isinstance(obj, PairSupport):
+        return [
+            "p",
+            _encode_compact(obj.pos, index),
+            _encode_compact(obj.neg, index),
+        ]
+    if isinstance(obj, SetOfSetsSupport):
+        return [
+            "S",
+            _encode_compact(obj.pos, index),
+            _encode_compact(obj.neg, index),
+        ]
+    if isinstance(obj, PairedRecord):
+        return [
+            "P",
+            _encode_compact(obj.pos, index),
+            _encode_compact(obj.neg, index),
+        ]
+    if isinstance(obj, RuleRecord):
+        return _compact_record("R", obj.rule, obj.positive_relations,
+                               obj.negated_relations, index)
+    if isinstance(obj, FactRecord):
+        return _compact_record("F", obj.rule, obj.positive_facts,
+                               obj.negative_facts, index)
+    if isinstance(obj, tuple):
+        return ["t", [_encode_compact(item, index) for item in obj]]
+    if isinstance(obj, frozenset):
+        return [
+            "f",
+            sorted((_encode_member(v, index) for v in obj), key=_canon),
+        ]
+    if isinstance(obj, set):
+        return [
+            "s",
+            sorted((_encode_member(v, index) for v in obj), key=_canon),
+        ]
+    if isinstance(obj, list):
+        return ["l", [_encode_compact(item, index) for item in obj]]
+    if isinstance(obj, dict):
+        items = [
+            [_encode_member(k, index), _encode_compact(v, index)]
+            for k, v in obj.items()
+        ]
+        items.sort(key=lambda pair: _canon(pair[0]))
+        return ["m", items]
+    raise SerializationError(f"cannot encode {type(obj).__name__}: {obj!r}")
+
+
+def _encode_member(obj: Any, index: dict) -> Any:
+    """Encode a set member / map key, where refs shrink to bare slots.
+
+    Set items and map keys are overwhelmingly interned objects (the body
+    atoms of support records, the fact keys of support maps), so at those
+    positions a plain int *is* a table reference and a literal int
+    constant takes the ``["i", n]`` escape instead. Everything else
+    encodes as usual.
+    """
+    if isinstance(obj, _INTERNABLE):
+        slot = index.get(obj)
+        if slot is not None:
+            return slot
+    if type(obj) is int:
+        return ["i", obj]
+    return _encode_compact(obj, index)
+
+
+def _compact_record(tag: str, rule, pos, neg, index: dict) -> list:
+    """Support records dominate heavy snapshots, so their encoding is
+    extra-lean: an interned rule is a plain table slot (an int can only
+    be a slot there — the rule field otherwise holds None or a clause
+    node), and an empty negative set is simply omitted."""
+    slot = None if rule is None else index.get(rule)
+    node = [
+        tag,
+        slot if slot is not None else _encode_compact(rule, index),
+        _encode_compact(pos, index),
+    ]
+    if neg:
+        node.append(_encode_compact(neg, index))
+    return node
+
+
+def encode_compact_tabled(obj: Any) -> list:
+    """Compact counterpart of :func:`encode_tabled`:
+    ``["T", [table...], root]``, table entries fully expanded and sorted
+    by their canonical compact dump, refs as ``["r", k]``."""
+    counts: dict = {}
+    _collect(obj, counts)
+    repeated = [value for value, count in counts.items() if count > 1]
+    expanded = sorted(
+        ((_encode_compact(value, _NO_INTERNING), value) for value in repeated),
+        key=lambda pair: _canon(pair[0]),
+    )
+    index = {value: slot for slot, (_, value) in enumerate(expanded)}
+    return [
+        _COMPACT_TABLED,
+        [entry for entry, _ in expanded],
+        _encode_compact(obj, index),
+    ]
+
+
+def _decode_record(constructor, data: list, table):
+    rule = data[1]
+    if type(rule) is int:
+        rule = table[rule]
+    elif rule is not None:
+        rule = _decode_compact(rule, table)
+    neg = (
+        _decode_compact(data[3], table) if len(data) > 3 else frozenset()
+    )
+    return constructor(rule, _decode_compact(data[2], table), neg)
+
+
+def _decode_compact(data: Any, table) -> Any:
+    # Scalars pass through; every composite is a tagged array. The inner
+    # comprehensions repeat the scalar check inline so the (overwhelmingly
+    # common) scalar members skip the function call.
+    if type(data) is not list:
+        return data
+    tag = data[0]
+    if tag == "r":
+        if table is None:
+            raise SerializationError("ref outside a tabled document")
+        return table[data[1]]
+    if tag == "a":
+        return Atom(
+            data[1],
+            tuple(
+                t if type(t) is not list else _decode_compact(t, table)
+                for t in data[2]
+            ),
+        )
+    if tag == "f":
+        return frozenset(
+            table[v] if type(v) is int
+            else v if type(v) is not list
+            else _decode_compact(v, table)
+            for v in data[1]
+        )
+    if tag == "F":
+        return _decode_record(FactRecord, data, table)
+    if tag == "t":
+        return tuple(
+            v if type(v) is not list else _decode_compact(v, table)
+            for v in data[1]
+        )
+    if tag == "s":
+        return {
+            table[v] if type(v) is int
+            else v if type(v) is not list
+            else _decode_compact(v, table)
+            for v in data[1]
+        }
+    if tag == "l":
+        return [
+            v if type(v) is not list else _decode_compact(v, table)
+            for v in data[1]
+        ]
+    if tag == "m":
+        return {
+            (
+                table[k] if type(k) is int
+                else k if type(k) is not list
+                else _decode_compact(k, table)
+            ): (
+                v if type(v) is not list else _decode_compact(v, table)
+            )
+            for k, v in data[1]
+        }
+    if tag == "i":
+        return data[1]  # literal int at a member position
+    if tag == "v":
+        return Variable(data[1])
+    if tag == "L":
+        return Literal(_decode_compact(data[1], table), data[2])
+    if tag == "c":
+        return Clause(
+            _decode_compact(data[1], table),
+            tuple(_decode_compact(lit, table) for lit in data[2]),
+        )
+    if tag == "g":
+        return Signed(data[1], data[2])
+    if tag == "p":
+        return PairSupport(
+            _decode_compact(data[1], table), _decode_compact(data[2], table)
+        )
+    if tag == "S":
+        return SetOfSetsSupport(
+            _decode_compact(data[1], table), _decode_compact(data[2], table)
+        )
+    if tag == "P":
+        return PairedRecord(
+            _decode_compact(data[1], table), _decode_compact(data[2], table)
+        )
+    if tag == "R":
+        return _decode_record(RuleRecord, data, table)
+    raise SerializationError(f"unknown compact tag {tag!r} in {data!r}")
+
+
+def decode_compact(data: Any) -> Any:
+    """Inverse of :func:`encode_compact_tabled` (also accepts bare
+    compact nodes without a table wrapper)."""
+    if type(data) is list and data and data[0] == _COMPACT_TABLED:
+        table = [_decode_compact(entry, None) for entry in data[1]]
+        return _decode_compact(data[2], table)
+    return _decode_compact(data, None)
+
+
+# ----------------------------------------------------------------------
+# Columnar fact encoding (snapshot format v2)
+# ----------------------------------------------------------------------
+#
+# The model dominates most snapshots, and in the v1 encoding every fact
+# cost one tagged atom object (plus a tagged tuple per row). The columnar
+# form writes one block per relation and one plain JSON array per row;
+# scalar constants — the overwhelmingly common case — pass through both
+# ways without touching the tagged codec.
+
+
+def encode_relations(data: Any) -> list:
+    """Compact encoding of ``Model.relation_data()``: one
+    ``[name, arity, [rows...]]`` block per relation, rows as JSON arrays
+    of encoded terms. Deterministic because the input is sorted."""
+    return [
+        [
+            name,
+            arity,
+            [
+                [
+                    term
+                    if isinstance(term, _SCALARS)
+                    else _encode_with_refs(term, _NO_INTERNING)
+                    for term in row
+                ]
+                for row in rows
+            ],
+        ]
+        for name, arity, rows in data
+    ]
+
+
+def decode_relations(payload: Any) -> list:
+    """Inverse of :func:`encode_relations` — back to relation_data form
+    (rows become tuples)."""
+    return [
+        (
+            name,
+            arity,
+            [
+                tuple(
+                    term if isinstance(term, _SCALARS) else decode(term)
+                    for term in row
+                )
+                for row in rows
+            ],
+        )
+        for name, arity, rows in payload
+    ]
+
+
+def relation_data_to_facts(data: Any) -> tuple:
+    """Flatten relation_data into the v1 sorted fact tuple — byte-compatible
+    with what pre-v2 ``state_dict`` recorded, because relation_data keeps
+    the same (relation name, row repr) order."""
+    return tuple(
+        Atom(name, row) for name, _arity, rows in data for row in rows
+    )
+
+
+def facts_to_relation_data(facts: Any) -> list:
+    """Group a v1 flat fact tuple back into relation_data form.
+
+    The v1 tuple is sorted by (relation, row repr) already, so plain
+    grouping preserves the canonical order.
+    """
+    data: list = []
+    for fact in facts:
+        if data and data[-1][0] == fact.relation:
+            data[-1][2].append(fact.args)
+        else:
+            data.append([fact.relation, fact.arity, [fact.args]])
+    return [(name, arity, rows) for name, arity, rows in data]

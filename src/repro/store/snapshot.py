@@ -11,17 +11,36 @@ measures the difference.
 Snapshot files are named ``snapshot-<seq:08d>.json`` so every checkpoint in
 the history remains addressable (time-travel needs the older ones, not just
 the newest) and are written atomically via temp file + rename.
+
+Format version 2 splits the model out of the tabled state into a compact
+columnar ``"model"`` section (:func:`~repro.store.serialize.
+encode_relations`); everything else — program, supports, counters — stays
+in the interned ``"state"`` encoding. Version-1 files (flat tagged fact
+tuple inside the state) read transparently; :func:`write_snapshot` can
+still produce them for compatibility tests.
 """
 
 from __future__ import annotations
 
+import gc
 import json
 import os
 import re
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Optional
 
-from .serialize import FORMAT_VERSION, decode, encode_tabled
+from .serialize import (
+    FORMAT_VERSION,
+    decode,
+    decode_compact,
+    decode_relations,
+    encode_compact_tabled,
+    encode_relations,
+    encode_tabled,
+    facts_to_relation_data,
+    relation_data_to_facts,
+)
 
 _NAME_RE = re.compile(r"^snapshot-(\d{8})\.json$")
 
@@ -30,18 +49,65 @@ class SnapshotError(Exception):
     """Raised on a missing or malformed snapshot file."""
 
 
+@contextmanager
+def _gc_paused():
+    """Pause garbage collection for the duration of a snapshot decode.
+
+    Decoding a support-heavy snapshot allocates on the order of a million
+    containers in one burst; with a large live heap the collector's
+    generational passes over it dominate the restore time. The decode
+    builds (acyclic) fresh structure only, so pausing collection for its
+    bounded duration is safe — anything cyclic is collected as usual once
+    collection resumes.
+    """
+    enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if enabled:
+            gc.enable()
+
+
 def snapshot_name(seq: int) -> str:
     return f"snapshot-{seq:08d}.json"
 
 
-def write_snapshot(directory, seq: int, state: dict) -> Path:
-    """Atomically write *state* as the snapshot at journal position *seq*."""
+def write_snapshot(
+    directory, seq: int, state: dict, format_version: int = FORMAT_VERSION
+) -> Path:
+    """Atomically write *state* as the snapshot at journal position *seq*.
+
+    *format_version* defaults to the current format (2: columnar model
+    section); passing 1 writes the legacy *layout* — the flat fact tuple
+    inside the tabled state — which is how the read-compat tests
+    cross-check the two codecs. (Genuinely old files may carry extra
+    state keys, e.g. the since-removed derivations counter; the reader
+    tolerates them.)
+    """
     directory = Path(directory)
-    payload = {
-        "format": FORMAT_VERSION,
-        "seq": seq,
-        "state": encode_tabled(state),
-    }
+    if format_version == 1:
+        legacy = dict(state)
+        legacy["model"] = relation_data_to_facts(state["model"])
+        with _gc_paused():
+            payload = {
+                "format": 1,
+                "seq": seq,
+                "state": encode_tabled(legacy),
+            }
+    elif format_version == FORMAT_VERSION:
+        rest = {key: value for key, value in state.items() if key != "model"}
+        with _gc_paused():
+            payload = {
+                "format": FORMAT_VERSION,
+                "seq": seq,
+                "state": encode_compact_tabled(rest),
+                "model": encode_relations(state["model"]),
+            }
+    else:
+        raise SnapshotError(
+            f"cannot write snapshot format {format_version!r}"
+        )
     target = directory / snapshot_name(seq)
     tmp = target.with_suffix(".json.tmp")
     with open(tmp, "w", encoding="utf-8") as handle:
@@ -56,14 +122,28 @@ def read_snapshot(path) -> tuple[int, dict]:
     """Read a snapshot file; returns ``(seq, state_dict)``."""
     path = Path(path)
     try:
-        payload = json.loads(path.read_text(encoding="utf-8"))
+        with _gc_paused():
+            payload = json.loads(path.read_text(encoding="utf-8"))
     except (OSError, json.JSONDecodeError) as error:
         raise SnapshotError(f"cannot read snapshot {path}: {error}") from error
-    if payload.get("format") != FORMAT_VERSION:
+    fmt = payload.get("format")
+    if fmt == 1:
+        # Legacy layout: the model is a flat tagged fact tuple inside the
+        # state; regroup it so every consumer sees the columnar form.
+        with _gc_paused():
+            state = decode(payload["state"])
+        state["model"] = facts_to_relation_data(state["model"])
+    elif fmt == FORMAT_VERSION:
+        if "model" not in payload:
+            raise SnapshotError(f"{path}: v2 snapshot missing model section")
+        with _gc_paused():
+            state = decode_compact(payload["state"])
+            state["model"] = decode_relations(payload["model"])
+    else:
         raise SnapshotError(
-            f"{path}: unsupported snapshot format {payload.get('format')!r}"
+            f"{path}: unsupported snapshot format {fmt!r}"
         )
-    return payload["seq"], decode(payload["state"])
+    return payload["seq"], state
 
 
 def snapshot_positions(directory) -> list[int]:

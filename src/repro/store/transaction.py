@@ -13,10 +13,13 @@ On entry the engine's full state is captured in memory
 (:meth:`~repro.core.base.MaintenanceEngine.state_dict`); updates issued
 inside the block apply to the live engine immediately (queries see the
 intermediate states) but are buffered rather than journaled. On a clean
-exit the whole batch is journaled as a single ``commit`` record; on any
-exception — including an explicit :meth:`Transaction.abort` — the engine is
-restored to the captured state, so a failure mid-batch leaves the database
-exactly as it was before the transaction began.
+exit the whole batch is journaled as a single ``commit`` record (which
+replays through the engine's batch path on reopen); on any exception —
+including an explicit :meth:`Transaction.abort` — the engine is restored to
+the captured state, so a failure mid-batch leaves the database exactly as
+it was before the transaction began. The rollback is a bulk operation:
+the captured state holds the model in columnar form, and ``load_state``
+bulk-loads every relation instead of re-adding fact by fact.
 """
 
 from __future__ import annotations

@@ -437,6 +437,9 @@ PLANNER_CONFIGS = {
     "stats": lambda: Planner(),
     "stats_intersect": lambda: Planner(composite=False),
     "heuristic": lambda: Planner(estimator="heuristic"),
+    # per-candidate exclusion filtering (the pre-bulk-pipeline baseline
+    # of the materialized restricted deltas, experiment E18c)
+    "no_materialize": lambda: Planner(materialize_deltas=False),
 }
 
 

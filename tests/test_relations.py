@@ -216,3 +216,186 @@ class TestCopy:
         dup.discard((0, 0))
         assert dup.distinct_count(1) == 11
         assert r.distinct_count(1) == 12
+
+
+class TestBulkOperations:
+    def _loop_loaded(self, rows):
+        r = Relation("p")
+        for row in rows:
+            r.add(row)
+        return r
+
+    def test_add_many_equals_per_tuple_loop(self):
+        rows = [(i % 5, i % 3, i) for i in range(40)]
+        loop = self._loop_loaded(rows)
+        bulk = Relation("p")
+        assert bulk.add_many(rows) == 40
+        assert bulk.tuples == loop.tuples
+        assert bulk.distinct_counts() == loop.distinct_counts()
+        assert bulk.arity == loop.arity == 3
+
+    def test_add_many_skips_duplicates(self):
+        r = Relation("p", 1)
+        r.add((1,))
+        assert r.add_many([(1,), (2,), (2,), (3,)]) == 2
+        assert len(r) == 3
+        assert r.distinct_counts() == {0: 3}
+
+    def test_add_many_maintains_live_indexes(self):
+        r = Relation("p", 2)
+        r.add((1, "a"))
+        before = dict(r.index_for((0,)))  # build the index
+        assert before
+        r.add_many([(1, "b"), (2, "a")])
+        assert set(r.probe((0,), (1,))) == {(1, "a"), (1, "b")}
+        assert set(r.probe((0,), (2,))) == {(2, "a")}
+
+    def test_add_many_rejects_mismatched_arity(self):
+        r = Relation("p", 2)
+        with pytest.raises(ValueError):
+            r.add_many([(1, 2), (3,)])
+
+    def test_discard_many_equals_per_tuple_loop(self):
+        rows = [(i % 5, i) for i in range(30)]
+        doomed = rows[::3]
+        loop = self._loop_loaded(rows)
+        for row in doomed:
+            loop.discard(row)
+        bulk = self._loop_loaded(rows)
+        assert bulk.discard_many(doomed + [(99, 99)]) == len(doomed)
+        assert bulk.tuples == loop.tuples
+        assert bulk.distinct_counts() == loop.distinct_counts()
+
+    def test_discard_many_maintains_live_indexes(self):
+        r = Relation("p", 2)
+        r.add_many([(1, "a"), (1, "b"), (2, "a")])
+        r.index_for((1,))
+        r.discard_many([(1, "a"), (2, "a")])
+        assert set(r.probe((1,), ("a",))) == set()
+        assert set(r.probe((1,), ("b",))) == {(1, "b")}
+
+    def test_bulk_load_equals_per_tuple_loop(self):
+        rows = [(i % 7, str(i % 2)) for i in range(25)]
+        loop = self._loop_loaded(rows)
+        bulk = Relation.bulk_load("p", rows)
+        assert bulk.tuples == loop.tuples
+        assert bulk.distinct_counts() == loop.distinct_counts()
+        assert bulk.arity == 2
+        # no indexes yet; they fill lazily and agree with the loop's
+        assert bulk.index_columns() == ()
+        assert set(bulk.probe((0,), (1,))) == set(loop.probe((0,), (1,)))
+
+    def test_bulk_load_rejects_mismatched_arity(self):
+        with pytest.raises(ValueError):
+            Relation.bulk_load("p", [(1, 2), (3,)])
+
+    def test_bulk_load_empty(self):
+        r = Relation.bulk_load("p", [], arity=2)
+        assert len(r) == 0
+        assert r.arity == 2
+
+
+class TestProbeExcluding:
+    def test_subtracts_the_exclusion_set(self):
+        r = Relation("p", 2)
+        r.add_many([(1, "a"), (1, "b"), (2, "a")])
+        kept = r.probe_excluding((0,), (1,), {(1, "a")})
+        assert kept == {(1, "b")}
+
+    def test_result_is_a_fresh_set(self):
+        r = Relation("p", 2)
+        r.add_many([(1, "a"), (1, "b")])
+        kept = r.probe_excluding((0,), (1,), set())
+        r.discard((1, "a"))  # mutating the relation must not affect kept
+        assert kept == {(1, "a"), (1, "b")}
+
+    def test_missing_key_is_empty(self):
+        r = Relation("p", 2)
+        r.add((1, "a"))
+        assert r.probe_excluding((0,), (9,), {(1, "a")}) == set()
+
+    def test_rows_excluding(self):
+        r = Relation("p", 1)
+        r.add_many([(1,), (2,), (3,)])
+        assert r.rows_excluding({(2,)}) == {(1,), (3,)}
+
+
+class TestCompositeEstimate:
+    def _correlated(self):
+        # column 1 is determined by column 0: independence is 25x off
+        r = Relation("p", 3)
+        r.add_many([(i % 5, (i % 5) * 10, i) for i in range(100)])
+        return r
+
+    def test_uses_composite_index_key_count_when_live(self):
+        r = self._correlated()
+        independence = r.estimated_matches((0, 1))
+        assert independence == pytest.approx(100 / (5 * 5))
+        r.index_for((0, 1))
+        assert r.estimated_matches((0, 1)) == pytest.approx(100 / 5)
+
+    def test_column_order_does_not_matter(self):
+        r = self._correlated()
+        r.index_for((0, 1))
+        assert r.estimated_matches([1, 0]) == pytest.approx(100 / 5)
+
+    def test_single_column_keeps_distinct_count_path(self):
+        r = self._correlated()
+        r.index_for((0,))
+        assert r.estimated_matches((0,)) == pytest.approx(100 / 5)
+
+
+class TestIndexReclamation:
+    def _relation(self, idle):
+        r = Relation("p", 2)
+        r.index_idle_epochs = idle
+        r.add_many([(i, i % 3) for i in range(10)])
+        return r
+
+    def test_unprobed_index_evicted_after_idle_epochs(self):
+        r = self._relation(idle=3)
+        r.probe((0,), (1,))
+        assert (0,) in r.index_columns()
+        for i in range(5):  # five mutation epochs, no probes
+            r.add((100 + i, 0))
+        assert (0,) not in r.index_columns()
+
+    def test_probing_keeps_the_index_alive(self):
+        r = self._relation(idle=3)
+        for i in range(10):
+            r.add((100 + i, 0))
+            r.probe((0,), (1,))
+        assert (0,) in r.index_columns()
+
+    def test_evicted_index_rebuilds_lazily_and_correctly(self):
+        r = self._relation(idle=2)
+        r.probe((1,), (0,))
+        for i in range(4):
+            r.add((200 + i, 0))
+        assert (1,) not in r.index_columns()
+        rows = r.probe((1,), (0,))  # rebuilt on demand
+        assert rows == {row for row in r if row[1] == 0}
+
+    def test_probe_counts_exposed(self):
+        r = self._relation(idle=100)
+        r.probe((0,), (1,))
+        r.probe((0,), (2,))
+        r.probe((1,), (0,))
+        counts = r.index_probe_counts()
+        assert counts[(0,)] == 2
+        assert counts[(1,)] == 1
+
+    def test_copy_carries_reclamation_state(self):
+        r = self._relation(idle=7)
+        r.probe((0,), (1,))
+        dup = r.copy()
+        assert dup.index_idle_epochs == 7
+        assert dup.mutation_epoch == r.mutation_epoch
+        assert dup.index_probe_counts() == r.index_probe_counts()
+
+    def test_zero_idle_disables_reclamation(self):
+        r = self._relation(idle=0)
+        r.probe((0,), (1,))
+        for i in range(50):
+            r.add((300 + i, 0))
+        assert (0,) in r.index_columns()

@@ -194,6 +194,56 @@ class TestSnapshotRoundTrip:
         other = create_engine("factlevel", PODS)
         assert dumps(engine.state_dict()) == dumps(other.state_dict())
 
+    @pytest.mark.parametrize("name", ENGINE_NAMES)
+    def test_v1_snapshot_file_still_restores(self, name, tmp_path):
+        from repro.store.snapshot import write_snapshot
+
+        engine = create_engine(name, PODS)
+        engine.insert_fact("submitted(4)")
+        path = write_snapshot(
+            tmp_path, 0, engine.state_dict(), format_version=1
+        )
+        restored = engine_from_state(name, read_snapshot(path)[1])
+        assert restored.model == engine.model
+        assert restored._support_state() == engine._support_state()
+        assert dumps(restored.state_dict()) == dumps(engine.state_dict())
+
+    def test_store_opens_on_a_v1_base_snapshot(self, tmp_path):
+        """A store whose base snapshot predates the v2 codec reopens
+        transparently: read_snapshot regroups the legacy fact tuple into
+        the columnar form every consumer now expects."""
+        from repro.store.snapshot import write_snapshot
+
+        store = Store.create(tmp_path / "db", PODS, engine="cascade")
+        state = store.engine.state_dict()
+        store.insert_fact("submitted(4)")
+        expected = store.model.as_set()
+        store.close()
+        write_snapshot(tmp_path / "db", 0, state, format_version=1)
+        reopened = Store.open(tmp_path / "db")
+        assert reopened.model.as_set() == expected
+        reopened.close()
+
+    def test_unsupported_snapshot_format_rejected(self, tmp_path):
+        import json as _json
+
+        from repro.store.snapshot import SnapshotError, write_snapshot
+
+        engine = create_engine("cascade", PODS)
+        path = write_snapshot(tmp_path, 0, engine.state_dict())
+        payload = _json.loads(path.read_text(encoding="utf-8"))
+        payload["format"] = 99
+        path.write_text(_json.dumps(payload), encoding="utf-8")
+        with pytest.raises(SnapshotError):
+            read_snapshot(path)
+        with pytest.raises(SnapshotError):
+            write_snapshot(tmp_path, 1, engine.state_dict(), format_version=99)
+        payload["format"] = 2
+        del payload["model"]  # truncated v2 file: missing model section
+        path.write_text(_json.dumps(payload), encoding="utf-8")
+        with pytest.raises(SnapshotError):
+            read_snapshot(path)
+
 
 # ----------------------------------------------------------------------
 # Store lifecycle: create / open / write-ahead journaling
