@@ -55,6 +55,7 @@ class RunResult:
             self.removed,
             self.added,
             self.migrated,
+            self.transient,
             self.support_entries_end,
             self.duration_s,
             "ok" if self.consistent else f"DIVERGED x{self.divergences}",
@@ -67,6 +68,7 @@ RUN_HEADERS = [
     "removed",
     "added",
     "migrated",
+    "transient",
     "supports",
     "time_s",
     "oracle",

@@ -14,11 +14,15 @@ Commands (also shown by ``help``)::
     model [relation]              show the model (or one relation)
     supports accepted(7)          the engine's support structures
     engine [name]                 show or switch the engine
-    stats                         totals for this session
+    stats [json]                  totals for this session (json for scripts)
+    telemetry [on|off]            toggle metrics + trace collection
+    metrics                       Prometheus-style text exposition
+    trace [json|chrome]           the last recorded update trace
+    plan p(X) :- q(X), r(X).      a clause's join plan, estimated vs observed
     open DIR                      attach a durable store (journals updates)
     commit                        checkpoint the store (snapshot)
     undo [N] / redo [N]           rewind / re-apply N revisions
-    log                           the store's revision history
+    log [json]                    the store's revision history
     close                         detach the store
     save FILE                     write the current program to FILE
     help / quit
@@ -35,6 +39,7 @@ save/open round-trips scale with data volume, not per-tuple overhead.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional
 
@@ -43,6 +48,7 @@ from .core.registry import ENGINE_NAMES, create_engine
 from .datalog.errors import DatalogError
 from .datalog.parser import parse_atom, parse_clause
 from .datalog.query import query as run_query
+from .obs import OBS
 from .store import StoreError, open_store
 
 
@@ -157,12 +163,62 @@ class Console:
 
     def do_stats(self, body: str) -> str:
         totals = self.engine.totals.as_dict()
+        if body.strip() == "json":
+            return json.dumps(
+                {
+                    "engine": self.engine_name,
+                    "totals": totals,
+                    "support_entries": self.engine.support_entry_count(),
+                    "model_size": len(self.engine.model),
+                },
+                sort_keys=True,
+            )
         rendered = ", ".join(f"{key}={value}" for key, value in totals.items())
         return (
             f"{rendered}\nsupport entries: "
             f"{self.engine.support_entry_count()}, model: "
             f"{len(self.engine.model)} facts"
         )
+
+    # telemetry commands --------------------------------------------------
+
+    def do_telemetry(self, body: str) -> str:
+        choice = body.strip().lower()
+        if choice == "on":
+            OBS.enable()
+            return "telemetry on"
+        if choice == "off":
+            OBS.disable()
+            return "telemetry off"
+        if choice:
+            return "usage: telemetry [on|off]"
+        return f"telemetry {'on' if OBS.enabled else 'off'}"
+
+    def do_metrics(self, body: str) -> str:
+        text = OBS.exposition()
+        if not text:
+            return "(no metrics recorded; `telemetry on` first)"
+        return text.rstrip("\n")
+
+    def do_trace(self, body: str) -> str:
+        last = OBS.tracer.last
+        if last is None:
+            return "(no trace recorded; `telemetry on`, then run an update)"
+        mode = body.strip().lower()
+        if mode == "json":
+            return json.dumps(last.to_dict(), sort_keys=True)
+        if mode == "chrome":
+            return json.dumps({"traceEvents": OBS.tracer.chrome_events()})
+        if mode:
+            return "usage: trace [json|chrome]"
+        return last.pretty()
+
+    def do_plan(self, body: str) -> str:
+        text = body.strip()
+        if not text:
+            return "usage: plan HEAD :- BODY."
+        clause = parse_clause(text if text.endswith(".") else text + ".")
+        return self.engine.planner.explain(clause, self.engine.model)
 
     def do_save(self, body: str) -> str:
         path = body.strip()
@@ -228,6 +284,10 @@ class Console:
         missing = self._need_store()
         if missing:
             return missing
+        if body.strip() == "json":
+            return json.dumps(
+                list(self.store.journal.records), sort_keys=True
+            )
         lines = self.store.log()
         if not lines:
             return "(empty journal)"
@@ -288,7 +348,15 @@ def main(argv=None) -> int:
         metavar="DIR",
         help="attach a durable store (created from the program when new)",
     )
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="collect metrics and traces from the start of the session",
+    )
     args = parser.parse_args(argv)
+
+    if args.telemetry:
+        OBS.enable()
 
     text = ""
     if args.program:

@@ -24,6 +24,7 @@ from ..datalog.evaluation import saturate
 from ..datalog.model import Model
 from ..datalog.parser import parse_clause, parse_fact
 from ..datalog.plan import Planner
+from ..obs import OBS
 from .metrics import MaintenanceStats, UpdateResult
 
 Source = Union[Atom, Clause, str]
@@ -203,67 +204,62 @@ class MaintenanceEngine(ABC):
     def insert_fact(self, fact: Union[Atom, str]) -> UpdateResult:
         """INSERT(p(t)) — section 4 of the paper."""
         fact = _as_fact(fact)
-        started = time.perf_counter()
-        self._transient = 0
-        fired_before = self._derivations_fired
-        if self.db.is_asserted(fact):
-            return self._result(
-                "insert_fact", fact, frozenset(), frozenset(), started,
-                fired_before, noop=True,
-            )
-        self.db.assert_fact(fact)
-        if fact in self.model:
-            # The model is unchanged: asserting an already-derived fact adds
-            # a unit clause whose head already holds. Only the support needs
-            # to learn about the trivial deduction.
-            self._register_assertion(fact)
-            return self._result(
-                "insert_fact", fact, frozenset(), frozenset(), started,
-                fired_before,
-            )
-        removed, added = self._apply_insert_fact(fact)
-        return self._result(
-            "insert_fact", fact, removed, added, started, fired_before
-        )
+        begun = self._begin_update()
+        with OBS.span("update:insert_fact") as span:
+            if span:
+                span.set("subject", str(fact))
+            if self.db.is_asserted(fact):
+                return self._result(
+                    "insert_fact", fact, frozenset(), frozenset(), begun,
+                    noop=True,
+                )
+            self.db.assert_fact(fact)
+            if fact in self.model:
+                # The model is unchanged: asserting an already-derived fact
+                # adds a unit clause whose head already holds. Only the
+                # support needs to learn about the trivial deduction.
+                self._register_assertion(fact)
+                return self._result(
+                    "insert_fact", fact, frozenset(), frozenset(), begun,
+                )
+            removed, added = self._apply_insert_fact(fact)
+            return self._result("insert_fact", fact, removed, added, begun)
 
     def delete_fact(self, fact: Union[Atom, str]) -> UpdateResult:
         """DELETE(p(t)) — only asserted facts may be deleted."""
         fact = _as_fact(fact)
-        started = time.perf_counter()
-        self._transient = 0
-        fired_before = self._derivations_fired
-        self.db.retract_fact(fact)  # raises when not asserted
-        removed, added = self._apply_delete_fact(fact)
-        return self._result(
-            "delete_fact", fact, removed, added, started, fired_before
-        )
+        begun = self._begin_update()
+        with OBS.span("update:delete_fact") as span:
+            if span:
+                span.set("subject", str(fact))
+            self.db.retract_fact(fact)  # raises when not asserted
+            removed, added = self._apply_delete_fact(fact)
+            return self._result("delete_fact", fact, removed, added, begun)
 
     def insert_rule(self, rule: Union[Clause, str]) -> UpdateResult:
         """INSERT(p(X) <- L1 & ... & Lk); must keep the program stratified."""
         rule = _as_rule(rule)
-        started = time.perf_counter()
-        self._transient = 0
-        fired_before = self._derivations_fired
-        self.db.add_rule(rule)  # checks stratification, raises on duplicates
-        self.planner.invalidate(rule)
-        self.planner.pin(rule)
-        removed, added = self._apply_insert_rule(rule)
-        return self._result(
-            "insert_rule", rule, removed, added, started, fired_before
-        )
+        begun = self._begin_update()
+        with OBS.span("update:insert_rule") as span:
+            if span:
+                span.set("subject", str(rule))
+            self.db.add_rule(rule)  # checks stratification, raises on dupes
+            self.planner.invalidate(rule)
+            self.planner.pin(rule)
+            removed, added = self._apply_insert_rule(rule)
+            return self._result("insert_rule", rule, removed, added, begun)
 
     def delete_rule(self, rule: Union[Clause, str]) -> UpdateResult:
         """DELETE(p(X) <- L1 & ... & Lk)."""
         rule = _as_rule(rule)
-        started = time.perf_counter()
-        self._transient = 0
-        fired_before = self._derivations_fired
-        self.db.remove_rule(rule)  # raises when absent
-        self.planner.invalidate(rule)
-        removed, added = self._apply_delete_rule(rule)
-        return self._result(
-            "delete_rule", rule, removed, added, started, fired_before
-        )
+        begun = self._begin_update()
+        with OBS.span("update:delete_rule") as span:
+            if span:
+                span.set("subject", str(rule))
+            self.db.remove_rule(rule)  # raises when absent
+            self.planner.invalidate(rule)
+            removed, added = self._apply_delete_rule(rule)
+            return self._result("delete_rule", rule, removed, added, begun)
 
     def apply(self, operation: str, subject: Source) -> UpdateResult:
         """Dispatch by operation name; used by the update-sequence harness."""
@@ -289,21 +285,22 @@ class MaintenanceEngine(ABC):
         churns at all).
         """
         updates = list(updates)
-        started = time.perf_counter()
-        fired_before = self._derivations_fired
-        removed: set[Atom] = set()
-        added: set[Atom] = set()
-        transient = 0
-        for operation, subject in updates:
-            result = self.apply(operation, subject)
-            removed |= result.removed
-            added |= result.added
-            transient += result.stats.get("transient", 0)
-        self._transient = transient
-        return self._result(
-            "batch", f"{len(updates)} updates", removed, added, started,
-            fired_before,
-        )
+        begun = self._begin_update()
+        with OBS.span("update:batch") as span:
+            if span:
+                span.set("updates", len(updates))
+            removed: set[Atom] = set()
+            added: set[Atom] = set()
+            transient = 0
+            for operation, subject in updates:
+                result = self.apply(operation, subject)
+                removed |= result.removed
+                added |= result.added
+                transient += result.stats.get("transient", 0)
+            self._transient = transient
+            return self._result(
+                "batch", f"{len(updates)} updates", removed, added, begun,
+            )
 
     # ------------------------------------------------------------------
     # Hooks implemented by each solution
@@ -356,12 +353,32 @@ class MaintenanceEngine(ABC):
         """
         added: set[Atom] = set()
         strata = self.db.stratification.strata
-        for stratum in strata[index - 1 :]:
-            added |= saturate(
-                stratum.clauses, self.model, listener, self.method,
-                planner=self.planner,
-            )
+        with OBS.span("phase:addition") as phase:
+            for number, stratum in enumerate(strata[index - 1 :], start=index):
+                with OBS.span("stratum") as span:
+                    if span:
+                        span.set("index", number)
+                    new = saturate(
+                        stratum.clauses, self.model, listener, self.method,
+                        planner=self.planner,
+                    )
+                    if span:
+                        span.set("added", len(new))
+                    added |= new
+            if phase:
+                phase.set("added", len(added))
         return added
+
+    def _begin_update(self) -> tuple:
+        """Capture the counters an update's accounting is measured against."""
+        self._transient = 0
+        planner = self.planner
+        return (
+            time.perf_counter(),
+            self._derivations_fired,
+            planner.cache_hits,
+            planner.cache_misses,
+        )
 
     def _result(
         self,
@@ -369,10 +386,10 @@ class MaintenanceEngine(ABC):
         subject,
         removed: Iterable[Atom],
         added: Iterable[Atom],
-        started: float,
-        fired_before: int,
+        begun: tuple,
         noop: bool = False,
     ) -> UpdateResult:
+        started, fired_before, hits_before, misses_before = begun
         result = UpdateResult(
             operation=operation,
             subject=str(subject),
@@ -385,10 +402,53 @@ class MaintenanceEngine(ABC):
                 "derivations_fired": self._derivations_fired - fired_before,
                 "transient": self._transient,
                 "noop": noop,
+                "plan_cache_hits": self.planner.cache_hits - hits_before,
+                "plan_cache_misses": self.planner.cache_misses - misses_before,
             },
         )
         self.totals.record(result)
+        if OBS.enabled:
+            self._record_metrics(result)
+            span = OBS.tracer.current
+            if span is not None:
+                span.set("removed", len(result.removed))
+                span.set("added", len(result.added))
+                span.set("migrated", len(result.migrated))
+                span.set(
+                    "derivations_fired", result.stats["derivations_fired"]
+                )
         return result
+
+    def _record_metrics(self, result: UpdateResult) -> None:
+        metrics = OBS.metrics
+        metrics.counter(
+            "repro_updates_total", "Maintenance operations applied",
+            engine=self.name, operation=result.operation,
+        ).inc()
+        metrics.counter(
+            "repro_facts_removed_total",
+            "Facts evicted by removal phases", engine=self.name,
+        ).inc(len(result.removed))
+        metrics.counter(
+            "repro_facts_added_total",
+            "Facts introduced by addition phases", engine=self.name,
+        ).inc(len(result.added))
+        metrics.counter(
+            "repro_facts_migrated_total",
+            "Facts erroneously removed then re-added", engine=self.name,
+        ).inc(len(result.migrated))
+        metrics.counter(
+            "repro_derivations_fired_total",
+            "Rule firings during maintenance", engine=self.name,
+        ).inc(result.stats["derivations_fired"])
+        metrics.counter(
+            "repro_transient_facts_total",
+            "Facts added and evicted within one update", engine=self.name,
+        ).inc(result.stats["transient"])
+        metrics.histogram(
+            "repro_update_seconds", "Wall time per maintenance operation",
+            engine=self.name, operation=result.operation,
+        ).observe(result.duration_s)
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({len(self.model)} facts)"

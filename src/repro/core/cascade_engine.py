@@ -40,7 +40,8 @@ from ..datalog.atoms import Atom
 from ..datalog.clauses import Clause
 from ..datalog.evaluation import Derivation, semi_naive_saturate
 from ..datalog.stratify import Stratum
-from .base import MaintenanceEngine
+from ..obs import OBS
+from .base import MaintenanceEngine, _as_fact, _as_rule
 from .supports import RuleRecord
 
 
@@ -207,28 +208,31 @@ class CascadeEngine(MaintenanceEngine):
         evicted: set[Atom] = set()
         if not driving:
             return evicted
-        changed = True
-        while changed:
-            changed = False
-            for fact in self._stratum_facts(stratum):
-                records = self._records.get(fact)
-                if records is None:
-                    continue
-                dead = {
-                    record
-                    for record in records
-                    if record.positive_relations & driving
-                }
-                if not dead:
-                    continue
-                records -= dead
-                if killed_relations is not None:
-                    killed_relations.add(fact.relation)
-                if not records:
-                    self._evict(fact)
-                    evicted.add(fact)
-                    driving.add(fact.relation)
-                    changed = True
+        with OBS.span("phase:removepos") as span:
+            changed = True
+            while changed:
+                changed = False
+                for fact in self._stratum_facts(stratum):
+                    records = self._records.get(fact)
+                    if records is None:
+                        continue
+                    dead = {
+                        record
+                        for record in records
+                        if record.positive_relations & driving
+                    }
+                    if not dead:
+                        continue
+                    records -= dead
+                    if killed_relations is not None:
+                        killed_relations.add(fact.relation)
+                    if not records:
+                        self._evict(fact)
+                        evicted.add(fact)
+                        driving.add(fact.relation)
+                        changed = True
+            if span:
+                span.set("evicted", len(evicted))
         return evicted
 
     def _removeneg(
@@ -252,24 +256,27 @@ class CascadeEngine(MaintenanceEngine):
         evicted: set[Atom] = set()
         if not increased:
             return evicted
-        for fact in self._stratum_facts(stratum):
-            records = self._records.get(fact)
-            if records is None:
-                continue
-            dead = {
-                record
-                for record in records
-                if record.negated_relations & increased
-                and (fact, record) not in fresh
-            }
-            if not dead:
-                continue
-            records -= dead
-            if killed_relations is not None:
-                killed_relations.add(fact.relation)
-            if not records:
-                self._evict(fact)
-                evicted.add(fact)
+        with OBS.span("phase:removeneg") as span:
+            for fact in self._stratum_facts(stratum):
+                records = self._records.get(fact)
+                if records is None:
+                    continue
+                dead = {
+                    record
+                    for record in records
+                    if record.negated_relations & increased
+                    and (fact, record) not in fresh
+                }
+                if not dead:
+                    continue
+                records -= dead
+                if killed_relations is not None:
+                    killed_relations.add(fact.relation)
+                if not records:
+                    self._evict(fact)
+                    evicted.add(fact)
+            if span:
+                span.set("evicted", len(evicted))
         return evicted
 
     def _rebuild_recursive_clusters(
@@ -356,15 +363,20 @@ class CascadeEngine(MaintenanceEngine):
                     (derivation.head, self._record_for(derivation.clause))
                 )
 
-        return semi_naive_saturate(
-            stratum.clauses,
-            self.model,
-            listener,
-            planner=self.planner,
-            initial_full=False,
-            delta=delta,
-            full_fire=full_fire,
-        )
+        with OBS.span("phase:saturate") as span:
+            added = semi_naive_saturate(
+                stratum.clauses,
+                self.model,
+                listener,
+                planner=self.planner,
+                initial_full=False,
+                delta=delta,
+                full_fire=full_fire,
+            )
+            if span:
+                span.set("added", len(added))
+                span.set("full_fire", len(full_fire))
+        return added
 
     # ------------------------------------------------------------------
     # The cascade loop
@@ -432,86 +444,94 @@ class CascadeEngine(MaintenanceEngine):
                 and self._stratum_is_unaffected(stratum, inc_names | dec_names)
             ):
                 continue
-            snapshot = {
-                relation: set(self.model.relation(relation).tuples)
-                for relation in stratum.relations
-            }
-            # Reconstruct the pre-update content so the net diff below
-            # cancels a fact that leaves and returns within its stratum.
-            for relation in stratum.relations:
-                snapshot[relation] -= seed_inc.get(relation, set())
-                snapshot[relation] |= seed_dec.get(relation, set())
-            killed: set[str] = set(pre_killed)
-            if self.order == "saturate_first":
-                journal: set[tuple[Atom, RuleRecord]] = set()
-                self._saturate(
-                    stratum, inc, dec_names, refire_heads, rules, journal
-                )
-                evicted = self._removepos(stratum, dec_names, killed)
-                neg_evicted = self._removeneg(
-                    stratum, inc_names, frozenset(journal), killed
-                )
-                if neg_evicted:
-                    evicted |= neg_evicted
-                    evicted |= self._removepos(
-                        stratum,
-                        {fact.relation for fact in neg_evicted},
-                        killed,
+            with OBS.span("stratum") as stratum_span:
+                if stratum_span:
+                    stratum_span.set("index", stratum.index)
+                snapshot = {
+                    relation: set(self.model.relation(relation).tuples)
+                    for relation in stratum.relations
+                }
+                # Reconstruct the pre-update content so the net diff below
+                # cancels a fact that leaves and returns within its stratum.
+                for relation in stratum.relations:
+                    snapshot[relation] -= seed_inc.get(relation, set())
+                    snapshot[relation] |= seed_dec.get(relation, set())
+                killed: set[str] = set(pre_killed)
+                if self.order == "saturate_first":
+                    journal: set[tuple[Atom, RuleRecord]] = set()
+                    self._saturate(
+                        stratum, inc, dec_names, refire_heads, rules, journal
                     )
-                evicted |= self._rebuild_recursive_clusters(
-                    stratum, killed, evicted
-                )
-                if evicted:
+                    evicted = self._removepos(stratum, dec_names, killed)
+                    neg_evicted = self._removeneg(
+                        stratum, inc_names, frozenset(journal), killed
+                    )
+                    if neg_evicted:
+                        evicted |= neg_evicted
+                        evicted |= self._removepos(
+                            stratum,
+                            {fact.relation for fact in neg_evicted},
+                            killed,
+                        )
+                    evicted |= self._rebuild_recursive_clusters(
+                        stratum, killed, evicted
+                    )
+                    if evicted:
+                        self._saturate(
+                            stratum,
+                            {},
+                            set(),
+                            {fact.relation for fact in evicted},
+                        )
+                else:  # printed pseudocode: REMOVEPOS; REMOVENEG; SATURATE
+                    evicted = self._removepos(stratum, dec_names, killed)
+                    neg_evicted = self._removeneg(
+                        stratum, inc_names, killed_relations=killed
+                    )
+                    if neg_evicted:
+                        evicted |= neg_evicted
+                        evicted |= self._removepos(
+                            stratum,
+                            {fact.relation for fact in neg_evicted},
+                            killed,
+                        )
+                    evicted |= self._rebuild_recursive_clusters(
+                        stratum, killed, evicted
+                    )
                     self._saturate(
                         stratum,
-                        {},
-                        set(),
-                        {fact.relation for fact in evicted},
+                        inc,
+                        dec_names,
+                        {fact.relation for fact in evicted} | refire_heads,
+                        rules,
                     )
-            else:  # the printed pseudocode: REMOVEPOS; REMOVENEG; SATURATE
-                evicted = self._removepos(stratum, dec_names, killed)
-                neg_evicted = self._removeneg(
-                    stratum, inc_names, killed_relations=killed
-                )
-                if neg_evicted:
-                    evicted |= neg_evicted
-                    evicted |= self._removepos(
-                        stratum,
-                        {fact.relation for fact in neg_evicted},
-                        killed,
-                    )
-                evicted |= self._rebuild_recursive_clusters(
-                    stratum, killed, evicted
-                )
-                self._saturate(
-                    stratum,
-                    inc,
-                    dec_names,
-                    {fact.relation for fact in evicted} | refire_heads,
-                    rules,
-                )
-            # Account against the pre-update content: an eviction counts as
-            # removal only for a pre-existing fact (anything else was churn
-            # within this update), and a migrated fact is a pre-existing
-            # eviction that is present again now.
-            for fact in evicted:
-                if fact.args in snapshot.get(fact.relation, ()):
-                    removed_all.add(fact)
-                    if fact in self.model:
-                        added_all.add(fact)
-                else:
-                    self._transient += 1
-            # Net per-stratum change drives the higher strata; a fact that
-            # migrated inside this stratum is invisible above it. Each
-            # relation belongs to exactly one stratum, so replacing its
-            # inc/dec entries with the net diff is safe.
-            for relation in stratum.relations:
-                now = set(self.model.relation(relation).tuples)
-                before = snapshot[relation]
-                gained = now - before
-                inc[relation] = gained
-                dec[relation] = before - now
-                added_all.update(Atom(relation, row) for row in gained)
+                # Account against the pre-update content: an eviction counts
+                # as removal only for a pre-existing fact (anything else was
+                # churn within this update), and a migrated fact is a
+                # pre-existing eviction that is present again now.
+                for fact in evicted:
+                    if fact.args in snapshot.get(fact.relation, ()):
+                        removed_all.add(fact)
+                        if fact in self.model:
+                            added_all.add(fact)
+                    else:
+                        self._transient += 1
+                # Net per-stratum change drives the higher strata; a fact
+                # that migrated inside this stratum is invisible above it.
+                # Each relation belongs to exactly one stratum, so replacing
+                # its inc/dec entries with the net diff is safe.
+                stratum_gained = 0
+                for relation in stratum.relations:
+                    now = set(self.model.relation(relation).tuples)
+                    before = snapshot[relation]
+                    gained = now - before
+                    inc[relation] = gained
+                    dec[relation] = before - now
+                    stratum_gained += len(gained)
+                    added_all.update(Atom(relation, row) for row in gained)
+                if stratum_span:
+                    stratum_span.set("evicted", len(evicted))
+                    stratum_span.set("gained", stratum_gained)
         return removed_all, added_all
 
     # ------------------------------------------------------------------
@@ -527,16 +547,14 @@ class CascadeEngine(MaintenanceEngine):
         fact deleted and re-inserted by different updates of the batch is
         net-unchanged and causes no work at all.
         """
-        import time as _time
-
-        from .base import _as_fact, _as_rule
-        from .metrics import UpdateResult
-
         updates = list(updates)
-        started = _time.perf_counter()
-        self._transient = 0
-        fired_before = self._derivations_fired
+        begun = self._begin_update()
+        with OBS.span("update:batch") as span:
+            if span:
+                span.set("updates", len(updates))
+            return self._apply_batch_body(updates, begun)
 
+    def _apply_batch_body(self, updates, begun) -> "UpdateResult":
         before_facts = set(self.db.program.facts)
         before_rules = set(self.db.program.rules)
         for operation, subject in updates:
@@ -637,8 +655,7 @@ class CascadeEngine(MaintenanceEngine):
             f"{len(updates)} updates",
             removed | cascade_removed,
             added,
-            started,
-            fired_before,
+            begun,
         )
 
     def _apply_insert_fact(self, fact: Atom) -> tuple[set[Atom], set[Atom]]:

@@ -25,6 +25,7 @@ from __future__ import annotations
 from ..datalog.atoms import Atom
 from ..datalog.clauses import Clause
 from ..datalog.evaluation import Derivation
+from ..obs import OBS
 from .base import MaintenanceEngine
 from .supports import (
     PairSupport,
@@ -148,24 +149,30 @@ class DynamicEngine(MaintenanceEngine):
 
     def _remove_by_neg(self, relation: str) -> set[Atom]:
         """Evict facts whose Neg' contains *relation* (insertion case)."""
-        doomed = [
-            fact
-            for fact, support in self._supports.items()
-            if relation in self._expanded_neg(support)
-        ]
-        for fact in doomed:
-            self._evict(fact)
+        with OBS.span("phase:removal") as span:
+            doomed = [
+                fact
+                for fact, support in self._supports.items()
+                if relation in self._expanded_neg(support)
+            ]
+            for fact in doomed:
+                self._evict(fact)
+            if span:
+                span.set("evicted", len(doomed))
         return set(doomed)
 
     def _remove_by_pos(self, relation: str) -> set[Atom]:
         """Evict facts whose Pos' contains *relation* (deletion case)."""
-        doomed = [
-            fact
-            for fact, support in self._supports.items()
-            if relation in self._expanded_pos(support)
-        ]
-        for fact in doomed:
-            self._evict(fact)
+        with OBS.span("phase:removal") as span:
+            doomed = [
+                fact
+                for fact, support in self._supports.items()
+                if relation in self._expanded_pos(support)
+            ]
+            for fact in doomed:
+                self._evict(fact)
+            if span:
+                span.set("evicted", len(doomed))
         return set(doomed)
 
     # ------------------------------------------------------------------

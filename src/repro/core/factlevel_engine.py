@@ -34,6 +34,7 @@ from ..datalog.atoms import Atom
 from ..datalog.clauses import Clause
 from ..datalog.evaluation import Derivation, semi_naive_saturate
 from ..datalog.stratify import Stratum
+from ..obs import OBS
 from .base import MaintenanceEngine
 from .supports import FactRecord
 
@@ -134,15 +135,20 @@ class FactLevelEngine(MaintenanceEngine):
         delta: dict[str, set[tuple]] = {}
         for fact in inc_facts:
             delta.setdefault(fact.relation, set()).add(fact.args)
-        return semi_naive_saturate(
-            stratum.clauses,
-            self.model,
-            self._build_listener(),
-            initial_full=False,
-            delta=delta,
-            full_fire=full_fire,
-            planner=self.planner,
-        )
+        with OBS.span("phase:saturate") as span:
+            added = semi_naive_saturate(
+                stratum.clauses,
+                self.model,
+                self._build_listener(),
+                initial_full=False,
+                delta=delta,
+                full_fire=full_fire,
+                planner=self.planner,
+            )
+            if span:
+                span.set("added", len(added))
+                span.set("full_fire", len(full_fire))
+        return added
 
     def _kill_records(
         self, stratum: Stratum, inc_facts: set[Atom], dec_facts: set[Atom]
@@ -207,6 +213,9 @@ class FactLevelEngine(MaintenanceEngine):
         evicted = {fact for fact in candidates if fact not in validated}
         for fact in evicted:
             self._evict(fact)
+        span = OBS.tracer.current if OBS.enabled else None
+        if span is not None:
+            span.event("well_founded_check", evicted=len(evicted))
         return evicted
 
     def _run_cascade(
@@ -233,33 +242,43 @@ class FactLevelEngine(MaintenanceEngine):
                 seed_rules or forced_check_start or inc_facts or dec_facts
             ):
                 continue
-            # Saturate FIRST: a deduction enabled by this very update keeps
-            # its fact alive through the kills below — this is what makes
-            # migration structurally zero.
-            added = self._saturate(
-                stratum, inc_facts, dec_relations, seed_rules=seed_rules
-                if first
-                else (),
-            )
-            added_all |= added
-            inc_facts |= added
-            killed = self._kill_records(stratum, inc_facts, dec_facts)
-            if killed or (first and forced_check_start):
-                evicted = self._well_founded_evictions(stratum)
-                # Facts added earlier in this very update and evicted now
-                # were never part of the maintained model: churn, not
-                # removal (and certainly not migration).
-                transient = evicted & added_all
-                self._transient += len(transient)
-                added_all -= transient
-                removed_all |= evicted - transient
-                dec_facts |= evicted
-                inc_facts -= evicted
-                if evicted:
-                    # Purge records of surviving same-stratum facts that
-                    # cite the just-evicted ones, so no stale record
-                    # outlives its body fact.
-                    self._kill_records(stratum, inc_facts, dec_facts)
+            with OBS.span("stratum") as stratum_span:
+                if stratum_span:
+                    stratum_span.set("index", stratum.index)
+                # Saturate FIRST: a deduction enabled by this very update
+                # keeps its fact alive through the kills below — this is
+                # what makes migration structurally zero.
+                added = self._saturate(
+                    stratum, inc_facts, dec_relations, seed_rules=seed_rules
+                    if first
+                    else (),
+                )
+                added_all |= added
+                inc_facts |= added
+                with OBS.span("phase:removal") as removal_span:
+                    killed = self._kill_records(stratum, inc_facts, dec_facts)
+                    evicted: set[Atom] = set()
+                    if killed or (first and forced_check_start):
+                        evicted = self._well_founded_evictions(stratum)
+                        # Facts added earlier in this very update and
+                        # evicted now were never part of the maintained
+                        # model: churn, not removal (and certainly not
+                        # migration).
+                        transient = evicted & added_all
+                        self._transient += len(transient)
+                        added_all -= transient
+                        removed_all |= evicted - transient
+                        dec_facts |= evicted
+                        inc_facts -= evicted
+                        if evicted:
+                            # Purge records of surviving same-stratum facts
+                            # that cite the just-evicted ones, so no stale
+                            # record outlives its body fact.
+                            self._kill_records(stratum, inc_facts, dec_facts)
+                    if removal_span:
+                        removal_span.set("evicted", len(evicted))
+                if stratum_span:
+                    stratum_span.set("added", len(added))
         return removed_all, added_all
 
     def _stratum_depends_on(self, stratum: Stratum, active: set[str]) -> bool:

@@ -11,6 +11,21 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+#: The stats keys every engine's :attr:`UpdateResult.stats` carries, for
+#: every operation (including no-ops and batches). Engines may add keys on
+#: top but never omit one of these — ``tests/test_stats_conformance.py``
+#: enforces it. ``derivations_fired`` counts rule firings during the
+#: update, ``transient`` the facts added and evicted within it, ``noop``
+#: flags admission-level no-ops, and the plan-cache counters are the
+#: engine planner's hit/miss deltas over the update.
+STANDARD_STAT_KEYS = (
+    "derivations_fired",
+    "transient",
+    "noop",
+    "plan_cache_hits",
+    "plan_cache_misses",
+)
+
 
 @dataclass
 class MaintenanceStats:
@@ -22,6 +37,9 @@ class MaintenanceStats:
     migrated: int = 0
     duration_s: float = 0.0
     derivations_fired: int = 0
+    transient: int = 0
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
 
     def record(self, result: "UpdateResult") -> None:
         self.updates += 1
@@ -30,6 +48,9 @@ class MaintenanceStats:
         self.migrated += len(result.migrated)
         self.duration_s += result.duration_s
         self.derivations_fired += result.stats.get("derivations_fired", 0)
+        self.transient += result.stats.get("transient", 0)
+        self.plan_cache_hits += result.stats.get("plan_cache_hits", 0)
+        self.plan_cache_misses += result.stats.get("plan_cache_misses", 0)
 
     def as_dict(self) -> dict:
         return {
@@ -39,6 +60,9 @@ class MaintenanceStats:
             "migrated": self.migrated,
             "duration_s": self.duration_s,
             "derivations_fired": self.derivations_fired,
+            "transient": self.transient,
+            "plan_cache_hits": self.plan_cache_hits,
+            "plan_cache_misses": self.plan_cache_misses,
         }
 
 

@@ -29,6 +29,7 @@ from __future__ import annotations
 from ..datalog.atoms import Atom
 from ..datalog.clauses import Clause
 from ..datalog.evaluation import Derivation
+from ..obs import OBS
 from .base import MaintenanceEngine
 from .supports import (
     PairedRecord,
@@ -217,6 +218,15 @@ class SetOfSetsEngine(MaintenanceEngine):
         """
         statics = self.db.statics
         doomed: list[Atom] = []
+        with OBS.span("phase:removal") as span:
+            self._remove_failing_into(relation, side, statics, doomed)
+            if span:
+                span.set("evicted", len(doomed))
+        return set(doomed)
+
+    def _remove_failing_into(
+        self, relation: str, side: str, statics, doomed: list[Atom]
+    ) -> None:
         if self.mode == "paper":
             for fact, support in self._supports.items():
                 elements = support.neg if side == "neg" else support.pos
@@ -252,7 +262,6 @@ class SetOfSetsEngine(MaintenanceEngine):
                     doomed.append(fact)
         for fact in doomed:
             self._evict(fact)
-        return set(doomed)
 
     # ------------------------------------------------------------------
     # Update procedures

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from ..datalog.atoms import Atom
 from ..datalog.clauses import Clause
+from ..obs import OBS
 from .base import MaintenanceEngine
 
 
@@ -37,19 +38,22 @@ class StaticEngine(MaintenanceEngine):
         """
         statics = self.db.statics
         removed: set[Atom] = set()
-        for name in list(self.model.relation_names()):
-            at_risk = (
-                relation in statics.neg(name)
-                if via_negative
-                else relation in statics.pos(name)
-            )
-            if not at_risk:
-                continue
-            doomed = list(self.model.facts_of(name))
-            # Relation-level eviction is a bulk operation: one batched
-            # statistics/index update instead of per-fact maintenance.
-            self.model.discard_many(doomed)
-            removed.update(doomed)
+        with OBS.span("phase:removal") as span:
+            for name in list(self.model.relation_names()):
+                at_risk = (
+                    relation in statics.neg(name)
+                    if via_negative
+                    else relation in statics.pos(name)
+                )
+                if not at_risk:
+                    continue
+                doomed = list(self.model.facts_of(name))
+                # Relation-level eviction is a bulk operation: one batched
+                # statistics/index update instead of per-fact maintenance.
+                self.model.discard_many(doomed)
+                removed.update(doomed)
+            if span:
+                span.set("evicted", len(removed))
         return removed
 
     # ------------------------------------------------------------------

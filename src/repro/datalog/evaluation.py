@@ -34,10 +34,11 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Iterator, Mapping, NamedTuple, Optional
 
+from ..obs import OBS
 from .atoms import Atom
 from .clauses import Clause, Program
 from .model import Model
-from .plan import DEFAULT_PLANNER, Planner
+from .plan import DEFAULT_PLANNER, Planner, StepObserver
 from .stratify import Stratification, stratify
 from .terms import Variable
 
@@ -144,22 +145,36 @@ def _plan_derivations(
     negatives = plan.negatives
     head_relation = clause.head.relation
     head_spec = plan.head_spec
-    for subst, facts in plan.execute(
+    observer = StepObserver() if OBS.enabled else None
+    matches = plan.execute(
         model, delta_position, rows, exclude, planner.reorder,
         planner.estimator, planner.composite, planner.materialize_deltas,
-    ):
-        neg_atoms = []
-        blocked = False
-        for relation, spec in negatives:
-            ground = plan.build(spec, subst)
-            if model.contains(relation, ground):
-                blocked = True
-                break
-            neg_atoms.append(Atom(relation, ground))
-        if blocked:
-            continue
-        head = Atom(head_relation, plan.build(head_spec, subst))
-        yield Derivation(head, clause, tuple(facts), tuple(neg_atoms))
+        observer,
+    )
+    try:
+        for subst, facts in matches:
+            neg_atoms = []
+            blocked = False
+            for relation, spec in negatives:
+                ground = plan.build(spec, subst)
+                if model.contains(relation, ground):
+                    blocked = True
+                    break
+                neg_atoms.append(Atom(relation, ground))
+            if blocked:
+                continue
+            head = Atom(head_relation, plan.build(head_spec, subst))
+            yield Derivation(head, clause, tuple(facts), tuple(neg_atoms))
+    finally:
+        if observer is not None and observer.steps:
+            plan.record_execution(observer.steps)
+            span = OBS.tracer.current
+            if span is not None:
+                span.event(
+                    "plan",
+                    clause=str(clause),
+                    steps=[dict(entry) for entry in observer.steps],
+                )
 
 
 def naive_saturate(
@@ -275,46 +290,61 @@ def semi_naive_saturate(
                     ):
                         emit(derivation, plan)
 
+    round_number = 0
     while next_delta:
         current = next_delta
         next_delta = {}
-        for clause in rules:
-            body = clause.positive_body
-            delta_positions = [
-                position
-                for position, literal in enumerate(body)
-                if current.get(literal.relation)
-            ]
-            if not delta_positions:
-                continue
-            plan = planner.plan_for(clause)
-            delta_positions, first_live = _choose_delta_positions(
-                plan, model, clause, delta_positions, current, planner
-            )
-            for k, position in enumerate(delta_positions):
-                # Triangular split: later delta positions are restricted to
-                # their pre-round content, so an instantiation whose body
-                # facts all arrived this round fires exactly once (at its
-                # last delta position in the chosen order).
-                if k < first_live:
-                    # Dominated: a later position's relation is entirely
-                    # inside the increment, so its restricted candidate
-                    # set is empty and this firing cannot match (see
-                    # _choose_delta_positions).
+        round_number += 1
+        with OBS.span("round") as round_span:
+            if round_span:
+                round_span.set("round", round_number)
+                round_span.set(
+                    "delta",
+                    {rel: len(rows) for rel, rows in current.items()},
+                )
+            for clause in rules:
+                body = clause.positive_body
+                delta_positions = [
+                    position
+                    for position, literal in enumerate(body)
+                    if current.get(literal.relation)
+                ]
+                if not delta_positions:
                     continue
-                restrict = {
-                    later: current[body[later].relation]
-                    for later in delta_positions[k + 1 :]
-                }
-                for derivation in _plan_derivations(
-                    plan,
-                    model,
-                    position,
-                    current[body[position].relation],
-                    restrict or None,
-                    planner,
-                ):
-                    emit(derivation, plan)
+                plan = planner.plan_for(clause)
+                delta_positions, first_live = _choose_delta_positions(
+                    plan, model, clause, delta_positions, current, planner
+                )
+                for k, position in enumerate(delta_positions):
+                    # Triangular split: later delta positions are
+                    # restricted to their pre-round content, so an
+                    # instantiation whose body facts all arrived this
+                    # round fires exactly once (at its last delta position
+                    # in the chosen order).
+                    if k < first_live:
+                        # Dominated: a later position's relation is
+                        # entirely inside the increment, so its restricted
+                        # candidate set is empty and this firing cannot
+                        # match (see _choose_delta_positions).
+                        continue
+                    restrict = {
+                        later: current[body[later].relation]
+                        for later in delta_positions[k + 1 :]
+                    }
+                    for derivation in _plan_derivations(
+                        plan,
+                        model,
+                        position,
+                        current[body[position].relation],
+                        restrict or None,
+                        planner,
+                    ):
+                        emit(derivation, plan)
+            if round_span:
+                round_span.set(
+                    "emitted",
+                    sum(len(rows) for rows in next_delta.values()),
+                )
     return added
 
 

@@ -149,7 +149,7 @@ class ClausePlan:
     __slots__ = (
         "clause", "slot_of", "num_slots", "literals", "head_spec",
         "negatives", "positive_relations", "negated_relations", "_orders",
-        "_templates",
+        "_templates", "step_history",
     )
 
     def __init__(self, clause: "Clause"):
@@ -190,6 +190,11 @@ class ClausePlan:
         self._orders: dict[tuple[int, ...], tuple[_Step, ...]] = {}
         # engine-attached per-clause support records (see module docstring)
         self._templates: dict[str, object] = {}
+        # accumulated estimate-vs-actual telemetry, keyed by original body
+        # position (see record_execution); lives and dies with the plan,
+        # so the planner's LRU bounds it — this is the outcome history
+        # ROADMAP item 4's feedback re-planner consumes
+        self.step_history: dict[int, dict] = {}
 
     def _spec(self, args: tuple) -> ArgSpec:
         # Variables outside the positive body (unsafe clauses never reach
@@ -331,6 +336,32 @@ class ClausePlan:
             self._orders[order] = steps
         return steps
 
+    def record_execution(self, steps: list[dict]) -> None:
+        """Fold one execution's observed step counts into the history.
+
+        *steps* is what a :class:`StepObserver` collected: per executed
+        step its original body position, estimated candidate rows, and the
+        probes/rows actually seen. The history accumulates per position,
+        so :meth:`Planner.explain` (and, later, a feedback re-planner) can
+        compare the estimator against reality over the plan's lifetime.
+        """
+        history = self.step_history
+        for entry in steps:
+            record = history.get(entry["position"])
+            if record is None:
+                record = {
+                    "relation": entry["relation"],
+                    "executions": 0,
+                    "estimated": 0.0,
+                    "probes": 0,
+                    "rows": 0,
+                }
+                history[entry["position"]] = record
+            record["executions"] += 1
+            record["estimated"] += entry["estimated"]
+            record["probes"] += entry["probes"]
+            record["rows"] += entry["rows"]
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
@@ -345,6 +376,7 @@ class ClausePlan:
         estimator: str = "stats",
         composite: bool = True,
         materialize: bool = True,
+        observer: Optional["StepObserver"] = None,
     ) -> Iterator[tuple[list, list]]:
         """Yield (substitution array, facts by original position).
 
@@ -360,11 +392,28 @@ class ClausePlan:
         per-candidate membership filter — the materialized restricted
         delta of E17c/E18; ``materialize=False`` keeps the per-candidate
         check as the ablation baseline.
+
+        An *observer* (a :class:`StepObserver`) sees every step's candidate
+        stream: estimated rows are computed once per execution, actual
+        probes and rows counted as the join runs. ``observer=None`` (the
+        default, and the only mode when telemetry is off) leaves the inner
+        loop untouched.
         """
         if delta_position is None:
             delta_rows = None
         order = self.order_for(model, delta_position, reorder, estimator)
         steps = self.steps_for(order)
+        if observer is not None:
+            delta_size = None
+            if delta_rows is not None:
+                try:
+                    delta_size = len(delta_rows)
+                except TypeError:
+                    delta_rows = tuple(delta_rows)
+                    delta_size = len(delta_rows)
+            observer.begin(
+                self, model, order, estimator, delta_position, delta_size
+            )
         subst = [UNBOUND] * self.num_slots
         facts: list = [None] * len(self.literals)
         if not steps:
@@ -433,6 +482,8 @@ class ClausePlan:
                 candidates = model.relation(step.relation).select_intersect(
                     bound
                 )
+            if observer is not None:
+                candidates = observer.count(index, candidates)
             free_cols = step.free_cols
             check_cols = step.check_cols
             relation = step.relation
@@ -455,6 +506,73 @@ class ClausePlan:
         yield from recurse(0)
 
 
+class StepObserver:
+    """Collects estimated-vs-actual candidate rows per executed plan step.
+
+    One observer instruments one :meth:`ClausePlan.execute` call.
+    :meth:`begin` prices every step of the chosen order with the same
+    estimator the ordering used (the delta step is priced at the delta's
+    actual size); :meth:`count` then tallies, per step, how many probes ran
+    and how many candidate rows they produced. Counting happens *before*
+    exclusion filtering, so ``rows`` measures the same quantity the
+    estimate predicted — the size of the probed candidate set.
+    """
+
+    __slots__ = ("steps",)
+
+    def __init__(self):
+        self.steps: list[dict] = []
+
+    def begin(
+        self,
+        plan: ClausePlan,
+        model: "Model",
+        order: tuple[int, ...],
+        estimator: str,
+        delta_position: Optional[int] = None,
+        delta_size: Optional[int] = None,
+    ) -> list[dict]:
+        self.steps = []
+        bound_slots: set[int] = set()
+        for position in order:
+            literal = plan.literals[position]
+            if position == delta_position:
+                estimated = float(delta_size or 0)
+            else:
+                estimated = float(
+                    plan._candidate_estimate(
+                        model, literal, bound_slots, estimator
+                    )
+                )
+            self.steps.append(
+                {
+                    "position": position,
+                    "relation": literal.relation,
+                    "estimated": estimated,
+                    "probes": 0,
+                    "rows": 0,
+                }
+            )
+            bound_slots |= literal.slots
+        return self.steps
+
+    def count(self, index: int, candidates: Iterable[tuple]):
+        """Tally one probe of executed step *index*; returns the stream."""
+        entry = self.steps[index]
+        entry["probes"] += 1
+        try:
+            entry["rows"] += len(candidates)
+            return candidates
+        except TypeError:
+            return self._counting(entry, candidates)
+
+    @staticmethod
+    def _counting(entry: dict, candidates: Iterable[tuple]):
+        for row in candidates:
+            entry["rows"] += 1
+            yield row
+
+
 class Planner:
     """A per-clause cache of compiled plans with bounded LRU eviction.
 
@@ -474,7 +592,8 @@ class Planner:
 
     __slots__ = (
         "reorder", "estimator", "composite", "delta_choice",
-        "materialize_deltas", "_plans", "_pinned",
+        "materialize_deltas", "cache_hits", "cache_misses", "_plans",
+        "_pinned",
     )
 
     def __init__(
@@ -500,12 +619,17 @@ class Planner:
         # (Relation.probe_excluding); False keeps the per-candidate
         # membership filter (the E18 ablation baseline)
         self.materialize_deltas = materialize_deltas
+        # Always-on plain-int cache accounting (a += 1 per lookup): the
+        # per-update stats deltas and the metrics registry both read these.
+        self.cache_hits = 0
+        self.cache_misses = 0
         self._plans: dict["Clause", ClausePlan] = {}  # insertion = LRU order
         self._pinned: set["Clause"] = set()
 
     def plan_for(self, clause: "Clause") -> ClausePlan:
         plan = self._plans.get(clause)
         if plan is not None:
+            self.cache_hits += 1
             if clause not in self._pinned:
                 # refresh recency; pinned entries never move (or leave)
                 del self._plans[clause]
@@ -516,6 +640,7 @@ class Planner:
         # is trivial and caching them would let a large fact base
         # churn the cache.
         if clause.body:
+            self.cache_misses += 1
             if len(self._plans) >= self.MAX_PLANS:
                 self._evict_one()
             self._plans[clause] = plan
@@ -569,6 +694,42 @@ class Planner:
 
     def pinned_count(self) -> int:
         return len(self._pinned)
+
+    def explain(self, clause: "Clause", model: "Model") -> str:
+        """Render *clause*'s join plan with estimated vs. observed rows.
+
+        Estimates are priced fresh against the current statistics (same
+        greedy order the next execution would use); observed figures come
+        from the plan's accumulated :attr:`ClausePlan.step_history`, which
+        only fills while telemetry is enabled.
+        """
+        plan = self.plan_for(clause)
+        lines = [f"plan for: {clause}"]
+        if not plan.literals:
+            lines.append("  (no positive body — nothing to join)")
+            return "\n".join(lines)
+        order = plan.order_for(model, None, self.reorder, self.estimator)
+        bound_slots: set[int] = set()
+        for rank, position in enumerate(order, start=1):
+            literal = plan.literals[position]
+            estimated = plan._candidate_estimate(
+                model, literal, bound_slots, self.estimator
+            )
+            history = plan.step_history.get(position)
+            if history and history["probes"]:
+                observed = (
+                    f"observed={history['rows'] / history['probes']:.1f} "
+                    f"rows/probe ({history['probes']} probes, "
+                    f"{history['executions']} executions)"
+                )
+            else:
+                observed = "observed=n/a (no recorded executions)"
+            lines.append(
+                f"  {rank}. {clause.positive_body[position]}  "
+                f"estimated={estimated:.1f}  {observed}"
+            )
+            bound_slots |= literal.slots
+        return "\n".join(lines)
 
 
 DEFAULT_PLANNER = Planner()

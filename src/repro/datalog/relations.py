@@ -38,6 +38,8 @@ from __future__ import annotations
 from collections import Counter
 from typing import Hashable, Iterable, Iterator, Mapping
 
+from ..obs import OBS
+
 Tuple_ = tuple  # ground tuples are plain Python tuples of constants
 
 
@@ -126,6 +128,12 @@ class Relation:
             del self._indexes[columns]
             self._index_hits.pop(columns, None)
             last.pop(columns, None)
+        if stale and OBS.enabled:
+            OBS.metrics.counter(
+                "repro_index_reclaims_total",
+                "Cold composite indexes dropped by epoch reclamation",
+                relation=self.name,
+            ).inc(len(stale))
         if self._indexes:
             self._reclaim_at = (
                 min(last[columns] for columns in self._indexes) + idle + 1
@@ -347,6 +355,12 @@ class Relation:
                 key = tuple(row[column] for column in columns)
                 index.setdefault(key, set()).add(row)
             self._indexes[columns] = index
+            if OBS.enabled:
+                OBS.metrics.counter(
+                    "repro_index_builds_total",
+                    "Composite indexes built lazily on first probe",
+                    relation=self.name,
+                ).inc()
         self._index_hits[columns] = self._index_hits.get(columns, 0) + 1
         self._index_last_probe[columns] = self._epoch
         return index
@@ -355,7 +369,13 @@ class Relation:
         """Rows whose projection onto *columns* equals *key* — one dict
         lookup once the composite index exists. The hot path of the join
         executor; *columns* must be sorted ascending."""
-        return self.index_for(columns).get(key, _EMPTY)
+        bucket = self.index_for(columns).get(key, _EMPTY)
+        if OBS.enabled:
+            OBS.metrics.counter(
+                "repro_index_probes_total", "Composite-index probes",
+                relation=self.name, outcome="hit" if bucket else "miss",
+            ).inc()
+        return bucket
 
     def probe_excluding(
         self, columns: tuple[int, ...], key: tuple, exclude: set[tuple]
@@ -366,6 +386,11 @@ class Relation:
         bucket underneath the caller. The materialized restricted delta
         of the semi-naive loop (experiment E17c/E18)."""
         bucket = self.index_for(columns).get(key)
+        if OBS.enabled:
+            OBS.metrics.counter(
+                "repro_index_probes_total", "Composite-index probes",
+                relation=self.name, outcome="hit" if bucket else "miss",
+            ).inc()
         if not bucket:
             return set()
         return bucket - exclude

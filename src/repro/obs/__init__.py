@@ -1,0 +1,36 @@
+"""Observability: metrics registry, revision tracing, exposition.
+
+See :mod:`repro.obs.runtime` for the process-wide :data:`OBS` switch,
+:mod:`repro.obs.metrics` for instruments and the Prometheus text format,
+and :mod:`repro.obs.trace` for span trees and Chrome trace export.
+"""
+
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_INSTRUMENT,
+    NULL_REGISTRY,
+    NullRegistry,
+)
+from .runtime import OBS, Observability, telemetry
+from .trace import NULL_SPAN, Span, Tracer
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_INSTRUMENT",
+    "NULL_REGISTRY",
+    "NULL_SPAN",
+    "NullRegistry",
+    "OBS",
+    "Observability",
+    "Span",
+    "Tracer",
+    "telemetry",
+]

@@ -1,0 +1,283 @@
+"""Process-wide metrics: counters, gauges and histograms with exposition.
+
+The instruments are deliberately tiny — a counter is one attribute add —
+because they sit on maintenance paths: journal appends, snapshot writes,
+index builds, update accounting. Two usage patterns keep the *disabled*
+cost at one attribute lookup:
+
+* rare events (an index build, a reclamation sweep, a snapshot) guard the
+  whole block with ``if OBS.enabled:`` and fetch instruments through the
+  registry inside the guard;
+* a caller that cannot afford even the registry lookup per event caches
+  the instrument handle once; when telemetry is off the handle is one of
+  the shared null instruments below, whose methods are no-ops.
+
+:meth:`MetricsRegistry.exposition` renders the whole registry in the
+Prometheus text format (``# TYPE`` / ``# HELP`` comments, ``_bucket`` /
+``_sum`` / ``_count`` series per histogram), so a future service front-end
+(ROADMAP item 1) can expose ``/metrics`` by returning the string verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+# Latency-oriented default buckets (seconds): journal fsyncs sit around
+# 1e-4..1e-2, full updates around 1e-4..1, snapshot writes up to ~10.
+DEFAULT_BUCKETS = (
+    0.00001, 0.0001, 0.001, 0.01, 0.1, 1.0, 10.0,
+)
+
+Labels = tuple[tuple[str, str], ...]
+
+
+def _labelize(labels: dict) -> Labels:
+    return tuple(sorted((key, str(value)) for key, value in labels.items()))
+
+
+def _render_labels(labels: Labels) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{key}="{value}"' for key, value in labels)
+    return "{" + inner + "}"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: Labels = ()):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (sizes, cursors, cache fill)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: Labels = ()):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def inc(self, amount=1) -> None:
+        self.value += amount
+
+    def dec(self, amount=1) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """A cumulative-bucket histogram over float observations."""
+
+    __slots__ = ("name", "labels", "buckets", "counts", "sum", "count")
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: Labels = (),
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ):
+        self.name = name
+        self.labels = labels
+        self.buckets = tuple(sorted(buckets))
+        self.counts = [0] * len(self.buckets)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+
+    def bucket_counts(self) -> dict[float, int]:
+        """Cumulative count per upper bound (Prometheus ``le`` semantics)."""
+        return dict(zip(self.buckets, self.counts))
+
+
+class _NullInstrument:
+    """Shared no-op stand-in for any instrument kind.
+
+    Falsy, stateless and method-complete, so a cached handle obtained
+    while telemetry was disabled costs nothing when used.
+    """
+
+    __slots__ = ()
+
+    def __bool__(self) -> bool:
+        return False
+
+    def inc(self, amount=1) -> None:
+        pass
+
+    def dec(self, amount=1) -> None:
+        pass
+
+    def set(self, value) -> None:
+        pass
+
+    def observe(self, value) -> None:
+        pass
+
+
+NULL_INSTRUMENT = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Create-or-get instruments by name (+ optional labels).
+
+    A name is bound to one instrument kind; asking for the same name with
+    a different kind raises, mirroring the Prometheus data model. Distinct
+    label sets under one name are distinct time series sharing the name's
+    kind and help text.
+    """
+
+    def __init__(self):
+        self._instruments: dict[tuple[str, Labels], object] = {}
+        self._kinds: dict[str, str] = {}
+        self._helps: dict[str, str] = {}
+
+    def _get(self, cls, name: str, help: str, labels: dict, **kwargs):
+        kind = self._kinds.get(name)
+        if kind is None:
+            self._kinds[name] = cls.kind
+            if help:
+                self._helps[name] = help
+        elif kind != cls.kind:
+            raise ValueError(
+                f"metric {name!r} is a {kind}, not a {cls.kind}"
+            )
+        key = (name, _labelize(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = cls(name, key[1], **kwargs)
+            self._instruments[key] = instrument
+        return instrument
+
+    def counter(self, name: str, help: str = "", **labels) -> Counter:
+        return self._get(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", **labels) -> Gauge:
+        return self._get(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Optional[Iterable[float]] = None,
+        **labels,
+    ) -> Histogram:
+        kwargs = {} if buckets is None else {"buckets": buckets}
+        return self._get(Histogram, name, help, labels, **kwargs)
+
+    def reset(self) -> None:
+        self._instruments.clear()
+        self._kinds.clear()
+        self._helps.clear()
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def as_dict(self) -> dict:
+        """A JSON-ready dump: name → list of {labels, value(s)} series."""
+        out: dict[str, list] = {}
+        for (name, labels), instrument in sorted(self._instruments.items()):
+            series: dict = {"labels": dict(labels)}
+            if isinstance(instrument, Histogram):
+                series["sum"] = instrument.sum
+                series["count"] = instrument.count
+                series["buckets"] = {
+                    str(bound): count
+                    for bound, count in instrument.bucket_counts().items()
+                }
+            else:
+                series["value"] = instrument.value
+            out.setdefault(name, []).append(series)
+        return out
+
+    def exposition(self) -> str:
+        """The registry in the Prometheus text exposition format."""
+        lines: list[str] = []
+        by_name: dict[str, list] = {}
+        for (name, _labels), instrument in sorted(self._instruments.items()):
+            by_name.setdefault(name, []).append(instrument)
+        for name, instruments in by_name.items():
+            help_text = self._helps.get(name)
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {self._kinds[name]}")
+            for instrument in instruments:
+                rendered = _render_labels(instrument.labels)
+                if isinstance(instrument, Histogram):
+                    cumulative = 0
+                    for bound, count in zip(
+                        instrument.buckets, instrument.counts
+                    ):
+                        cumulative = count
+                        le = _render_labels(
+                            instrument.labels + (("le", repr(bound)),)
+                        )
+                        lines.append(f"{name}_bucket{le} {cumulative}")
+                    le = _render_labels(
+                        instrument.labels + (("le", "+Inf"),)
+                    )
+                    lines.append(f"{name}_bucket{le} {instrument.count}")
+                    lines.append(f"{name}_sum{rendered} {instrument.sum}")
+                    lines.append(
+                        f"{name}_count{rendered} {instrument.count}"
+                    )
+                else:
+                    lines.append(f"{name}{rendered} {instrument.value}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+class NullRegistry:
+    """Registry twin whose instruments are all the shared no-op.
+
+    :data:`~repro.obs.runtime.OBS` swaps this in while telemetry is
+    disabled, so code holding ``OBS.metrics`` pays one attribute lookup
+    plus empty method calls — no dict traffic, no allocation.
+    """
+
+    __slots__ = ()
+
+    def counter(self, name, help="", **labels):
+        return NULL_INSTRUMENT
+
+    def gauge(self, name, help="", **labels):
+        return NULL_INSTRUMENT
+
+    def histogram(self, name, help="", buckets=None, **labels):
+        return NULL_INSTRUMENT
+
+    def reset(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+    def as_dict(self) -> dict:
+        return {}
+
+    def exposition(self) -> str:
+        return ""
+
+
+NULL_REGISTRY = NullRegistry()

@@ -1,0 +1,91 @@
+"""The process-wide observability switchboard.
+
+Everything in ``repro`` that wants telemetry goes through the module
+singleton :data:`OBS`.  The design goal is that *disabled* is the default
+and costs almost nothing: ``OBS.enabled`` is a plain attribute,
+``OBS.span`` returns the shared falsy :data:`~repro.obs.trace.NULL_SPAN`,
+and ``OBS.metrics`` is the :data:`~repro.obs.metrics.NULL_REGISTRY` whose
+instruments are all no-ops.  Hot loops never consult OBS per row — the
+instrumentation points sit at per-update / per-phase / per-round /
+per-plan-execution granularity.
+
+This module imports only the two sibling modules and the stdlib, so any
+layer (store, datalog, core, cli) can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+from .metrics import NULL_REGISTRY, MetricsRegistry
+from .trace import NULL_SPAN, Tracer
+
+
+class Observability:
+    """Holds the metrics registry and tracer behind one enable switch."""
+
+    def __init__(self):
+        self.enabled = False
+        self.metrics = NULL_REGISTRY
+        self.tracer = Tracer()
+        self._registry = None  # kept across disable so counters survive
+
+    def enable(self) -> None:
+        if self._registry is None:
+            self._registry = MetricsRegistry()
+        self.metrics = self._registry
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Stop collecting; recorded metrics and traces stay readable."""
+        self.enabled = False
+        self.metrics = NULL_REGISTRY
+
+    def reset(self) -> None:
+        """Drop all recorded metrics and traces (enable state unchanged)."""
+        if self._registry is not None:
+            self._registry.reset()
+        self.tracer.reset()
+
+    def span(self, name: str):
+        """A live span when enabled, the shared no-op span otherwise."""
+        if not self.enabled:
+            return NULL_SPAN
+        return self.tracer.span(name)
+
+    # ------------------------------------------------------------------
+    # Read-side conveniences (work whether or not collection is on)
+    # ------------------------------------------------------------------
+
+    @property
+    def registry(self):
+        """The real registry, if one was ever enabled (else the null one)."""
+        return self._registry if self._registry is not None else NULL_REGISTRY
+
+    def exposition(self) -> str:
+        return self.registry.exposition()
+
+    def metrics_dict(self) -> dict:
+        return self.registry.as_dict()
+
+
+OBS = Observability()
+
+
+@contextlib.contextmanager
+def telemetry(reset: bool = True):
+    """Enable collection for a block (mainly tests and benchmarks)::
+
+        with telemetry() as obs:
+            engine.insert_fact(fact)
+            trace = obs.tracer.last
+    """
+    if reset:
+        OBS.reset()
+    was_enabled = OBS.enabled
+    OBS.enable()
+    try:
+        yield OBS
+    finally:
+        if not was_enabled:
+            OBS.disable()

@@ -25,9 +25,11 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from pathlib import Path
 from typing import Iterator
 
+from ..obs import OBS
 from .serialize import decode, encode
 
 
@@ -139,10 +141,32 @@ class Journal:
         record = dict(payload)
         record["seq"] = len(self._records) + 1
         line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        started = time.perf_counter() if OBS.enabled else 0.0
         with open(self.path, "a", encoding="utf-8") as handle:
             handle.write(line + "\n")
             handle.flush()
             os.fsync(handle.fileno())
+        if OBS.enabled:
+            elapsed = time.perf_counter() - started
+            metrics = OBS.metrics
+            metrics.counter(
+                "repro_journal_appends_total",
+                "Durable journal appends (write + flush + fsync)",
+            ).inc()
+            metrics.counter(
+                "repro_journal_bytes_total",
+                "Bytes appended to the journal",
+            ).inc(len(line.encode("utf-8")) + 1)
+            metrics.histogram(
+                "repro_journal_append_seconds",
+                "Latency of one durable journal append",
+            ).observe(elapsed)
+            span = OBS.tracer.current
+            if span is not None:
+                span.event(
+                    "journal:append", seq=record["seq"],
+                    bytes=len(line) + 1, seconds=elapsed,
+                )
         self._records.append(record)
         return record["seq"]
 

@@ -26,9 +26,12 @@ import gc
 import json
 import os
 import re
+import time
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Optional
+
+from ..obs import OBS
 
 from .serialize import (
     FORMAT_VERSION,
@@ -86,41 +89,60 @@ def write_snapshot(
     tolerates them.)
     """
     directory = Path(directory)
-    if format_version == 1:
-        legacy = dict(state)
-        legacy["model"] = relation_data_to_facts(state["model"])
-        with _gc_paused():
-            payload = {
-                "format": 1,
-                "seq": seq,
-                "state": encode_tabled(legacy),
+    with OBS.span("snapshot:write") as span:
+        encode_started = time.perf_counter() if OBS.enabled else 0.0
+        if format_version == 1:
+            legacy = dict(state)
+            legacy["model"] = relation_data_to_facts(state["model"])
+            with _gc_paused():
+                payload = {
+                    "format": 1,
+                    "seq": seq,
+                    "state": encode_tabled(legacy),
+                }
+        elif format_version == FORMAT_VERSION:
+            rest = {
+                key: value for key, value in state.items() if key != "model"
             }
-    elif format_version == FORMAT_VERSION:
-        rest = {key: value for key, value in state.items() if key != "model"}
-        with _gc_paused():
-            payload = {
-                "format": FORMAT_VERSION,
-                "seq": seq,
-                "state": encode_compact_tabled(rest),
-                "model": encode_relations(state["model"]),
-            }
-    else:
-        raise SnapshotError(
-            f"cannot write snapshot format {format_version!r}"
-        )
-    target = directory / snapshot_name(seq)
-    tmp = target.with_suffix(".json.tmp")
-    with open(tmp, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, sort_keys=True, separators=(",", ":"))
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(tmp, target)
+            with _gc_paused():
+                payload = {
+                    "format": FORMAT_VERSION,
+                    "seq": seq,
+                    "state": encode_compact_tabled(rest),
+                    "model": encode_relations(state["model"]),
+                }
+        else:
+            raise SnapshotError(
+                f"cannot write snapshot format {format_version!r}"
+            )
+        if OBS.enabled:
+            OBS.metrics.histogram(
+                "repro_snapshot_encode_seconds",
+                "Time to encode an engine state for a snapshot",
+            ).observe(time.perf_counter() - encode_started)
+        target = directory / snapshot_name(seq)
+        tmp = target.with_suffix(".json.tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True, separators=(",", ":"))
+            handle.flush()
+            os.fsync(handle.fileno())
+            if OBS.enabled:
+                size = handle.tell()
+                OBS.metrics.counter(
+                    "repro_snapshot_bytes_total",
+                    "Bytes written by snapshot files",
+                ).inc(size)
+                if span:
+                    span.set("seq", seq)
+                    span.set("bytes", size)
+        os.replace(tmp, target)
     return target
 
 
 def read_snapshot(path) -> tuple[int, dict]:
     """Read a snapshot file; returns ``(seq, state_dict)``."""
     path = Path(path)
+    started = time.perf_counter() if OBS.enabled else 0.0
     try:
         with _gc_paused():
             payload = json.loads(path.read_text(encoding="utf-8"))
@@ -143,6 +165,11 @@ def read_snapshot(path) -> tuple[int, dict]:
         raise SnapshotError(
             f"{path}: unsupported snapshot format {fmt!r}"
         )
+    if OBS.enabled:
+        OBS.metrics.histogram(
+            "repro_snapshot_decode_seconds",
+            "Time to read and decode a snapshot file",
+        ).observe(time.perf_counter() - started)
     return payload["seq"], state
 
 

@@ -28,6 +28,7 @@ from ..core.registry import ENGINE_NAMES, create_engine
 from ..core.metrics import UpdateResult
 from ..datalog.atoms import Atom
 from ..datalog.clauses import Clause
+from ..obs import OBS
 from .journal import Journal, commit_record, describe, update_record
 from .history import materialize, replay
 from .snapshot import snapshot_name, snapshot_positions, write_snapshot
@@ -240,6 +241,11 @@ class Store:
         """Journal an already-applied transaction batch as one revision."""
         self._drop_redo_tail()
         self._revision = self.journal.append(commit_record(updates))
+        if OBS.enabled:
+            OBS.metrics.counter(
+                "repro_txn_commits_total",
+                "Transactions committed as single journal revisions",
+            ).inc()
         self._maybe_autosnapshot()
 
     def _drop_redo_tail(self) -> None:
@@ -310,16 +316,30 @@ class Store:
         if revision == self._revision:
             return self._revision
         if revision > self._revision:
+            if OBS.enabled:
+                OBS.metrics.counter(
+                    "repro_travel_total", "Time-travel operations",
+                    direction="redo",
+                ).inc()
             return self.redo(revision - self._revision)
-        engine, _ = materialize(
-            self.path,
-            self.engine_name,
-            self.journal,
-            revision,
-            engine_kwargs=self.engine_kwargs,
-        )
-        self.engine = engine
-        self._revision = revision
+        with OBS.span("store:travel") as span:
+            if span:
+                span.set("from", self._revision)
+                span.set("to", revision)
+            if OBS.enabled:
+                OBS.metrics.counter(
+                    "repro_travel_total", "Time-travel operations",
+                    direction="undo",
+                ).inc()
+            engine, _ = materialize(
+                self.path,
+                self.engine_name,
+                self.journal,
+                revision,
+                engine_kwargs=self.engine_kwargs,
+            )
+            self.engine = engine
+            self._revision = revision
         return self._revision
 
     # ------------------------------------------------------------------

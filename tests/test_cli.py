@@ -168,6 +168,74 @@ class TestSession:
         assert reloaded.engine.model.contains("labelled", ("café",))
 
 
+class TestTelemetryCommands:
+    @pytest.fixture(autouse=True)
+    def _obs_off(self):
+        from repro.obs import OBS
+
+        OBS.disable()
+        OBS.reset()
+        yield
+        OBS.disable()
+        OBS.reset()
+
+    def test_stats_json(self, console):
+        import json
+
+        console.dispatch("+ accepted(1).")
+        payload = json.loads(console.dispatch("stats json"))
+        assert payload["totals"]["updates"] == 1
+        assert payload["engine"] == "cascade"
+        assert payload["model_size"] == len(console.engine.model)
+
+    def test_log_json(self, console, tmp_path):
+        import json
+
+        console.dispatch(f"open {tmp_path / 'db'}")
+        console.dispatch("+ accepted(1).")
+        records = json.loads(console.dispatch("log json"))
+        assert records[0]["op"] == "insert_fact"
+        assert records[0]["seq"] == 1
+
+    def test_telemetry_toggle(self, console):
+        assert "off" in console.dispatch("telemetry")
+        assert console.dispatch("telemetry on") == "telemetry on"
+        assert "on" in console.dispatch("telemetry")
+        assert console.dispatch("telemetry off") == "telemetry off"
+
+    def test_metrics_and_trace(self, console):
+        import json
+
+        assert "no metrics" in console.dispatch("metrics")
+        assert "no trace" in console.dispatch("trace")
+        console.dispatch("telemetry on")
+        console.dispatch("+ accepted(1).")
+        assert "repro_updates_total" in console.dispatch("metrics")
+        assert "update:insert_fact" in console.dispatch("trace")
+        tree = json.loads(console.dispatch("trace json"))
+        assert tree["name"] == "update:insert_fact"
+        chrome = json.loads(console.dispatch("trace chrome"))
+        assert chrome["traceEvents"][0]["ph"] == "X"
+
+    def test_plan_report(self, console):
+        console.dispatch("+ accepted(1).")
+        output = console.dispatch(
+            "plan rejected(X) :- not accepted(X), submitted(X)."
+        )
+        assert "plan for:" in output
+        assert "estimated=" in output
+
+    def test_main_telemetry_flag(self, tmp_path, capsys):
+        program = tmp_path / "db.dl"
+        program.write_text(PODS)
+        code = main(
+            [str(program), "--telemetry", "-c", "+ accepted(1).",
+             "-c", "metrics"]
+        )
+        assert code == 0
+        assert "repro_updates_total" in capsys.readouterr().out
+
+
 class TestStoreCommands:
     def test_open_commit_log_close(self, console, tmp_path):
         output = console.dispatch(f"open {tmp_path / 'db'}")

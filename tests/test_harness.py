@@ -33,6 +33,16 @@ class TestRunSequence:
 
 
 class TestCompareEngines:
+    def test_transient_column_is_reported(self):
+        runs = compare_engines(
+            pods(l=4, accepted=(2,)),
+            [("insert_fact", fact("accepted", 1))],
+            ["cascade"],
+        )
+        run = runs[0]
+        position = RUN_HEADERS.index("transient")
+        assert run.row()[position] == run.transient
+
     def test_rows_align_with_headers(self):
         runs = compare_engines(
             pods(l=4, accepted=(2,)),

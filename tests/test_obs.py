@@ -1,0 +1,446 @@
+"""Tests for the observability subsystem (repro.obs).
+
+Covers the metrics registry and its Prometheus exposition, span nesting
+and trace export round-trips, the no-op fast path while disabled, the
+per-plan-step estimated-vs-actual instrumentation, and the metric/trace
+hooks in the store layer. A hypothesis property cross-checks the engine
+counters against the recompute oracle's model diffs.
+"""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.registry import create_engine
+from repro.datalog.atoms import fact
+from repro.datalog.parser import parse_clause, parse_program
+from repro.obs import (
+    NULL_REGISTRY,
+    NULL_SPAN,
+    MetricsRegistry,
+    OBS,
+    Span,
+    Tracer,
+    telemetry,
+)
+from repro.workloads.synthetic import SyntheticSpec, generate
+from repro.workloads.updates import random_updates
+
+PODS = """
+submitted(1). submitted(2). submitted(3).
+accepted(2).
+rejected(X) :- not accepted(X), submitted(X).
+"""
+
+
+@pytest.fixture(autouse=True)
+def _obs_off():
+    """Every test starts and ends with telemetry disabled and empty."""
+    OBS.disable()
+    OBS.reset()
+    yield
+    OBS.disable()
+    OBS.reset()
+
+
+class TestMetricsRegistry:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", "help text")
+        counter.inc()
+        counter.inc(4)
+        assert registry.counter("c_total").value == 5
+
+    def test_labels_are_distinct_series(self):
+        registry = MetricsRegistry()
+        registry.counter("hits_total", outcome="hit").inc()
+        registry.counter("hits_total", outcome="miss").inc(2)
+        assert registry.counter("hits_total", outcome="hit").value == 1
+        assert registry.counter("hits_total", outcome="miss").value == 2
+        assert len(registry) == 2
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_gauge_moves_both_ways(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("fill")
+        gauge.set(10)
+        gauge.dec(3)
+        gauge.inc()
+        assert gauge.value == 8
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat_seconds", buckets=(0.01, 0.1, 1.0))
+        for value in (0.005, 0.05, 0.5, 5.0):
+            histogram.observe(value)
+        assert histogram.bucket_counts() == {0.01: 1, 0.1: 2, 1.0: 3}
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(5.555)
+
+    def test_exposition_format(self):
+        registry = MetricsRegistry()
+        registry.counter("ops_total", "Operations", kind="read").inc(3)
+        registry.histogram("lat_seconds", "Latency", buckets=(0.1,)).observe(
+            0.05
+        )
+        text = registry.exposition()
+        assert "# HELP ops_total Operations" in text
+        assert "# TYPE ops_total counter" in text
+        assert 'ops_total{kind="read"} 3' in text
+        assert "# TYPE lat_seconds histogram" in text
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 1' in text
+        assert "lat_seconds_count 1" in text
+
+    def test_as_dict_is_json_ready(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", engine="x").inc(2)
+        registry.histogram("h_seconds", buckets=(1.0,)).observe(0.5)
+        dumped = json.loads(json.dumps(registry.as_dict()))
+        assert dumped["c_total"][0]["value"] == 2
+        assert dumped["h_seconds"][0]["count"] == 1
+
+    def test_null_registry_is_inert(self):
+        assert len(NULL_REGISTRY) == 0
+        instrument = NULL_REGISTRY.counter("anything")
+        instrument.inc()
+        instrument.observe(1.0)
+        assert not instrument
+        assert NULL_REGISTRY.exposition() == ""
+        assert NULL_REGISTRY.as_dict() == {}
+
+
+class TestTracer:
+    def test_nesting_builds_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("child-a"):
+                with tracer.span("leaf"):
+                    pass
+            with tracer.span("child-b"):
+                pass
+        assert tracer.last is root
+        assert [child.name for child in root.children] == [
+            "child-a", "child-b",
+        ]
+        assert root.children[0].children[0].name == "leaf"
+        assert root.duration is not None
+
+    def test_current_tracks_the_open_span(self):
+        tracer = Tracer()
+        assert tracer.current is None
+        with tracer.span("outer") as outer:
+            assert tracer.current is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current is inner
+            assert tracer.current is outer
+        assert tracer.current is None
+
+    def test_exception_closes_and_marks_spans(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("root"):
+                with tracer.span("inner"):
+                    raise RuntimeError("boom")
+        root = tracer.last
+        assert root.name == "root"
+        assert root.attrs["error"] == "RuntimeError"
+        assert root.children[0].duration is not None
+
+    def test_json_round_trip(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            root.set("key", 7)
+            root.event("mark", detail="x")
+            with tracer.span("child"):
+                pass
+        payload = json.loads(json.dumps(tracer.last.to_dict()))
+        restored = Span.from_dict(payload)
+        assert restored.to_dict() == tracer.last.to_dict()
+        assert restored.attrs == {"key": 7}
+        assert restored.events == [{"name": "mark", "detail": "x"}]
+        assert restored.children[0].name == "child"
+
+    def test_chrome_events(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            root.set("n", 1)
+            with tracer.span("child"):
+                pass
+        events = tracer.chrome_events()
+        assert [event["name"] for event in events] == ["root", "child"]
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0.0
+            assert event["dur"] >= 0.0
+        assert events[0]["args"]["n"] == 1
+
+    def test_bounded_history(self):
+        tracer = Tracer(max_traces=2)
+        for index in range(5):
+            with tracer.span(f"t{index}"):
+                pass
+        assert [span.name for span in tracer.traces] == ["t3", "t4"]
+
+    def test_null_span_is_falsy_and_inert(self):
+        with NULL_SPAN as span:
+            assert not span
+            span.set("k", 1)
+            span.event("e")
+
+
+class TestRuntimeSwitch:
+    def test_disabled_span_is_the_null_span(self):
+        assert OBS.span("anything") is NULL_SPAN
+        assert OBS.metrics is NULL_REGISTRY
+
+    def test_enable_swaps_in_real_instruments(self):
+        OBS.enable()
+        assert isinstance(OBS.metrics, MetricsRegistry)
+        with OBS.span("live") as span:
+            assert span
+        assert OBS.tracer.last.name == "live"
+
+    def test_metrics_survive_disable(self):
+        OBS.enable()
+        OBS.metrics.counter("kept_total").inc(3)
+        OBS.disable()
+        assert OBS.metrics is NULL_REGISTRY
+        assert "kept_total 3" in OBS.exposition()
+
+    def test_telemetry_contextmanager_restores_state(self):
+        assert not OBS.enabled
+        with telemetry() as obs:
+            assert obs.enabled
+        assert not OBS.enabled
+
+
+class TestEngineTracing:
+    def test_insert_fact_trace_shape(self):
+        engine = create_engine("cascade", parse_program(PODS))
+        with telemetry():
+            engine.insert_fact(fact("accepted", 1))
+            root = OBS.tracer.last
+        assert root.name == "update:insert_fact"
+        assert root.attrs["subject"] == "accepted(1)"
+        assert root.attrs["removed"] >= 1  # rejected(1) evicted
+        names = set()
+
+        def collect(span):
+            names.add(span.name)
+            for child in span.children:
+                collect(child)
+
+        collect(root)
+        assert "stratum" in names
+        assert any(name.startswith("phase:") for name in names)
+
+    def test_round_spans_carry_delta_sizes(self):
+        program = parse_program(
+            "e(1,2). e(2,3). e(3,4)."
+            " t(X,Y) :- e(X,Y). t(X,Z) :- t(X,Y), e(Y,Z)."
+        )
+        engine = create_engine("cascade", program)
+        with telemetry():
+            engine.insert_fact(fact("e", 4, 5))
+            root = OBS.tracer.last
+
+        rounds = []
+
+        def collect(span):
+            if span.name == "round":
+                rounds.append(span)
+            for child in span.children:
+                collect(child)
+
+        collect(root)
+        assert rounds, "no semi-naive round spans recorded"
+        for span in rounds:
+            assert "delta" in span.attrs and "round" in span.attrs
+
+    def test_update_metrics_recorded(self):
+        engine = create_engine("cascade", parse_program(PODS))
+        with telemetry():
+            engine.insert_fact(fact("accepted", 1))
+            text = OBS.exposition()
+        assert (
+            'repro_updates_total{engine="cascade",operation="insert_fact"} 1'
+            in text
+        )
+        assert "repro_update_seconds_count" in text
+
+    def test_disabled_updates_record_nothing(self):
+        engine = create_engine("cascade", parse_program(PODS))
+        engine.insert_fact(fact("accepted", 1))
+        assert OBS.tracer.last is None
+        assert OBS.exposition() == ""
+
+
+class TestPlanInstrumentation:
+    PROGRAM = """
+    a(1). a(2). a(3).
+    link(1, 10). link(2, 20). link(3, 30). link(4, 40).
+    b(10). b(20).
+    out(X, Y) :- a(X), link(X, Y), b(Y).
+    """
+
+    def test_plan_events_carry_estimated_and_actual(self):
+        engine = create_engine("cascade", parse_program(self.PROGRAM))
+        with telemetry():
+            engine.insert_fact(fact("a", 4))
+            root = OBS.tracer.last
+
+        plan_events = []
+
+        def collect(span):
+            plan_events.extend(
+                event for event in span.events if event["name"] == "plan"
+            )
+            for child in span.children:
+                collect(child)
+
+        collect(root)
+        target = [
+            event for event in plan_events if "out(" in event["clause"]
+        ]
+        assert target, f"no plan event for the join rule in {plan_events}"
+        for event in target:
+            for step in event["steps"]:
+                assert "estimated" in step
+                assert "rows" in step
+                assert step["rows"] >= 0
+
+    def test_step_history_feeds_explain(self):
+        engine = create_engine("cascade", parse_program(self.PROGRAM))
+        clause = parse_clause("out(X, Y) :- a(X), link(X, Y), b(Y).")
+        with telemetry():
+            engine.insert_fact(fact("a", 4))
+        report = engine.planner.explain(clause, engine.model)
+        assert "plan for:" in report
+        assert "estimated=" in report
+        assert "observed=" in report
+        # every positive body literal appears as a ranked step
+        for text in ("a(X)", "link(X, Y)", "b(Y)"):
+            assert text in report
+
+    def test_explain_without_history(self):
+        engine = create_engine("cascade", parse_program(self.PROGRAM))
+        clause = parse_clause("out(X, Y) :- a(X), link(X, Y), b(Y).")
+        report = engine.planner.explain(clause, engine.model)
+        assert "no recorded executions" in report
+
+    def test_probe_counters(self):
+        engine = create_engine("cascade", parse_program(self.PROGRAM))
+        with telemetry():
+            engine.insert_fact(fact("a", 4))
+            values = {
+                key: series
+                for key, series in OBS.metrics_dict().items()
+                if key.startswith("repro_index_probes_total")
+            }
+        assert values, "no index probe counters recorded"
+        total = sum(
+            series["value"]
+            for entries in values.values()
+            for series in entries
+        )
+        assert total > 0
+
+
+class TestStoreTelemetry:
+    def test_journal_append_metrics(self, tmp_path):
+        from repro.store import open_store
+
+        with telemetry():
+            store = open_store(
+                tmp_path / "db", program=PODS, engine="cascade"
+            )
+            store.insert_fact(fact("accepted", 1))
+            metrics = OBS.metrics_dict()
+        # The write-ahead append runs before the engine opens its update
+        # span, so only the metrics record it (no trace event to look for).
+        assert metrics["repro_journal_appends_total"][0]["value"] == 1
+        assert metrics["repro_journal_bytes_total"][0]["value"] > 0
+        assert metrics["repro_journal_append_seconds"][0]["count"] == 1
+
+    def test_snapshot_metrics(self, tmp_path):
+        from repro.store import open_store
+        from repro.store.snapshot import read_snapshot
+
+        with telemetry():
+            store = open_store(
+                tmp_path / "db", program=PODS, engine="cascade"
+            )
+            store.insert_fact(fact("accepted", 1))
+            path = store.snapshot()
+            read_snapshot(path)
+            metrics = OBS.metrics_dict()
+        assert metrics["repro_snapshot_bytes_total"][0]["value"] > 0
+        assert metrics["repro_snapshot_encode_seconds"][0]["count"] >= 1
+        assert metrics["repro_snapshot_decode_seconds"][0]["count"] >= 1
+
+
+SMALL = SyntheticSpec(
+    levels=2,
+    relations_per_level=2,
+    rules_per_relation=2,
+    edb_relations=2,
+    edb_facts_per_relation=4,
+    domain_size=4,
+)
+
+
+class TestCountersMatchOracle:
+    """The added/removed/migrated counters must agree with the model
+    diffs the recompute oracle observes across any update sequence."""
+
+    @given(
+        seed=st.integers(0, 10_000),
+        n_updates=st.integers(min_value=1, max_value=5),
+    )
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_cascade_counters_track_model_diffs(self, seed, n_updates):
+        syn = generate(seed, SMALL)
+        updates = random_updates(
+            syn.program, syn.edb_relations, syn.arities, syn.domain,
+            count=n_updates, seed=seed,
+        )
+        engine = create_engine("cascade", syn.program)
+        expected_removed = expected_added = 0
+        OBS.reset()
+        with telemetry(reset=False):
+            for operation, subject in updates:
+                before = engine.model.as_set()
+                result = engine.apply(operation, subject)
+                after = engine.model.as_set()
+                # the result sets are exactly the oracle's diff plus the
+                # migrated facts (removed and re-added within the update)
+                assert result.removed - result.migrated == before - after
+                assert result.added - result.migrated == after - before
+                expected_removed += len(result.removed)
+                expected_added += len(result.added)
+            registry = OBS.metrics
+            removed = registry.counter(
+                "repro_facts_removed_total", engine="cascade"
+            ).value
+            added = registry.counter(
+                "repro_facts_added_total", engine="cascade"
+            ).value
+            update_count = registry.counter(
+                "repro_updates_total", engine="cascade",
+                operation=updates[0][0],
+            ).value
+        assert removed == expected_removed
+        assert added == expected_added
+        assert update_count >= 1

@@ -1,0 +1,72 @@
+"""Every engine reports the same UpdateResult.stats keys.
+
+The dashboards, the bench harness and the totals aggregation all read
+``result.stats`` by key; an engine that forgets one silently reports
+zeros. ``STANDARD_STAT_KEYS`` is the contract and this module enforces
+it across every registered engine and operation.
+"""
+
+import pytest
+
+from repro.core.metrics import STANDARD_STAT_KEYS
+from repro.core.registry import ENGINE_NAMES, create_engine
+from repro.datalog.atoms import fact
+from repro.datalog.parser import parse_clause, parse_program
+
+PODS = """
+submitted(1). submitted(2). submitted(3).
+accepted(2).
+rejected(X) :- not accepted(X), submitted(X).
+"""
+
+
+def _engine(name):
+    return create_engine(name, parse_program(PODS))
+
+
+@pytest.mark.parametrize("name", ENGINE_NAMES)
+class TestStandardKeys:
+    def test_insert_fact(self, name):
+        result = _engine(name).insert_fact(fact("accepted", 1))
+        assert set(result.stats) == set(STANDARD_STAT_KEYS)
+
+    def test_delete_fact(self, name):
+        result = _engine(name).delete_fact(fact("accepted", 2))
+        assert set(result.stats) == set(STANDARD_STAT_KEYS)
+
+    def test_insert_rule(self, name):
+        clause = parse_clause(
+            "pending(X) :- submitted(X), not accepted(X)."
+        )
+        result = _engine(name).insert_rule(clause)
+        assert set(result.stats) == set(STANDARD_STAT_KEYS)
+
+    def test_delete_rule(self, name):
+        clause = parse_clause(
+            "rejected(X) :- not accepted(X), submitted(X)."
+        )
+        result = _engine(name).delete_rule(clause)
+        assert set(result.stats) == set(STANDARD_STAT_KEYS)
+
+    def test_apply_batch(self, name):
+        result = _engine(name).apply_batch(
+            [
+                ("insert_fact", fact("accepted", 1)),
+                ("delete_fact", fact("accepted", 2)),
+            ]
+        )
+        assert set(result.stats) == set(STANDARD_STAT_KEYS)
+
+    def test_noop_update(self, name):
+        result = _engine(name).insert_fact(fact("accepted", 2))
+        assert set(result.stats) == set(STANDARD_STAT_KEYS)
+        assert result.stats["noop"]
+
+    def test_totals_include_standard_sums(self, name):
+        engine = _engine(name)
+        engine.insert_fact(fact("accepted", 1))
+        engine.delete_fact(fact("accepted", 1))
+        totals = engine.totals.as_dict()
+        for key in ("derivations_fired", "transient", "plan_cache_hits",
+                    "plan_cache_misses"):
+            assert key in totals
