@@ -12,7 +12,6 @@ import time
 
 from repro.bench.reporting import print_table
 from repro.core.registry import create_engine
-from repro.datalog.atoms import fact
 from repro.workloads.families import review_pipeline
 from repro.workloads.updates import asserted_facts, flip_sequence
 

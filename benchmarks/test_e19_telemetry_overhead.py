@@ -30,12 +30,12 @@ import json
 import time
 
 from repro.bench.reporting import print_table
+from repro.core.registry import create_engine
 from repro.datalog.atoms import Atom, fact
 from repro.datalog.builder import ProgramBuilder
 from repro.datalog.evaluation import semi_naive_saturate
 from repro.datalog.model import Model
 from repro.datalog.plan import Planner
-from repro.core.registry import create_engine
 from repro.obs import OBS, telemetry
 
 TRIPLE_ROWS = 20_000

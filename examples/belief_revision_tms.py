@@ -11,7 +11,7 @@ Run:  python examples/belief_revision_tms.py
 """
 
 from repro import FactLevelEngine, compute_model, parse_fact
-from repro.tms import absent, standard_model_via_jtms, to_atms, to_jtms
+from repro.tms import absent, to_atms, to_jtms
 from repro.workloads.paper import meet
 
 

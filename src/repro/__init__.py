@@ -60,14 +60,6 @@ from .core import (
     explain,
     explain_absence,
 )
-from .store import (
-    Journal,
-    Store,
-    StoreError,
-    Transaction,
-    TransactionAbort,
-    open_store,
-)
 from .datalog import (
     Atom,
     Backchainer,
@@ -96,6 +88,14 @@ from .datalog import (
     rule,
     stratify,
     variables,
+)
+from .store import (
+    Journal,
+    Store,
+    StoreError,
+    Transaction,
+    TransactionAbort,
+    open_store,
 )
 
 __version__ = "1.1.0"

@@ -1,0 +1,63 @@
+"""Static analysis of Datalog programs.
+
+A linter and independence analyzer over the stratified substrate: where
+the admission rules of :class:`~repro.datalog.database.StratifiedDatabase`
+*reject* a bad update with an exception, this package *explains* a program
+— every check emits structured :class:`Diagnostic` records with stable
+``DLnnn`` codes, severities, source positions and fix hints, and the
+non-stratifiability error comes with an explicit negative-cycle witness
+path. The :class:`IndependenceReport` adds the revision-commutation view
+of the dependency graph that the future concurrent revision service
+shards by.
+
+Entry points:
+
+* :func:`analyze_program` — lint a :class:`~repro.datalog.clauses.Program`,
+  clause list, or source text;
+* :func:`analyze_source` — same, honouring ``% repro: allow DLnnn`` pragmas;
+* :func:`independence_report` — pairwise update commutation and sharding;
+* ``repro check [--json] [--workloads] FILE...`` — the CLI face.
+"""
+
+from .checks import (
+    ALL_CHECKS,
+    analyze_program,
+    analyze_source,
+    check_arities,
+    check_clause,
+    check_cross_products,
+    check_duplicates,
+    check_safety,
+    check_singletons,
+    check_stratification,
+    check_subsumed,
+    check_undefined,
+    check_unused,
+    source_pragmas,
+)
+from .diagnostics import CODES, CodeInfo, Diagnostic, Report, Severity
+from .independence import IndependenceReport, independence_report
+
+__all__ = [
+    "ALL_CHECKS",
+    "CODES",
+    "CodeInfo",
+    "Diagnostic",
+    "IndependenceReport",
+    "Report",
+    "Severity",
+    "analyze_program",
+    "analyze_source",
+    "check_arities",
+    "check_clause",
+    "check_cross_products",
+    "check_duplicates",
+    "check_safety",
+    "check_singletons",
+    "check_stratification",
+    "check_subsumed",
+    "check_undefined",
+    "check_unused",
+    "independence_report",
+    "source_pragmas",
+]

@@ -1,0 +1,559 @@
+"""The static checks: one function per diagnostic code family.
+
+Every check is a pure function from a clause sequence (plus, where needed,
+the dependency graph) to a list of :class:`~.diagnostics.Diagnostic`
+records. :func:`analyze_program` composes them; :func:`analyze_source`
+adds parsing (a parse failure becomes a ``DL000`` diagnostic instead of an
+exception) and honours ``% repro: allow DLnnn`` suppression pragmas in the
+source text, so a program can declare its expected findings.
+
+The checks work on *clause lists*, not :class:`~repro.datalog.clauses.Program`
+objects: ``Program.add`` enforces safety by raising, while the analyzer
+must keep going and report every flaw of a defective program at once.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Sequence, Union
+
+from ..datalog.atoms import Atom, Literal
+from ..datalog.clauses import Clause, Program
+from ..datalog.dependency import DependencyGraph, format_witness
+from ..datalog.errors import ParseError
+from ..datalog.parser import parse_clauses
+from ..datalog.stratify import _locate_negative_arc
+from ..datalog.terms import Variable
+from .diagnostics import Diagnostic, Report, make
+
+ProgramLike = Union[Program, str, Iterable[Clause]]
+
+_ALLOW_PRAGMA = re.compile(
+    r"[%#]\s*repro:\s*allow\s+(DL\d{3}(?:\s*,\s*DL\d{3})*)"
+)
+
+
+def _as_clauses(program: ProgramLike) -> tuple[Clause, ...]:
+    if isinstance(program, str):
+        return tuple(parse_clauses(program))
+    return tuple(program)
+
+
+# ---------------------------------------------------------------------------
+# DL001 — safety / range restriction
+# ---------------------------------------------------------------------------
+
+
+def check_safety(clauses: Sequence[Clause]) -> list[Diagnostic]:
+    """DL001 for every clause violating the range restriction."""
+    findings: list[Diagnostic] = []
+    for clause in clauses:
+        head_unbound, negative_unbound = clause.unsafe_variables()
+        if head_unbound:
+            names = ", ".join(var.name for var in head_unbound)
+            findings.append(
+                make(
+                    "DL001",
+                    f"head variable(s) {names} do not occur in a positive "
+                    "body literal",
+                    line=clause.line,
+                    column=clause.column,
+                    clause=clause,
+                    hint="bind the variable(s) with a positive body literal",
+                )
+            )
+        for lit, unbound in negative_unbound:
+            names = ", ".join(var.name for var in unbound)
+            findings.append(
+                make(
+                    "DL001",
+                    f"variable(s) {names} of negative literal {lit} do not "
+                    "occur in a positive body literal",
+                    line=lit.line or clause.line,
+                    column=lit.column or clause.column,
+                    clause=clause,
+                    hint="bind the variable(s) with a positive body literal",
+                )
+            )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# DL002 — stratifiability, with a negative-cycle witness
+# ---------------------------------------------------------------------------
+
+
+def check_stratification(
+    clauses: Sequence[Clause], graph: DependencyGraph | None = None
+) -> list[Diagnostic]:
+    """DL002 with a witness cycle when the program is not stratifiable."""
+    graph = graph if graph is not None else DependencyGraph(clauses)
+    witness = graph.negative_cycle_witness()
+    if not witness:
+        return []
+    offending = witness[0]
+    line, column = _locate_negative_arc(clauses, offending)
+    return [
+        make(
+            "DL002",
+            f"recursion through negation: negative arc {offending.source} "
+            f"-> {offending.target} lies on the cycle "
+            f"{format_witness(witness)}",
+            line=line,
+            column=column,
+            hint="break the cycle so no negative reference closes a loop",
+        )
+    ]
+
+
+# ---------------------------------------------------------------------------
+# DL003 — arity consistency
+# ---------------------------------------------------------------------------
+
+
+def check_arities(clauses: Sequence[Clause]) -> list[Diagnostic]:
+    """DL003 where a relation's arity differs from its first occurrence."""
+    findings: list[Diagnostic] = []
+    seen: dict[str, tuple[int, int, int]] = {}  # relation -> arity, line, col
+    for clause in clauses:
+        atoms = [clause.head] + [lit.atom for lit in clause.body]
+        for atom in atoms:
+            known = seen.get(atom.relation)
+            if known is None:
+                seen[atom.relation] = (atom.arity, atom.line, atom.column)
+                continue
+            arity, first_line, _first_col = known
+            if atom.arity != arity:
+                where = f" (line {first_line})" if first_line else ""
+                findings.append(
+                    make(
+                        "DL003",
+                        f"{atom.relation} used with arity {atom.arity} but "
+                        f"first used with arity {arity}{where}",
+                        line=atom.line or clause.line,
+                        column=atom.column or clause.column,
+                        clause=clause,
+                        hint="give every use of the relation the same arity",
+                    )
+                )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# DL004 / DL005 — references to undefined relations
+# ---------------------------------------------------------------------------
+
+
+def check_undefined(clauses: Sequence[Clause]) -> list[Diagnostic]:
+    """DL004 (positive) / DL005 (negated) references to undefined relations.
+
+    A relation is *defined* when at least one clause concludes it — a rule
+    or an asserted fact. A positive literal over an undefined relation makes
+    its rule dead; a negated one is vacuously true and silently widens the
+    rule, the classic misspelling bug.
+    """
+    defined = {clause.head.relation for clause in clauses}
+    findings: list[Diagnostic] = []
+    for clause in clauses:
+        for lit in clause.body:
+            if lit.relation in defined:
+                continue
+            if lit.positive:
+                findings.append(
+                    make(
+                        "DL004",
+                        f"relation {lit.relation} is never asserted or "
+                        "concluded: this rule can never fire",
+                        line=lit.line or clause.line,
+                        column=lit.column or clause.column,
+                        clause=clause,
+                        hint="assert facts for it, define it with a rule, "
+                        "or fix the spelling",
+                    )
+                )
+            else:
+                findings.append(
+                    make(
+                        "DL005",
+                        f"negated relation {lit.relation} is never asserted "
+                        "or concluded: the literal is vacuously true",
+                        line=lit.line or clause.line,
+                        column=lit.column or clause.column,
+                        clause=clause,
+                        hint="a misspelled name here silently widens the "
+                        "rule; check the spelling",
+                    )
+                )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# DL006 — unused relations
+# ---------------------------------------------------------------------------
+
+
+def check_unused(clauses: Sequence[Clause]) -> list[Diagnostic]:
+    """DL006 for relations concluded but never referenced by any body.
+
+    Info severity: a maintained database's *outputs* are exactly such
+    relations, so this is a map of the program's surface, not a defect.
+    """
+    referenced = {
+        lit.relation for clause in clauses for lit in clause.body
+    }
+    findings: list[Diagnostic] = []
+    reported: set[str] = set()
+    for clause in clauses:
+        relation = clause.head.relation
+        if relation in referenced or relation in reported:
+            continue
+        reported.add(relation)
+        findings.append(
+            make(
+                "DL006",
+                f"relation {relation} is concluded but never referenced by "
+                "a rule body (an output, or dead code)",
+                line=clause.line,
+                column=clause.column,
+                clause=clause,
+            )
+        )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# DL007 — singleton variables
+# ---------------------------------------------------------------------------
+
+
+def check_singletons(clauses: Sequence[Clause]) -> list[Diagnostic]:
+    """DL007 for variables occurring exactly once in their clause.
+
+    Variables named with a leading underscore declare the don't-care
+    intent and are exempt, Prolog-style.
+    """
+    findings: list[Diagnostic] = []
+    for clause in clauses:
+        counts: dict[Variable, int] = {}
+        for var in clause.head.variables():
+            counts[var] = counts.get(var, 0) + 1
+        for lit in clause.body:
+            for var in lit.variables():
+                counts[var] = counts.get(var, 0) + 1
+        singles = sorted(
+            (
+                var.name
+                for var, count in counts.items()
+                if count == 1 and not var.name.startswith("_")
+            ),
+        )
+        if singles:
+            names = ", ".join(singles)
+            findings.append(
+                make(
+                    "DL007",
+                    f"singleton variable(s) {names}: each occurs only once "
+                    "in the clause (likely a typo)",
+                    line=clause.line,
+                    column=clause.column,
+                    clause=clause,
+                    hint="rename to _-prefixed if intentional, or fix the "
+                    "join variable",
+                )
+            )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# DL008 / DL009 — duplicate and subsumed rules
+# ---------------------------------------------------------------------------
+
+
+def _canonical(clause: Clause) -> tuple:
+    """A renaming-invariant structural key for a clause."""
+    mapping: dict[Variable, int] = {}
+
+    def key(atom: Atom) -> tuple:
+        args = []
+        for term in atom.args:
+            if isinstance(term, Variable):
+                if term not in mapping:
+                    mapping[term] = len(mapping)
+                args.append(("var", mapping[term]))
+            else:
+                args.append(("const", term))
+        return (atom.relation, tuple(args))
+
+    head = key(clause.head)
+    body = tuple((lit.positive, key(lit.atom)) for lit in clause.body)
+    return (head, body)
+
+
+def _match_args(
+    general: tuple, specific: tuple, theta: dict[Variable, object]
+) -> dict[Variable, object] | None:
+    """Extend *theta* so the general args map onto the specific args."""
+    if len(general) != len(specific):
+        return None
+    theta = dict(theta)
+    for g, s in zip(general, specific):
+        if isinstance(g, Variable):
+            if g in theta:
+                if theta[g] != s:
+                    return None
+            else:
+                theta[g] = s
+        elif isinstance(s, Variable) or g != s:
+            return None
+    return theta
+
+
+def _cover(
+    body: tuple[Literal, ...],
+    specific: tuple[Literal, ...],
+    theta: dict[Variable, object],
+) -> bool:
+    """Can every literal of *body* be mapped into *specific* under theta?"""
+    if not body:
+        return True
+    lit, rest = body[0], body[1:]
+    for candidate in specific:
+        if candidate.positive != lit.positive:
+            continue
+        if candidate.relation != lit.relation:
+            continue
+        extended = _match_args(lit.args, candidate.args, theta)
+        if extended is not None and _cover(rest, specific, extended):
+            return True
+    return False
+
+
+def _subsumes(general: Clause, specific: Clause) -> bool:
+    """True when *general* theta-subsumes *specific*.
+
+    There is a substitution theta with ``theta(general.head) ==
+    specific.head`` and ``theta(general.body) ⊆ specific.body`` — every
+    instance the specific rule derives, the general one derives too.
+    """
+    theta = _match_args(general.head.args, specific.head.args, {})
+    if theta is None:
+        return False
+    return _cover(general.body, specific.body, theta)
+
+
+def check_duplicates(clauses: Sequence[Clause]) -> list[Diagnostic]:
+    """DL008 for rules equal up to a consistent renaming of variables."""
+    findings: list[Diagnostic] = []
+    first_of: dict[tuple, Clause] = {}
+    for clause in clauses:
+        if not clause.body:
+            continue
+        key = _canonical(clause)
+        original = first_of.get(key)
+        if original is None:
+            first_of[key] = clause
+            continue
+        origin = f" (line {original.line})" if original.line else ""
+        findings.append(
+            make(
+                "DL008",
+                f"rule duplicates {original}{origin} up to variable renaming",
+                line=clause.line,
+                column=clause.column,
+                clause=clause,
+                hint="delete one of the two rules",
+            )
+        )
+    return findings
+
+
+def check_subsumed(clauses: Sequence[Clause]) -> list[Diagnostic]:
+    """DL009 for rules strictly subsumed by a more general rule."""
+    rules = [clause for clause in clauses if clause.body]
+    by_relation: dict[str, list[Clause]] = {}
+    for clause in rules:
+        by_relation.setdefault(clause.head.relation, []).append(clause)
+    findings: list[Diagnostic] = []
+    for group in by_relation.values():
+        for specific in group:
+            for general in group:
+                if general is specific:
+                    continue
+                if _canonical(general) == _canonical(specific):
+                    continue  # exact duplicate: DL008's territory
+                if _subsumes(general, specific):
+                    origin = f" (line {general.line})" if general.line else ""
+                    findings.append(
+                        make(
+                            "DL009",
+                            "rule is subsumed by the more general "
+                            f"{general}{origin}",
+                            line=specific.line,
+                            column=specific.column,
+                            clause=specific,
+                            hint="the more general rule already derives "
+                            "every instance; delete this one",
+                        )
+                    )
+                    break  # one subsumer per rule is enough
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# DL010 — cross-product joins
+# ---------------------------------------------------------------------------
+
+
+def check_cross_products(clauses: Sequence[Clause]) -> list[Diagnostic]:
+    """DL010 when the positive body splits into variable-disjoint groups.
+
+    Ground positive literals are pure membership tests and join nothing, so
+    they are left out of the grouping; negative literals are filters
+    evaluated after binding and cannot cause a cross product.
+    """
+    findings: list[Diagnostic] = []
+    for clause in clauses:
+        literals = [
+            lit
+            for lit in clause.body
+            if lit.positive and any(True for _ in lit.variables())
+        ]
+        if len(literals) < 2:
+            continue
+        # Union-find over literal indexes, merged through shared variables.
+        parent = list(range(len(literals)))
+
+        def find(i: int) -> int:
+            while parent[i] != i:
+                parent[i] = parent[parent[i]]
+                i = parent[i]
+            return i
+
+        owner: dict[Variable, int] = {}
+        for i, lit in enumerate(literals):
+            for var in lit.variables():
+                if var in owner:
+                    parent[find(i)] = find(owner[var])
+                else:
+                    owner[var] = i
+        groups: dict[int, list[Literal]] = {}
+        for i, lit in enumerate(literals):
+            groups.setdefault(find(i), []).append(lit)
+        if len(groups) < 2:
+            continue
+        rendered = " x ".join(
+            "{" + ", ".join(str(lit) for lit in group) + "}"
+            for group in groups.values()
+        )
+        findings.append(
+            make(
+                "DL010",
+                f"positive body literals form a cross product: {rendered}",
+                line=clause.line,
+                column=clause.column,
+                clause=clause,
+                hint="connect the groups through a shared variable or "
+                "split the rule",
+            )
+        )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Composition
+# ---------------------------------------------------------------------------
+
+ALL_CHECKS = (
+    check_safety,
+    check_arities,
+    check_undefined,
+    check_unused,
+    check_singletons,
+    check_duplicates,
+    check_subsumed,
+    check_cross_products,
+)
+
+
+def check_clause(
+    clause: Clause, clauses: Sequence[Clause] | None = None
+) -> list[Diagnostic]:
+    """The clause-local findings for one clause (DL001/DL007/DL010 —
+    plus DL004/DL005 when the surrounding program is supplied)."""
+    findings = (
+        check_safety([clause])
+        + check_singletons([clause])
+        + check_cross_products([clause])
+    )
+    if clauses is not None:
+        context = list(clauses)
+        if clause not in context:
+            context.append(clause)
+        findings += [
+            finding
+            for finding in check_undefined(context)
+            if finding.clause == str(clause)
+        ]
+    return findings
+
+
+def analyze_program(
+    program: ProgramLike,
+    *,
+    ignore: Iterable[str] = (),
+    graph: DependencyGraph | None = None,
+) -> Report:
+    """Run every check over *program* and collect a :class:`Report`.
+
+    *program* may be a :class:`~repro.datalog.clauses.Program`, a clause
+    iterable, or source text (parsed without admission checks, so unsafe
+    and unstratifiable programs are reported rather than rejected).
+    ``ignore`` suppresses the given codes; ``graph`` reuses an existing
+    dependency graph (e.g. the one a live database maintains).
+    """
+    try:
+        clauses = _as_clauses(program)
+    except ParseError as error:
+        return Report(
+            [
+                make(
+                    "DL000",
+                    str(error),
+                    line=error.line,
+                    column=error.column,
+                )
+            ]
+        )
+    findings: list[Diagnostic] = []
+    for check in ALL_CHECKS:
+        findings.extend(check(clauses))
+    findings.extend(check_stratification(clauses, graph))
+    ignored = frozenset(ignore)
+    if ignored:
+        findings = [f for f in findings if f.code not in ignored]
+    return Report(findings)
+
+
+def source_pragmas(text: str) -> frozenset[str]:
+    """The codes suppressed by ``% repro: allow DLnnn`` pragmas in *text*."""
+    allowed: set[str] = set()
+    for match in _ALLOW_PRAGMA.finditer(text):
+        for code in match.group(1).split(","):
+            allowed.add(code.strip())
+    return frozenset(allowed)
+
+
+def analyze_source(text: str, *, ignore: Iterable[str] = ()) -> Report:
+    """Analyze program *text*, honouring its ``allow`` pragmas.
+
+    A program can declare expected findings inline::
+
+        % repro: allow DL007, DL010
+        pair(X, Y) :- left(X), right(Y).
+
+    and the corresponding diagnostics are suppressed, the idiom the CI
+    self-lint uses to keep intentional patterns warning-clean.
+    """
+    return analyze_program(
+        text, ignore=frozenset(ignore) | source_pragmas(text)
+    )

@@ -1,0 +1,276 @@
+"""Structured diagnostics: stable codes, severities, reports.
+
+Every condition the static analyzer can detect has a stable ``DLnnn`` code
+(codes are append-only: a code is never reused for a different condition,
+so scripts and expected-code annotations keep working across versions).
+A :class:`Diagnostic` is one finding — code, severity, message, 1-based
+source position when the program came from text, the rendered clause, and
+a fix hint. A :class:`Report` is the ordered collection of findings for one
+program with the lint-style aggregate views (errors / warnings / clean) the
+CLI ``check`` verb builds its exit code from.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; ordered for sorting (errors first)."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class CodeInfo:
+    """The registry entry of one diagnostic code."""
+
+    code: str
+    severity: Severity
+    title: str
+    explanation: str
+
+
+CODES: Mapping[str, CodeInfo] = {
+    info.code: info
+    for info in (
+        CodeInfo(
+            "DL000",
+            Severity.ERROR,
+            "parse error",
+            "The program text could not be parsed; nothing beyond the "
+            "offending token was analyzed.",
+        ),
+        CodeInfo(
+            "DL001",
+            Severity.ERROR,
+            "unsafe clause (range restriction)",
+            "A variable of the head or of a negative body literal does not "
+            "occur in any positive body literal, so the clause has no "
+            "finite active-domain meaning.",
+        ),
+        CodeInfo(
+            "DL002",
+            Severity.ERROR,
+            "recursion through negation",
+            "The dependency graph contains a cycle through a negative arc; "
+            "the program is not stratifiable and has no standard model. "
+            "The diagnostic message shows a witness cycle.",
+        ),
+        CodeInfo(
+            "DL003",
+            Severity.ERROR,
+            "arity mismatch",
+            "A relation is used with two different arities; the evaluator "
+            "would reject the program at run time.",
+        ),
+        CodeInfo(
+            "DL004",
+            Severity.WARNING,
+            "undefined relation in positive literal",
+            "A positive body literal references a relation that no clause "
+            "concludes and no fact asserts: the body can never be "
+            "satisfied, so the rule is dead until such facts arrive.",
+        ),
+        CodeInfo(
+            "DL005",
+            Severity.WARNING,
+            "negated undefined relation",
+            "A negative body literal references a relation that is never "
+            "concluded or asserted: the negation is vacuously true. A "
+            "misspelled relation name here silently widens the rule — the "
+            "classic silent-bug class this analyzer exists for.",
+        ),
+        CodeInfo(
+            "DL006",
+            Severity.INFO,
+            "unused relation",
+            "A relation is concluded by clauses but never referenced by "
+            "any rule body; it is an output (or dead code).",
+        ),
+        CodeInfo(
+            "DL007",
+            Severity.WARNING,
+            "singleton variable",
+            "A variable occurs exactly once in the clause. A singleton "
+            "joins nothing and is usually a typo; name it with a leading "
+            "underscore to state the don't-care intent.",
+        ),
+        CodeInfo(
+            "DL008",
+            Severity.WARNING,
+            "duplicate rule",
+            "Two rules are identical up to a consistent renaming of "
+            "variables; the later one adds nothing to the model.",
+        ),
+        CodeInfo(
+            "DL009",
+            Severity.WARNING,
+            "subsumed rule",
+            "A rule's instances are all produced by a more general rule "
+            "(its head matches under a substitution that maps the general "
+            "body into the specific one); the specific rule is redundant.",
+        ),
+        CodeInfo(
+            "DL010",
+            Severity.WARNING,
+            "cross-product join",
+            "The positive body literals fall into two or more groups that "
+            "share no variables, so evaluating the rule multiplies the "
+            "groups' candidate sets — a planner performance hazard.",
+        ),
+    )
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding.
+
+    ``line``/``column`` are 1-based and 0 when the program was built
+    programmatically. ``clause`` is the rendered source form of the clause
+    the finding anchors to (None for program-level findings). ``hint`` is a
+    human fix suggestion.
+    """
+
+    code: str
+    message: str
+    severity: Severity = field(compare=False, default=Severity.WARNING)
+    line: int = 0
+    column: int = 0
+    clause: str | None = None
+    hint: str | None = None
+
+    @property
+    def title(self) -> str:
+        return CODES[self.code].title
+
+    def render(self, path: str | None = None) -> str:
+        """One ``path:line:col: severity DLnnn: message`` line (+ hint)."""
+        location = path or "<program>"
+        if self.line:
+            location += f":{self.line}:{self.column}"
+        text = f"{location}: {self.severity} {self.code}: {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data["severity"] = str(self.severity)
+        return data
+
+
+def make(
+    code: str,
+    message: str,
+    *,
+    line: int = 0,
+    column: int = 0,
+    clause: object | None = None,
+    hint: str | None = None,
+) -> Diagnostic:
+    """Build a :class:`Diagnostic` with the registered severity of *code*."""
+    return Diagnostic(
+        code=code,
+        message=message,
+        severity=CODES[code].severity,
+        line=line,
+        column=column,
+        clause=None if clause is None else str(clause),
+        hint=hint,
+    )
+
+
+class Report:
+    """The findings of one analyzer run, sorted and queryable."""
+
+    def __init__(self, diagnostics: Iterable[Diagnostic] = ()) -> None:
+        self.diagnostics: tuple[Diagnostic, ...] = tuple(
+            sorted(
+                diagnostics,
+                key=lambda d: (d.severity.rank, d.line, d.column, d.code),
+            )
+        )
+
+    # aggregate views --------------------------------------------------
+
+    @property
+    def errors(self) -> tuple[Diagnostic, ...]:
+        return self._of(Severity.ERROR)
+
+    @property
+    def warnings(self) -> tuple[Diagnostic, ...]:
+        return self._of(Severity.WARNING)
+
+    @property
+    def infos(self) -> tuple[Diagnostic, ...]:
+        return self._of(Severity.INFO)
+
+    def _of(self, severity: Severity) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity is severity)
+
+    @property
+    def ok(self) -> bool:
+        """No errors (warnings and infos allowed)."""
+        return not self.errors
+
+    @property
+    def clean(self) -> bool:
+        """No errors and no warnings (infos allowed)."""
+        return not self.errors and not self.warnings
+
+    def codes(self) -> tuple[str, ...]:
+        """The distinct codes present, sorted."""
+        return tuple(sorted({d.code for d in self.diagnostics}))
+
+    def by_code(self, code: str) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.code == code)
+
+    # rendering --------------------------------------------------------
+
+    def render(self, path: str | None = None) -> str:
+        if not self.diagnostics:
+            return f"{path or '<program>'}: clean"
+        lines = [d.render(path) for d in self.diagnostics]
+        lines.append(
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s), "
+            f"{len(self.infos)} info(s)"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self, path: str | None = None) -> dict:
+        return {
+            "path": path,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "infos": len(self.infos),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def to_json(self, path: str | None = None) -> str:
+        return json.dumps(self.to_dict(path), sort_keys=True)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __repr__(self) -> str:
+        return (
+            f"Report({len(self.errors)} errors, {len(self.warnings)} "
+            f"warnings, {len(self.infos)} infos)"
+        )

@@ -1,0 +1,212 @@
+"""Revision-independence analysis: which updates provably commute.
+
+The paper's section-4.1 closures give, for every relation ``p``, the
+relations it depends on through an even (``Pos``) or odd (``Neg``) number of
+negations. This module turns the same dependency graph into the *update*
+view: for a revision touching relation ``r``,
+
+* its **write cone** is every relation whose value can change —
+  ``dependents_of(r)``, the upward closure;
+* its **read cone** is everything the maintenance procedure may consult
+  while recomputing those dependents — the downward closure of the write
+  cone (which contains the write cone itself).
+
+Two revisions provably commute when neither one's write cone meets the
+other's read cone: no write/write or write/read conflict exists at the
+relation level, so applying them in either order — or concurrently on
+separate shards — yields the same database. This is the static foundation
+for the concurrent revision service of ROADMAP item 1: the
+:meth:`IndependenceReport.shards` partition is exactly the coarsest
+relation sharding under which cross-shard revisions never conflict.
+
+The analysis is conservative (relation-level, not fact-level): ``commutes``
+never returns True for a conflicting pair, but may return False for
+updates that happen to touch disjoint facts of shared relations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+from ..datalog.clauses import Clause, Program
+from ..datalog.dependency import DependencyGraph
+from ..datalog.parser import parse_clauses
+
+GraphLike = Union[Program, DependencyGraph, str, Iterable[Clause]]
+
+
+class IndependenceReport:
+    """Pairwise commutation and sharding structure of a program."""
+
+    def __init__(self, source: GraphLike) -> None:
+        if isinstance(source, DependencyGraph):
+            self._graph = source
+        elif isinstance(source, str):
+            self._graph = DependencyGraph(parse_clauses(source))
+        else:
+            self._graph = DependencyGraph(source)
+        self._writes: dict[str, frozenset[str]] = {}
+        self._reads: dict[str, frozenset[str]] = {}
+
+    @property
+    def graph(self) -> DependencyGraph:
+        return self._graph
+
+    @property
+    def relations(self) -> tuple[str, ...]:
+        return tuple(sorted(self._graph.relations))
+
+    # cones ------------------------------------------------------------
+
+    def writes(self, relation: str) -> frozenset[str]:
+        """Relations whose value may change when *relation* is updated."""
+        cached = self._writes.get(relation)
+        if cached is None:
+            cached = self._graph.dependents_of(relation)
+            self._writes[relation] = cached
+        return cached
+
+    def reads(self, relation: str) -> frozenset[str]:
+        """Relations maintenance may consult for an update to *relation*.
+
+        The downward closure of the write cone: recomputing a changed
+        relation re-evaluates its defining rules, which read everything it
+        depends on. Contains :meth:`writes` (every relation depends on
+        itself).
+        """
+        cached = self._reads.get(relation)
+        if cached is None:
+            cone: set[str] = set()
+            for dependent in self.writes(relation):
+                cone |= self._graph.depends_on(dependent)
+            cached = frozenset(cone)
+            self._reads[relation] = cached
+        return cached
+
+    cone = reads  # the "dependency cone" of a revision, read/write combined
+
+    def negation_sensitive(self, relation: str) -> frozenset[str]:
+        """The dependents reached through an odd number of negations.
+
+        These are the relations for which an *insertion* into *relation*
+        can cause deletions (and vice versa) — the non-monotonic part of
+        the write cone, priced by the paper's ``Neg`` closures.
+        """
+        return frozenset(
+            dependent
+            for dependent in self.writes(relation)
+            if relation in self._graph.pos_neg_sets(dependent)[1]
+        )
+
+    # pairwise commutation ---------------------------------------------
+
+    def commutes(self, a: str, b: str) -> bool:
+        """True when updates to *a* and *b* provably commute.
+
+        Neither update's write cone intersects the other's read cone, so
+        there is no write/write and no write/read conflict at the relation
+        level: the final database is the same whichever order the two
+        revisions are applied in.
+        """
+        return self.writes(a).isdisjoint(self.reads(b)) and self.writes(
+            b
+        ).isdisjoint(self.reads(a))
+
+    def disjoint_cones(self, a: str, b: str) -> bool:
+        """True when the two revisions share no relation at all.
+
+        Strictly stronger than :meth:`commutes`: the updates touch disjoint
+        state and can run on separate shards with no coordination.
+        """
+        return self.reads(a).isdisjoint(self.reads(b))
+
+    def conflict(self, a: str, b: str) -> frozenset[str]:
+        """The relations that prevent *a* and *b* from commuting."""
+        return (self.writes(a) & self.reads(b)) | (
+            self.writes(b) & self.reads(a)
+        )
+
+    def independent_pairs(self) -> tuple[tuple[str, str], ...]:
+        """Every unordered relation pair whose updates commute, sorted."""
+        names = self.relations
+        return tuple(
+            (a, b)
+            for i, a in enumerate(names)
+            for b in names[i + 1 :]
+            if self.commutes(a, b)
+        )
+
+    # sharding ----------------------------------------------------------
+
+    def shards(self) -> tuple[frozenset[str], ...]:
+        """The coarsest relation partition with no cross-shard conflicts.
+
+        The weakly connected components of the dependency graph: two
+        relations in different components have disjoint cones, so any two
+        revisions addressing different shards commute — each shard can be
+        owned by one worker of the future concurrent revision service with
+        no cross-shard coordination. Sorted by (size desc, name) for
+        stable output.
+        """
+        seen: set[str] = set()
+        components: list[frozenset[str]] = []
+        for relation in self.relations:
+            if relation in seen:
+                continue
+            component: set[str] = set()
+            frontier = [relation]
+            while frontier:
+                node = frontier.pop()
+                if node in component:
+                    continue
+                component.add(node)
+                frontier.extend(self._graph.successors(node))
+                frontier.extend(self._graph.predecessors(node))
+            seen |= component
+            components.append(frozenset(component))
+        return tuple(
+            sorted(components, key=lambda c: (-len(c), min(c)))
+        )
+
+    # rendering ----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "relations": {
+                relation: {
+                    "writes": sorted(self.writes(relation)),
+                    "reads": sorted(self.reads(relation)),
+                    "negation_sensitive": sorted(
+                        self.negation_sensitive(relation)
+                    ),
+                }
+                for relation in self.relations
+            },
+            "independent_pairs": [
+                list(pair) for pair in self.independent_pairs()
+            ],
+            "shards": [sorted(shard) for shard in self.shards()],
+        }
+
+    def summary(self) -> str:
+        names = self.relations
+        total = len(names) * (len(names) - 1) // 2
+        shards = self.shards()
+        lines = [
+            f"{len(names)} relations, {len(shards)} independent shard(s), "
+            f"{len(self.independent_pairs())}/{total} pairs commute",
+        ]
+        for i, shard in enumerate(shards, start=1):
+            lines.append(f"  shard {i}: {', '.join(sorted(shard))}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"IndependenceReport({len(self.relations)} relations, "
+            f"{len(self.shards())} shards)"
+        )
+
+
+def independence_report(source: GraphLike) -> IndependenceReport:
+    """Convenience constructor mirroring :func:`~.checks.analyze_program`."""
+    return IndependenceReport(source)

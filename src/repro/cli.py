@@ -9,6 +9,8 @@ Commands (also shown by ``help``)::
     + p(X) :- q(X), not r(X).     insert a rule (stratification-checked)
     - p(X) :- q(X), not r(X).     delete a rule
     ? accepted(X), not late(X)    query the maintained model
+    check [json]                  static diagnostics for the program
+    independence [json]           which relation updates commute
     why accepted(7)               a non-circular proof tree
     whynot accepted(9)            why an atom is absent
     model [relation]              show the model (or one relation)
@@ -43,6 +45,7 @@ import json
 import sys
 from typing import Optional
 
+from .analysis import analyze_program, analyze_source, independence_report
 from .core.explain import ExplanationError, explain, explain_absence
 from .core.registry import ENGINE_NAMES, create_engine
 from .datalog.errors import DatalogError
@@ -220,6 +223,18 @@ class Console:
         clause = parse_clause(text if text.endswith(".") else text + ".")
         return self.engine.planner.explain(clause, self.engine.model)
 
+    def do_check(self, body: str) -> str:
+        report = self.engine.check()
+        if body.strip() == "json":
+            return report.to_json("<session>")
+        return report.render("<session>")
+
+    def do_independence(self, body: str) -> str:
+        report = independence_report(self.engine.db.graph)
+        if body.strip() == "json":
+            return json.dumps(report.to_dict(), sort_keys=True)
+        return report.summary()
+
     def do_save(self, body: str) -> str:
         path = body.strip()
         if not path:
@@ -323,7 +338,94 @@ class Console:
         return handler(rest)
 
 
+def run_check(argv) -> int:
+    """The ``repro check`` verb: lint programs, lint-style exit codes.
+
+    Exit 0 when every target is clean (info diagnostics allowed), 1 when
+    warnings were reported, 2 on errors (including unreadable files and
+    parse failures, which surface as ``DL000``). ``--workloads`` self-lints
+    every built-in :mod:`repro.workloads` program against its
+    ``EXPECTED_DIAGNOSTICS`` annotation — a code that fires unexpectedly
+    *or* an annotated code that no longer fires both fail the lint.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro check",
+        description="Static analysis of Datalog programs (codes DL000-DL010)",
+    )
+    parser.add_argument("files", nargs="*", help="program files to lint")
+    parser.add_argument(
+        "--json", action="store_true", help="machine-readable report"
+    )
+    parser.add_argument(
+        "--workloads",
+        action="store_true",
+        help="self-lint the built-in repro.workloads programs",
+    )
+    parser.add_argument(
+        "--independence",
+        action="store_true",
+        help="also print the revision-independence report per target",
+    )
+    args = parser.parse_args(argv)
+    if not args.files and not args.workloads:
+        parser.error("nothing to check: give program files or --workloads")
+
+    targets: list[tuple[str, object, tuple]] = []  # (name, text-or-program, ignore)
+    for path in args.files:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                targets.append((path, handle.read(), ()))
+        except OSError as error:
+            print(f"error: cannot read {path}: {error}", file=sys.stderr)
+            return 2
+    stale_annotations: list[str] = []
+    if args.workloads:
+        from .workloads import EXPECTED_DIAGNOSTICS, named_programs
+
+        for name, program in named_programs().items():
+            expected = EXPECTED_DIAGNOSTICS.get(name, ())
+            report = analyze_program(program)
+            missing = sorted(set(expected) - set(report.codes()))
+            if missing:
+                stale_annotations.append(
+                    f"{name}: annotated {', '.join(missing)} no longer fire"
+                )
+            targets.append((f"workload:{name}", program, expected))
+
+    exit_code = 0
+    payload = []
+    for name, source, ignore in targets:
+        if isinstance(source, str):
+            report = analyze_source(source, ignore=ignore)
+        else:
+            report = analyze_program(source, ignore=ignore)
+        if report.errors:
+            exit_code = 2
+        elif report.warnings and exit_code == 0:
+            exit_code = 1
+        if args.json:
+            entry = report.to_dict(name)
+            if args.independence and isinstance(source, str):
+                entry["independence"] = independence_report(source).to_dict()
+            payload.append(entry)
+        else:
+            print(report.render(name))
+            if args.independence:
+                print(independence_report(source).summary())
+    if stale_annotations:
+        exit_code = max(exit_code, 1)
+        for line in stale_annotations:
+            print(f"stale annotation — {line}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(payload, sort_keys=True))
+    return exit_code
+
+
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "check":
+        return run_check(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Maintained stratified database console (Apt & Pugin 1987)",

@@ -237,7 +237,13 @@ class MaintenanceEngine(ABC):
             return self._result("delete_fact", fact, removed, added, begun)
 
     def insert_rule(self, rule: Union[Clause, str]) -> UpdateResult:
-        """INSERT(p(X) <- L1 & ... & Lk); must keep the program stratified."""
+        """INSERT(p(X) <- L1 & ... & Lk); must keep the program stratified.
+
+        Hard violations (safety, stratifiability) raise code-tagged,
+        position-carrying errors as before; the softer static findings for
+        the admitted clause (singleton variables, cross-product joins,
+        undefined references) ride along on ``UpdateResult.warnings``.
+        """
         rule = _as_rule(rule)
         begun = self._begin_update()
         with OBS.span("update:insert_rule") as span:
@@ -247,7 +253,10 @@ class MaintenanceEngine(ABC):
             self.planner.invalidate(rule)
             self.planner.pin(rule)
             removed, added = self._apply_insert_rule(rule)
-            return self._result("insert_rule", rule, removed, added, begun)
+            return self._result(
+                "insert_rule", rule, removed, added, begun,
+                warnings=self._rule_warnings(rule),
+            )
 
     def delete_rule(self, rule: Union[Clause, str]) -> UpdateResult:
         """DELETE(p(X) <- L1 & ... & Lk)."""
@@ -333,6 +342,20 @@ class MaintenanceEngine(ABC):
         """Total size of the bookkeeping (0 for support-free solutions)."""
         return 0
 
+    def check(self, ignore: tuple = ()):
+        """Static diagnostics for the maintained program.
+
+        Delegates to :meth:`StratifiedDatabase.analyze`; see
+        :mod:`repro.analysis` for the code registry.
+        """
+        return self.db.analyze(ignore=ignore)
+
+    def _rule_warnings(self, rule: Clause) -> tuple:
+        """Clause-local analyzer findings for a just-admitted rule."""
+        from ..analysis import check_clause  # lazy: analysis sits above core
+
+        return tuple(check_clause(rule, self.db.program.clauses))
+
     def oracle_model(self) -> Model:
         """The standard model recomputed from scratch (for verification)."""
         return self.db.compute_model(self.method)
@@ -388,6 +411,7 @@ class MaintenanceEngine(ABC):
         added: Iterable[Atom],
         begun: tuple,
         noop: bool = False,
+        warnings: tuple = (),
     ) -> UpdateResult:
         started, fired_before, hits_before, misses_before = begun
         result = UpdateResult(
@@ -398,6 +422,7 @@ class MaintenanceEngine(ABC):
             model_size=len(self.model),
             duration_s=time.perf_counter() - started,
             support_entries=self.support_entry_count(),
+            warnings=warnings,
             stats={
                 "derivations_fired": self._derivations_fired - fired_before,
                 "transient": self._transient,

@@ -85,6 +85,9 @@ class UpdateResult:
     duration_s: float
     support_entries: int
     stats: dict = field(default_factory=dict)
+    # Static-analysis findings for the clause an insert_rule admitted
+    # (repro.analysis Diagnostic records; empty for every other operation).
+    warnings: tuple = ()
 
     @property
     def migrated(self) -> frozenset:
@@ -100,8 +103,11 @@ class UpdateResult:
         return self.added - self.removed
 
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.operation}({self.subject}): "
             f"-{len(self.net_removed)} +{len(self.net_added)} "
             f"migrated={len(self.migrated)} model={self.model_size}"
         )
+        for warning in self.warnings:
+            text += f"\nwarning {warning.code}: {warning.message}"
+        return text

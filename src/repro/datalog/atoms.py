@@ -21,16 +21,31 @@ class Atom:
     """A relation name applied to terms: ``p(t1, ..., tn)``.
 
     Ground atoms (no variables) are facts. Atom equality is structural.
+
+    ``line``/``column`` are the 1-based source position of the relation name
+    when the atom was parsed from text (0/0 otherwise, e.g. for derived
+    facts). Positions are provenance, not identity: they take no part in
+    equality or hashing, so a parsed atom and the same atom built
+    programmatically remain interchangeable as set elements and dict keys.
     """
 
-    __slots__ = ("relation", "args", "_hash")
+    __slots__ = ("relation", "args", "_hash", "line", "column")
 
-    def __init__(self, relation: str, args: tuple[Term, ...] = ()):
+    def __init__(
+        self,
+        relation: str,
+        args: tuple[Term, ...] = (),
+        *,
+        line: int = 0,
+        column: int = 0,
+    ) -> None:
         if not relation:
             raise ValueError("relation name must be non-empty")
         self.relation = relation
         self.args = tuple(args)
         self._hash = hash((relation, self.args))
+        self.line = line
+        self.column = column
 
     @property
     def arity(self) -> int:
@@ -72,7 +87,7 @@ class Literal:
 
     __slots__ = ("atom", "positive", "_hash")
 
-    def __init__(self, atom: Atom, positive: bool = True):
+    def __init__(self, atom: Atom, positive: bool = True) -> None:
         self.atom = atom
         self.positive = positive
         self._hash = hash((atom, positive))
@@ -84,6 +99,16 @@ class Literal:
     @property
     def args(self) -> tuple[Term, ...]:
         return self.atom.args
+
+    @property
+    def line(self) -> int:
+        """Source line of the underlying atom (0 when not parsed)."""
+        return self.atom.line
+
+    @property
+    def column(self) -> int:
+        """Source column of the underlying atom (0 when not parsed)."""
+        return self.atom.column
 
     def negate(self) -> "Literal":
         """Return the literal with flipped polarity."""

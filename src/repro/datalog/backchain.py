@@ -43,7 +43,7 @@ from .unify import match_atom, substitute_args
 class Backchainer:
     """Top-down membership tests for the standard model."""
 
-    def __init__(self, program: Union[Program, str]):
+    def __init__(self, program: Union[Program, str]) -> None:
         if isinstance(program, str):
             program = parse_program(program)
         self._program = program

@@ -46,7 +46,7 @@ def _atom(relation: str, args: tuple) -> Atom:
 class RuleBuilder:
     """Accumulates the body of one rule; finalised by the owning builder."""
 
-    def __init__(self, owner: "ProgramBuilder", head: Atom):
+    def __init__(self, owner: "ProgramBuilder", head: Atom) -> None:
         self._owner = owner
         self._head = head
         self._body: list[Literal] = []
@@ -68,7 +68,7 @@ class RuleBuilder:
 class ProgramBuilder:
     """Collects facts and rules, then builds a :class:`Program`."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._clauses: list[Clause] = []
         self._open_rules: list[RuleBuilder] = []
 

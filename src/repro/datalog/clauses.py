@@ -22,14 +22,29 @@ from .terms import Variable
 
 
 class Clause:
-    """A rule ``head :- L1, ..., Lk`` (k may be 0, making it a fact)."""
+    """A rule ``head :- L1, ..., Lk`` (k may be 0, making it a fact).
 
-    __slots__ = ("head", "body", "_hash")
+    ``line``/``column`` locate the clause in its source text when it was
+    parsed (1-based; 0/0 for programmatically built clauses). They default
+    to the head atom's position, are provenance only, and take no part in
+    equality or hashing.
+    """
 
-    def __init__(self, head: Atom, body: Sequence[Literal] = ()):
+    __slots__ = ("head", "body", "_hash", "line", "column")
+
+    def __init__(
+        self,
+        head: Atom,
+        body: Sequence[Literal] = (),
+        *,
+        line: int = 0,
+        column: int = 0,
+    ) -> None:
         self.head = head
         self.body = tuple(body)
         self._hash = hash((head, self.body))
+        self.line = line or head.line
+        self.column = column or head.column
 
     @property
     def is_fact(self) -> bool:
@@ -52,12 +67,17 @@ class Clause:
     def head_variables(self) -> set[Variable]:
         return set(self.head.variables())
 
-    def check_safety(self) -> None:
-        """Raise :class:`SafetyError` unless the clause is range-restricted.
+    def unsafe_variables(
+        self,
+    ) -> tuple[tuple[Variable, ...], tuple[tuple[Literal, tuple[Variable, ...]], ...]]:
+        """The range-restriction violations of the clause, if any.
 
-        Safety demands that every variable of the head and of every negative
-        body literal also occurs in some positive body literal. Bodiless
-        clauses must therefore have ground heads.
+        Returns ``(head_unbound, negative_unbound)``: the head variables not
+        bound by any positive body literal (sorted by name, deduplicated),
+        and for each offending negative literal the tuple of its unbound
+        variables. Both are empty exactly when the clause is safe. This is
+        the single computation behind :meth:`check_safety` (the raising
+        enforcement path) and the analyzer's ``DL001`` diagnostic.
         """
         bound = {
             var
@@ -65,23 +85,53 @@ class Clause:
             if lit.positive
             for var in lit.variables()
         }
-        unbound_head = [var for var in self.head.variables() if var not in bound]
-        if unbound_head:
-            names = ", ".join(sorted(var.name for var in set(unbound_head)))
-            raise SafetyError(
-                f"unsafe clause {self}: head variable(s) {names} do not occur "
-                "in a positive body literal"
+        head_unbound = tuple(
+            sorted(
+                {var for var in self.head.variables() if var not in bound},
+                key=lambda var: var.name,
             )
+        )
+        negative_unbound = []
         for lit in self.body:
             if lit.positive:
                 continue
-            unbound = [var for var in lit.variables() if var not in bound]
-            if unbound:
-                names = ", ".join(sorted(var.name for var in set(unbound)))
-                raise SafetyError(
-                    f"unsafe clause {self}: variable(s) {names} of negative "
-                    f"literal {lit} do not occur in a positive body literal"
+            unbound = tuple(
+                sorted(
+                    {var for var in lit.variables() if var not in bound},
+                    key=lambda var: var.name,
                 )
+            )
+            if unbound:
+                negative_unbound.append((lit, unbound))
+        return head_unbound, tuple(negative_unbound)
+
+    def check_safety(self) -> None:
+        """Raise :class:`SafetyError` unless the clause is range-restricted.
+
+        Safety demands that every variable of the head and of every negative
+        body literal also occurs in some positive body literal. Bodiless
+        clauses must therefore have ground heads. The raised error carries
+        diagnostic code ``DL001`` and the clause's source position when it
+        was parsed from text.
+        """
+        head_unbound, negative_unbound = self.unsafe_variables()
+        if head_unbound:
+            names = ", ".join(var.name for var in head_unbound)
+            raise SafetyError(
+                f"unsafe clause {self}: head variable(s) {names} do not occur "
+                "in a positive body literal",
+                line=self.line,
+                column=self.column,
+            )
+        if negative_unbound:
+            lit, unbound = negative_unbound[0]
+            names = ", ".join(var.name for var in unbound)
+            raise SafetyError(
+                f"unsafe clause {self}: variable(s) {names} of negative "
+                f"literal {lit} do not occur in a positive body literal",
+                line=lit.line or self.line,
+                column=lit.column or self.column,
+            )
 
     def __repr__(self) -> str:
         return f"Clause({self.head!r}, {self.body!r})"
@@ -119,7 +169,7 @@ class Program:
 
     __slots__ = ("_clauses", "_index")
 
-    def __init__(self, clauses: Iterable[Clause] = ()):
+    def __init__(self, clauses: Iterable[Clause] = ()) -> None:
         self._clauses: list[Clause] = []
         self._index: dict[Clause, int] = {}
         for clause in clauses:

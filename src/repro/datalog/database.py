@@ -20,27 +20,25 @@ from __future__ import annotations
 from .atoms import Atom
 from .clauses import Clause, Program
 from .dependency import DependencyGraph, StaticDependencies
-from .errors import StratificationError, UpdateError
-from .evaluation import compute_model
+from .errors import UpdateError
+from .evaluation import DerivationListener, compute_model
 from .model import Model
 from .parser import parse_program
-from .stratify import Stratification, stratify
+from .stratify import Stratification, stratify, unstratifiable_error
 
 
 class StratifiedDatabase:
     """A stratified program with consistent derived structures."""
 
-    def __init__(self, program: Program | str, granularity: str = "level"):
+    def __init__(self, program: Program | str, granularity: str = "level") -> None:
         if isinstance(program, str):
             program = parse_program(program)
         self._program = program.copy()
         self._granularity = granularity
         self._graph = DependencyGraph(self._program)
-        offending = self._graph.negative_arc_in_cycle()
-        if offending is not None:
-            raise StratificationError(
-                f"program is not stratified: negative arc {offending.source} "
-                f"-> {offending.target} lies on a cycle"
+        if not self._graph.is_stratified():
+            raise unstratifiable_error(
+                self._graph, self._program, "program is not stratified"
             )
         self._stratification = stratify(self._program, granularity)
         self._statics = StaticDependencies(self._graph)
@@ -88,7 +86,24 @@ class StratifiedDatabase:
         """True when *fact* is a bodiless clause of the program."""
         return Clause(fact) in self._program
 
-    def compute_model(self, method: str = "seminaive", listener=None) -> Model:
+    def analyze(self, ignore: tuple = ()) -> "Report":
+        """Static diagnostics for the current program.
+
+        Returns a :class:`repro.analysis.Report`; a live database is
+        stratified and safe by construction, so the report can only carry
+        the softer codes (arity drift, undefined references, dead rules,
+        singleton variables, duplicates/subsumption, cross products).
+        Imported lazily: :mod:`repro.analysis` sits above this module.
+        """
+        from ..analysis import analyze_program
+
+        return analyze_program(self._program, ignore=ignore, graph=self._graph)
+
+    def compute_model(
+        self,
+        method: str = "seminaive",
+        listener: DerivationListener | None = None,
+    ) -> Model:
         """The standard model M(P), from scratch."""
         return compute_model(
             self._program,
@@ -140,14 +155,14 @@ class StratifiedDatabase:
             raise UpdateError(f"rule already present: {clause}")
         trial = DependencyGraph(self._program)
         trial.add_clause(clause)
-        offending = trial.negative_arc_in_cycle()
-        if offending is not None:
-            raise StratificationError(
-                "rule insertion would break stratification: negative arc "
-                f"{offending.source} -> {offending.target} lies on a cycle"
+        if not trial.is_stratified():
+            raise unstratifiable_error(
+                trial,
+                self._program.clauses + (clause,),
+                "rule insertion would break stratification",
             )
 
-    def admits(self, operation: str, subject) -> None:
+    def admits(self, operation: str, subject: Atom | Clause) -> None:
         """Raise the error *operation* would raise, without applying it.
 
         A dry run of the admission rules above, for callers (the durable

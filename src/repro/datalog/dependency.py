@@ -26,7 +26,7 @@ class Arc:
 
     __slots__ = ("source", "target", "positive", "negative")
 
-    def __init__(self, source: str, target: str):
+    def __init__(self, source: str, target: str) -> None:
         self.source = source
         self.target = target
         self.positive = False
@@ -48,7 +48,7 @@ class DependencyGraph:
     hypotheses, so following arcs forward walks *down* the dependency chain.
     """
 
-    def __init__(self, clauses: Iterable[Clause] = ()):
+    def __init__(self, clauses: Iterable[Clause] = ()) -> None:
         self._arcs: dict[tuple[str, str], Arc] = {}
         self._successors: dict[str, set[str]] = {}
         self._predecessors: dict[str, set[str]] = {}
@@ -186,6 +186,51 @@ class DependencyGraph:
     def is_stratified(self) -> bool:
         return self.negative_arc_in_cycle() is None
 
+    def negative_cycle_witness(self) -> tuple[Arc, ...]:
+        """A concrete cycle through a negative arc, or ``()`` when stratified.
+
+        The witness is a sequence of arcs ``a -> b -> ... -> a`` whose first
+        arc is the negative one: the shortest completion of
+        :meth:`negative_arc_in_cycle` back to its source inside the same
+        strongly connected component. This is the path a diagnostic can show
+        a user — *why* the program is not stratified, not merely which arc
+        offends.
+        """
+        offending = self.negative_arc_in_cycle()
+        if offending is None:
+            return ()
+        component_of: dict[str, int] = {}
+        for i, component in enumerate(self.sccs()):
+            for relation in component:
+                component_of[relation] = i
+        home = component_of[offending.source]
+        # BFS from the arc's target back to its source, restricted to the
+        # SCC (so every hop provably stays on a cycle); sorted successors
+        # keep the witness deterministic.
+        parents: dict[str, str] = {}
+        queue: deque[str] = deque([offending.target])
+        seen = {offending.target}
+        while queue:
+            node = queue.popleft()
+            if node == offending.source:
+                break
+            for succ in sorted(self._successors.get(node, ())):
+                if succ in seen or component_of.get(succ) != home:
+                    continue
+                seen.add(succ)
+                parents[succ] = node
+                queue.append(succ)
+        path: list[str] = [offending.source]
+        node = offending.source
+        while node != offending.target:
+            node = parents[node]
+            path.append(node)
+        path.reverse()  # target ... source
+        arcs = [offending]
+        for source, target in zip(path, path[1:]):
+            arcs.append(self._arcs[(source, target)])
+        return tuple(arcs)
+
     # ------------------------------------------------------------------
     # Static Pos / Neg closures (section 4.1)
     # ------------------------------------------------------------------
@@ -255,6 +300,23 @@ class DependencyGraph:
         return frozenset(seen)
 
 
+def format_witness(arcs: Iterable[Arc]) -> str:
+    """Render a witness cycle like ``p -not-> q -> r -> p``.
+
+    Negative arcs render as ``-not->`` (arcs that are both positive and
+    negative count as negative here: the negative reference is what breaks
+    stratification).
+    """
+    arcs = list(arcs)
+    if not arcs:
+        return "(no cycle)"
+    parts = [arcs[0].source]
+    for arc in arcs:
+        parts.append("-not->" if arc.negative else "->")
+        parts.append(arc.target)
+    return " ".join(parts)
+
+
 class StaticDependencies:
     """Cache of the static Pos/Neg sets of every relation.
 
@@ -263,7 +325,7 @@ class StaticDependencies:
     only for the relations affected by a rule update.
     """
 
-    def __init__(self, graph: DependencyGraph):
+    def __init__(self, graph: DependencyGraph) -> None:
         self._graph = graph
         self._pos: dict[str, frozenset[str]] = {}
         self._neg: dict[str, frozenset[str]] = {}

@@ -2,13 +2,36 @@
 
 Every error raised by :mod:`repro` derives from :class:`DatalogError`, so
 callers can catch one type to handle any library failure.
+
+Since the :mod:`repro.analysis` subsystem exists, the static well-formedness
+errors are *diagnostic-carrying*: they know their stable diagnostic code
+(``DL001`` for safety, ``DL002`` for stratification) and, when the offending
+clause came from parsed source, the 1-based line/column it starts at. The
+analyzer reports the same conditions as structured
+:class:`~repro.analysis.Diagnostic` records without raising; the exceptions
+remain the hard enforcement path on update admission.
 """
 
 from __future__ import annotations
 
 
 class DatalogError(Exception):
-    """Base class for all errors raised by the library."""
+    """Base class for all errors raised by the library.
+
+    ``code`` is the stable diagnostic code of the condition (``DL001``,
+    ``DL002``, ...) when the error corresponds to one of the static
+    analyzer's checks, else ``None``. ``line``/``column`` are 1-based source
+    positions, 0 when the subject did not come from parsed text.
+    """
+
+    code: str | None = None
+
+    def __init__(self, message: str, *, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        if line:
+            message = f"line {line}, column {column}: {message}"
+        super().__init__(message)
 
 
 class ParseError(DatalogError):
@@ -18,12 +41,10 @@ class ParseError(DatalogError):
     source.
     """
 
-    def __init__(self, message: str, line: int = 0, column: int = 0):
-        self.line = line
-        self.column = column
-        if line:
-            message = f"line {line}, column {column}: {message}"
-        super().__init__(message)
+    code = "DL000"
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        super().__init__(message, line=line, column=column)
 
 
 class SafetyError(DatalogError):
@@ -34,6 +55,8 @@ class SafetyError(DatalogError):
     a finite active-domain meaning.
     """
 
+    code = "DL001"
+
 
 class StratificationError(DatalogError):
     """The program is not stratified.
@@ -42,7 +65,24 @@ class StratificationError(DatalogError):
     arc, i.e. there is recursion "through" negation, or when a rule update
     would make the database unstratified (the paper requires update
     admission to check this, section 4).
+
+    ``witness`` is the offending cycle as a tuple of
+    :class:`~repro.datalog.dependency.Arc` objects (the first one negative)
+    when the raiser could compute one, else ``()``.
     """
+
+    code = "DL002"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        witness: tuple = (),
+        line: int = 0,
+        column: int = 0,
+    ) -> None:
+        self.witness = tuple(witness)
+        super().__init__(message, line=line, column=column)
 
 
 class UpdateError(DatalogError):

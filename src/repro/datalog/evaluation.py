@@ -38,7 +38,7 @@ from ..obs import OBS
 from .atoms import Atom
 from .clauses import Clause, Program
 from .model import Model
-from .plan import DEFAULT_PLANNER, Planner, StepObserver
+from .plan import DEFAULT_PLANNER, ClausePlan, Planner, StepObserver
 from .stratify import Stratification, stratify
 from .terms import Variable
 
@@ -126,7 +126,7 @@ def iter_derivations(
 
 
 def _plan_derivations(
-    plan,
+    plan: ClausePlan,
     model: Model,
     delta_position: int | None,
     delta_rows: Iterable[tuple] | None,
@@ -242,7 +242,7 @@ def semi_naive_saturate(
     added: set[Atom] = set()
     next_delta: dict[str, set[tuple]] = {}
 
-    def emit(derivation: Derivation, plan) -> None:
+    def emit(derivation: Derivation, plan: ClausePlan) -> None:
         is_new = derivation.head not in model
         if listener is not None:
             listener(derivation, is_new, plan)
@@ -349,7 +349,7 @@ def semi_naive_saturate(
 
 
 def _choose_delta_positions(
-    plan,
+    plan: ClausePlan,
     model: Model,
     clause: Clause,
     positions: list[int],

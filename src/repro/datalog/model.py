@@ -20,7 +20,7 @@ class Model:
 
     __slots__ = ("_relations",)
 
-    def __init__(self, facts: Iterable[Atom] = ()):
+    def __init__(self, facts: Iterable[Atom] = ()) -> None:
         self._relations: dict[str, Relation] = {}
         for fact in facts:
             self.add(fact)
@@ -118,7 +118,9 @@ class Model:
         ]
 
     @classmethod
-    def from_relation_data(cls, data) -> "Model":
+    def from_relation_data(
+        cls, data: Iterable[tuple[str, int, Iterable[tuple]]]
+    ) -> "Model":
         """Rebuild a model from :meth:`relation_data` via bulk loads."""
         model = cls()
         for name, arity, rows in data:

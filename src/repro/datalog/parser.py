@@ -123,7 +123,7 @@ def tokenize(text: str) -> Iterator[Token]:
 class _Parser:
     """Recursive-descent parser over the token stream."""
 
-    def __init__(self, text: str):
+    def __init__(self, text: str) -> None:
         self._tokens = list(tokenize(text))
         self._pos = 0
 
@@ -153,6 +153,12 @@ class _Parser:
             program.add(self.parse_clause())
         return program
 
+    def parse_clauses(self) -> list[Clause]:
+        clauses: list[Clause] = []
+        while self._peek() is not None:
+            clauses.append(self.parse_clause())
+        return clauses
+
     def parse_clause(self) -> Clause:
         head = self.parse_atom()
         token = self._peek()
@@ -165,6 +171,8 @@ class _Parser:
         else:
             body = []
         self._next("PERIOD")
+        # The clause starts where its head does; Clause() copies the head
+        # atom's position by default.
         return Clause(head, body)
 
     def parse_literal(self) -> Literal:
@@ -186,7 +194,12 @@ class _Parser:
                 self._next("COMMA")
                 args.append(self.parse_term())
             self._next("RPAREN")
-        return Atom(relation, tuple(args))
+        return Atom(
+            relation,
+            tuple(args),
+            line=name_token.line,
+            column=name_token.column,
+        )
 
     def parse_term(self) -> Term:
         token = self._peek()
@@ -209,6 +222,18 @@ class _Parser:
 def parse_program(text: str) -> Program:
     """Parse a full program (any number of clauses)."""
     return _Parser(text).parse_program()
+
+
+def parse_clauses(text: str) -> list[Clause]:
+    """Parse a clause list without admission checks.
+
+    Unlike :func:`parse_program`, the clauses are returned as-is: nothing
+    is deduplicated and — crucially for the static analyzer — no
+    :class:`~repro.datalog.errors.SafetyError` is raised for unsafe
+    clauses, so a defective program can be *diagnosed* instead of merely
+    rejected at its first flaw.
+    """
+    return _Parser(text).parse_clauses()
 
 
 def parse_clause(text: str) -> Clause:

@@ -76,7 +76,7 @@ class LiteralPlan:
         relation: str,
         const_cols: tuple[tuple[int, object], ...],
         var_cols: tuple[tuple[int, int], ...],
-    ):
+    ) -> None:
         self.position = position
         self.relation = relation
         self.const_cols = const_cols  # (column, constant) pairs
@@ -113,7 +113,7 @@ class _Step:
         "check_cols", "probe_cols", "probe_parts",
     )
 
-    def __init__(self, literal: LiteralPlan, bound_slots: set[int]):
+    def __init__(self, literal: LiteralPlan, bound_slots: set[int]) -> None:
         self.position = literal.position
         self.relation = literal.relation
         self.select_consts = dict(literal.const_cols)
@@ -152,7 +152,7 @@ class ClausePlan:
         "_templates", "step_history",
     )
 
-    def __init__(self, clause: "Clause"):
+    def __init__(self, clause: "Clause") -> None:
         self.clause = clause
         slot_of: dict[Variable, int] = {}
         literals = []
@@ -520,7 +520,7 @@ class StepObserver:
 
     __slots__ = ("steps",)
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.steps: list[dict] = []
 
     def begin(
@@ -556,7 +556,7 @@ class StepObserver:
             bound_slots |= literal.slots
         return self.steps
 
-    def count(self, index: int, candidates: Iterable[tuple]):
+    def count(self, index: int, candidates: Iterable[tuple]) -> Iterable[tuple]:
         """Tally one probe of executed step *index*; returns the stream."""
         entry = self.steps[index]
         entry["probes"] += 1
@@ -567,7 +567,7 @@ class StepObserver:
             return self._counting(entry, candidates)
 
     @staticmethod
-    def _counting(entry: dict, candidates: Iterable[tuple]):
+    def _counting(entry: dict, candidates: Iterable[tuple]) -> Iterator[tuple]:
         for row in candidates:
             entry["rows"] += 1
             yield row
@@ -603,7 +603,7 @@ class Planner:
         composite: bool = True,
         delta_choice: bool = True,
         materialize_deltas: bool = True,
-    ):
+    ) -> None:
         if estimator not in ESTIMATORS:
             raise ValueError(
                 f"unknown estimator {estimator!r}; use one of {ESTIMATORS}"
@@ -729,7 +729,26 @@ class Planner:
                 f"estimated={estimated:.1f}  {observed}"
             )
             bound_slots |= literal.slots
+        lines.extend(self._static_warnings(clause))
         return "\n".join(lines)
+
+    @staticmethod
+    def _static_warnings(clause: "Clause") -> list[str]:
+        """Planner-relevant analyzer findings for *clause*.
+
+        A cross-product body (DL010) or a singleton variable (DL007) is
+        visible in the plan shape but easy to misread as a statistics
+        problem; surfacing the lint next to the estimates says "the clause
+        itself is the hazard". Imported lazily — the analysis package sits
+        above the datalog substrate.
+        """
+        from ..analysis import check_clause
+
+        return [
+            f"  warning {finding.code}: {finding.message}"
+            for finding in check_clause(clause)
+            if finding.code in ("DL007", "DL010")
+        ]
 
 
 DEFAULT_PLANNER = Planner()

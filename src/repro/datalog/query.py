@@ -18,8 +18,8 @@ from typing import Iterator, Optional, Sequence, Union
 from .atoms import Atom, Literal
 from .clauses import Clause
 from .errors import ParseError, SafetyError
-from .model import Model
 from .evaluation import _iter_matches
+from .model import Model
 from .parser import _Parser
 from .terms import Variable
 from .unify import substitute_args

@@ -62,7 +62,7 @@ class Relation:
         "index_idle_epochs",
     )
 
-    def __init__(self, name: str, arity: int | None = None):
+    def __init__(self, name: str, arity: int | None = None) -> None:
         self.name = name
         self.arity = arity
         self._tuples: set[tuple] = set()

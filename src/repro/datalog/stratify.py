@@ -17,8 +17,43 @@ from __future__ import annotations
 from typing import Iterable, Iterator, Sequence
 
 from .clauses import Clause, Program
-from .dependency import DependencyGraph
+from .dependency import Arc, DependencyGraph, format_witness
 from .errors import StratificationError
+
+
+def _locate_negative_arc(
+    clauses: Iterable[Clause], arc: Arc
+) -> tuple[int, int]:
+    """Source position of a clause contributing *arc* as a negative reference.
+
+    Returns (0, 0) when no clause carries a position (programmatic input).
+    """
+    for clause in clauses:
+        if clause.head.relation != arc.source:
+            continue
+        for lit in clause.body:
+            if not lit.positive and lit.relation == arc.target:
+                line = lit.line or clause.line
+                column = lit.column or clause.column
+                if line:
+                    return line, column
+    return 0, 0
+
+
+def unstratifiable_error(
+    graph: DependencyGraph, clauses: Iterable[Clause], context: str
+) -> StratificationError:
+    """Build the witness-carrying error for an unstratifiable graph."""
+    witness = graph.negative_cycle_witness()
+    offending = witness[0]
+    line, column = _locate_negative_arc(clauses, offending)
+    return StratificationError(
+        f"{context}: negative arc {offending.source} -> {offending.target} "
+        f"lies on the cycle {format_witness(witness)}",
+        witness=witness,
+        line=line,
+        column=column,
+    )
 
 
 class Stratum:
@@ -33,7 +68,7 @@ class Stratum:
 
     def __init__(
         self, index: int, relations: frozenset[str], clauses: tuple[Clause, ...]
-    ):
+    ) -> None:
         self.index = index  # 1-based, as in the paper
         self.relations = relations
         self.clauses = clauses
@@ -48,7 +83,7 @@ class Stratum:
 class Stratification:
     """A stratification P1 ∪ ... ∪ Pn of a program."""
 
-    def __init__(self, strata: Sequence[Stratum], level_of: dict[str, int]):
+    def __init__(self, strata: Sequence[Stratum], level_of: dict[str, int]) -> None:
         self._strata = tuple(strata)
         self._level_of = dict(level_of)
 
@@ -95,7 +130,9 @@ class Stratification:
             )
 
 
-def _scc_levels(graph: DependencyGraph) -> dict[str, int]:
+def _scc_levels(
+    graph: DependencyGraph, clauses: Iterable[Clause] = ()
+) -> dict[str, int]:
     """Assign each relation the least admissible level (1-based)."""
     sccs = graph.sccs()  # dependencies come before dependents
     component_of: dict[str, int] = {}
@@ -111,9 +148,11 @@ def _scc_levels(graph: DependencyGraph) -> dict[str, int]:
                 arc = graph.arc(relation, succ)
                 if j == i:
                     if arc.negative:
-                        raise StratificationError(
-                            f"recursion through negation: {relation} "
-                            f"negatively depends on {succ} inside a cycle"
+                        raise unstratifiable_error(
+                            graph,
+                            clauses,
+                            "recursion through negation: "
+                            f"{relation} negatively depends on {succ}",
                         )
                     continue
                 needed = level_of_component[j] + (1 if arc.negative else 0)
@@ -142,7 +181,7 @@ def stratify(
     Raises :class:`StratificationError` when the program is not stratified.
     """
     graph = DependencyGraph(program)
-    levels = _scc_levels(graph)  # raises on recursion through negation
+    levels = _scc_levels(graph, program)  # raises on recursion through negation
 
     if granularity == "level":
         level_of = levels
@@ -186,12 +225,13 @@ def check_stratified_with(
     "each new arc obtained from the rule does not create in the dependency
     graph a cycle containing a negative arc".
     """
+    extra = tuple(extra_clauses)
     graph = DependencyGraph(program)
-    for clause in extra_clauses:
+    for clause in extra:
         graph.add_clause(clause)
-    offending = graph.negative_arc_in_cycle()
-    if offending is not None:
-        raise StratificationError(
-            "rule insertion would break stratification: negative arc "
-            f"{offending.source} -> {offending.target} lies on a cycle"
+    if not graph.is_stratified():
+        raise unstratifiable_error(
+            graph,
+            tuple(program) + extra,
+            "rule insertion would break stratification",
         )

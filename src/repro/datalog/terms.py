@@ -26,7 +26,7 @@ class Variable:
 
     __slots__ = ("name", "_hash")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         if not name:
             raise ValueError("variable name must be non-empty")
         self.name = name

@@ -41,9 +41,6 @@ from __future__ import annotations
 import json
 from typing import Any
 
-from ..datalog.atoms import Atom, Literal
-from ..datalog.clauses import Clause
-from ..datalog.terms import Variable
 from ..core.supports import (
     FactRecord,
     PairSupport,
@@ -52,6 +49,9 @@ from ..core.supports import (
     SetOfSetsSupport,
     Signed,
 )
+from ..datalog.atoms import Atom, Literal
+from ..datalog.clauses import Clause
+from ..datalog.terms import Variable
 
 FORMAT_VERSION = 2
 

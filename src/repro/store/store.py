@@ -24,13 +24,13 @@ from pathlib import Path
 from typing import Optional, Union
 
 from ..core.base import MaintenanceEngine, _as_fact, _as_rule
-from ..core.registry import ENGINE_NAMES, create_engine
 from ..core.metrics import UpdateResult
+from ..core.registry import ENGINE_NAMES, create_engine
 from ..datalog.atoms import Atom
 from ..datalog.clauses import Clause
 from ..obs import OBS
-from .journal import Journal, commit_record, describe, update_record
 from .history import materialize, replay
+from .journal import Journal, commit_record, describe, update_record
 from .snapshot import snapshot_name, snapshot_positions, write_snapshot
 from .transaction import Transaction
 

@@ -25,7 +25,64 @@ from .updates import (
     random_updates,
 )
 
+#: Expected static-analysis codes per workload program — the explicit
+#: annotations the `repro check --workloads` self-lint verifies against.
+#: Every entry is intentional:
+#:
+#: * ``DL006`` — each workload's top relation is an *output*, never a body
+#:   reference;
+#: * ``DL004``/``DL005`` — the "undefined" relations (``rejected``, ``p0``,
+#:   ``negative_review``, ``missing``, ``revoked``, ``p``, ``d``) are the
+#:   *update targets*: the paper's examples insert them later, which is the
+#:   whole point of maintenance;
+#: * ``DL010`` in ``reachability`` — ``unreachable`` deliberately pairs all
+#:   nodes before filtering by negation (the default-complement idiom);
+#: * ``DL007``/``DL010`` in ``synthetic`` — random bodies legitimately
+#:   contain singletons and cross products; the generator stresses the
+#:   planner with them on purpose.
+#:
+#: A code listed here but absent from the program's report is itself a
+#: self-lint failure: stale annotations rot like stale comments.
+EXPECTED_DIAGNOSTICS: dict[str, tuple[str, ...]] = {
+    "pods": ("DL006",),
+    "conf": ("DL005", "DL006"),
+    "congress": ("DL005", "DL006"),
+    "meet": ("DL005", "DL006"),
+    "negation_chain": ("DL005", "DL006"),
+    "cascade_example": ("DL004", "DL005", "DL006"),
+    "staleness_counterexample": ("DL005", "DL006"),
+    "review_pipeline": ("DL004", "DL006"),
+    "reachability": ("DL006", "DL010"),
+    "bill_of_materials": ("DL004", "DL006"),
+    "access_control": ("DL005", "DL006"),
+    "synthetic": ("DL006", "DL007", "DL010"),
+}
+
+
+def named_programs() -> dict:
+    """Every built-in workload program, by annotation name.
+
+    The mapping the self-lint iterates: name -> freshly built
+    :class:`~repro.datalog.clauses.Program` at default scale (plus the
+    seed-0 synthetic program).
+    """
+    return {
+        "pods": pods(),
+        "conf": conf(),
+        "congress": congress(),
+        "meet": meet(),
+        "negation_chain": negation_chain(),
+        "cascade_example": cascade_example(),
+        "staleness_counterexample": staleness_counterexample(),
+        "review_pipeline": review_pipeline(),
+        "reachability": reachability(),
+        "bill_of_materials": bill_of_materials(),
+        "access_control": access_control(),
+        "synthetic": generate(0).program,
+    }
+
 __all__ = [
+    "EXPECTED_DIAGNOSTICS",
     "FAMILY_BUILDERS",
     "SyntheticProgram",
     "SyntheticSpec",
@@ -39,6 +96,7 @@ __all__ = [
     "generate",
     "meet",
     "mixed_updates",
+    "named_programs",
     "negation_chain",
     "pods",
     "random_updates",

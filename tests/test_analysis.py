@@ -1,0 +1,458 @@
+"""Tests for repro.analysis: diagnostics, checks, independence report.
+
+For every diagnostic code there is one fixture that triggers it and one
+near-miss that must not; the stratification test pins the negative-cycle
+witness; a hypothesis property asserts that analyzer-clean random programs
+build under every engine without raising DatalogError.
+"""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    CODES,
+    Diagnostic,
+    IndependenceReport,
+    Severity,
+    analyze_program,
+    analyze_source,
+    check_clause,
+    independence_report,
+    source_pragmas,
+)
+from repro.core.registry import ENGINE_NAMES, create_engine
+from repro.datalog.errors import (
+    DatalogError,
+    SafetyError,
+    StratificationError,
+)
+from repro.datalog.parser import parse_program
+from repro.workloads import EXPECTED_DIAGNOSTICS, named_programs
+from repro.workloads.synthetic import generate
+
+
+def codes_of(report):
+    return set(report.codes())
+
+
+# A well-formed base program none of the checks should fire on (beyond the
+# unavoidable DL006 for the output relation, which references exempt).
+CLEAN = """
+edge(1, 2). edge(2, 3).
+path(X, Y) :- edge(X, Y).
+path(X, Z) :- path(X, Y), edge(Y, Z).
+top(X) :- path(X, Y), not edge(Y, X).
+ref(X) :- top(X).
+use(X) :- ref(X).
+"""
+
+
+class TestRegistry:
+    def test_codes_are_stable(self):
+        assert sorted(CODES) == [f"DL{i:03d}" for i in range(11)]
+
+    def test_severities(self):
+        assert CODES["DL000"].severity is Severity.ERROR
+        assert CODES["DL001"].severity is Severity.ERROR
+        assert CODES["DL002"].severity is Severity.ERROR
+        assert CODES["DL003"].severity is Severity.ERROR
+        assert CODES["DL004"].severity is Severity.WARNING
+        assert CODES["DL006"].severity is Severity.INFO
+
+    def test_clean_program_has_no_warnings(self):
+        report = analyze_source(CLEAN, ignore=("DL006",))
+        assert list(report) == []
+        assert report.ok and report.clean
+
+
+class TestParseFailure:
+    def test_dl000_triggering(self):
+        report = analyze_source("p(X :- q(X).")
+        assert codes_of(report) == {"DL000"}
+        (finding,) = report.errors
+        assert finding.line >= 1 and finding.column >= 1
+        assert not report.ok
+
+    def test_dl000_non_triggering(self):
+        assert "DL000" not in codes_of(analyze_source(CLEAN))
+
+
+class TestSafety:
+    def test_dl001_head_variable(self):
+        report = analyze_source("p(X, Y) :- q(X).\nq(1).")
+        assert "DL001" in codes_of(report)
+        finding = report.by_code("DL001")[0]
+        assert "Y" in finding.message
+        assert finding.line == 1
+
+    def test_dl001_negative_literal_variable(self):
+        report = analyze_source("p(X) :- q(X), not r(X, Z).\nq(1). r(1, 2).")
+        assert "DL001" in codes_of(report)
+        finding = report.by_code("DL001")[0]
+        assert "Z" in finding.message
+
+    def test_dl001_non_triggering(self):
+        report = analyze_source("p(X) :- q(X), not r(X).\nq(1). r(2).")
+        assert "DL001" not in codes_of(report)
+
+
+class TestStratification:
+    CYCLIC = """
+    win(X) :- move(X, Y), not win(Y).
+    move(a, b). move(b, a).
+    """
+
+    def test_dl002_with_witness(self):
+        report = analyze_source(self.CYCLIC)
+        assert "DL002" in codes_of(report)
+        finding = report.by_code("DL002")[0]
+        # The witness path names the cycle explicitly.
+        assert "win -not-> win" in finding.message
+        assert finding.severity is Severity.ERROR
+
+    def test_dl002_two_relation_witness(self):
+        report = analyze_source(
+            "sleeps(X) :- person(X), not works(X).\n"
+            "works(X) :- person(X), not sleeps(X).\n"
+            "person(ann)."
+        )
+        finding = report.by_code("DL002")[0]
+        assert "-not->" in finding.message
+        # Both cycle members are on the witness path.
+        assert "sleeps" in finding.message and "works" in finding.message
+
+    def test_dl002_non_triggering(self):
+        # Negation between strata is exactly what stratification allows.
+        report = analyze_source(
+            "p(X) :- q(X), not r(X).\nr(X) :- s(X).\nq(1). s(2)."
+        )
+        assert "DL002" not in codes_of(report)
+
+    def test_error_carries_witness(self):
+        # Admission (database construction) raises the position-carrying,
+        # code-tagged error whose witness the diagnostic renders.
+        with pytest.raises(StratificationError) as info:
+            create_engine("cascade", self.CYCLIC)
+        assert info.value.code == "DL002"
+        assert info.value.witness  # the arcs of the offending cycle
+        assert "win" in str(info.value)
+
+
+class TestArity:
+    def test_dl003_triggering(self):
+        report = analyze_source("p(1, 2).\np(3).\n")
+        assert "DL003" in codes_of(report)
+        finding = report.by_code("DL003")[0]
+        assert "arity 1" in finding.message and "arity 2" in finding.message
+
+    def test_dl003_non_triggering(self):
+        report = analyze_source("p(1, 2).\np(3, 4).\n")
+        assert "DL003" not in codes_of(report)
+
+
+class TestUndefined:
+    def test_dl004_positive(self):
+        report = analyze_source("p(X) :- q(X).")
+        assert "DL004" in codes_of(report)
+        assert "q" in report.by_code("DL004")[0].message
+
+    def test_dl005_negated(self):
+        report = analyze_source("p(X) :- q(X), not ghost(X).\nq(1).")
+        assert "DL005" in codes_of(report)
+        finding = report.by_code("DL005")[0]
+        assert "ghost" in finding.message
+        assert "vacuously" in finding.message
+
+    def test_dl004_dl005_non_triggering(self):
+        report = analyze_source("p(X) :- q(X), not r(X).\nq(1). r(2).")
+        assert "DL004" not in codes_of(report)
+        assert "DL005" not in codes_of(report)
+
+
+class TestUnused:
+    def test_dl006_triggering(self):
+        report = analyze_source("p(X) :- q(X).\nq(1).")
+        assert "DL006" in codes_of(report)
+        finding = report.by_code("DL006")[0]
+        assert finding.severity is Severity.INFO
+        assert "p" in finding.message
+
+    def test_dl006_non_triggering(self):
+        report = analyze_source("p(X) :- q(X).\nr(X) :- p(X).\nq(1).")
+        assert all(
+            "relation p " not in f.message for f in report.by_code("DL006")
+        )
+
+    def test_dl006_reported_once_per_relation(self):
+        report = analyze_source("p(X) :- q(X).\np(X) :- r(X).\nq(1). r(1).")
+        assert len(report.by_code("DL006")) == 1
+
+
+class TestSingletons:
+    def test_dl007_triggering(self):
+        report = analyze_source("p(X) :- q(X), r(X, Y).\nq(1). r(1, 2).")
+        assert "DL007" in codes_of(report)
+        assert "Y" in report.by_code("DL007")[0].message
+
+    def test_dl007_underscore_exempt(self):
+        report = analyze_source("p(X) :- q(X), r(X, _Y).\nq(1). r(1, 2).")
+        assert "DL007" not in codes_of(report)
+
+    def test_dl007_non_triggering(self):
+        report = analyze_source("p(X, Y) :- q(X), r(X, Y).\nq(1). r(1, 2).")
+        assert "DL007" not in codes_of(report)
+
+
+class TestDuplicates:
+    def test_dl008_triggering(self):
+        report = analyze_source(
+            "p(X) :- q(X), not r(X).\n"
+            "p(A) :- q(A), not r(A).\n"
+            "q(1). r(2)."
+        )
+        assert "DL008" in codes_of(report)
+        finding = report.by_code("DL008")[0]
+        assert finding.line == 2  # the later copy is the duplicate
+
+    def test_dl008_non_triggering(self):
+        # Same shape, different polarity: not a duplicate.
+        report = analyze_source(
+            "p(X) :- q(X), not r(X).\np(A) :- q(A), r(A).\nq(1). r(2)."
+        )
+        assert "DL008" not in codes_of(report)
+
+    def test_dl008_facts_exempt(self):
+        report = analyze_source("q(1).\nq(1).")
+        assert "DL008" not in codes_of(report)
+
+
+class TestSubsumption:
+    def test_dl009_triggering(self):
+        report = analyze_source(
+            "p(X) :- q(X).\np(X) :- q(X), r(X).\nq(1). r(1)."
+        )
+        assert "DL009" in codes_of(report)
+        finding = report.by_code("DL009")[0]
+        assert finding.line == 2  # the narrower rule is the subsumed one
+
+    def test_dl009_instance_subsumed(self):
+        report = analyze_source("p(X) :- q(X).\np(1) :- q(1).\nq(1).")
+        assert "DL009" in codes_of(report)
+
+    def test_dl009_non_triggering(self):
+        report = analyze_source("p(X) :- q(X).\np(X) :- r(X).\nq(1). r(1).")
+        assert "DL009" not in codes_of(report)
+
+
+class TestCrossProducts:
+    def test_dl010_triggering(self):
+        report = analyze_source("p(X, Y) :- q(X), r(Y).\nq(1). r(2).")
+        assert "DL010" in codes_of(report)
+        assert " x " in report.by_code("DL010")[0].message
+
+    def test_dl010_ground_literal_exempt(self):
+        # A ground positive literal is a membership test, not a join input.
+        report = analyze_source("p(X) :- q(X), r(1).\nq(1). r(1).")
+        assert "DL010" not in codes_of(report)
+
+    def test_dl010_negative_literal_exempt(self):
+        report = analyze_source(
+            "p(X) :- q(X), not r(Y, X).\nq(1). r(1, 2)."
+        )
+        assert "DL010" not in codes_of(report)
+
+    def test_dl010_non_triggering(self):
+        report = analyze_source("p(X, Y) :- q(X), r(X, Y).\nq(1). r(1, 2).")
+        assert "DL010" not in codes_of(report)
+
+
+class TestReport:
+    DEFECTIVE = "p(X, Y) :- q(X).\nq(1).\n"
+
+    def test_errors_sort_before_warnings(self):
+        report = analyze_source(self.DEFECTIVE)
+        severities = [f.severity.rank for f in report]
+        assert severities == sorted(severities)
+
+    def test_render_carries_position_and_hint(self):
+        report = analyze_source(self.DEFECTIVE)
+        rendered = report.render("prog.dl")
+        assert "prog.dl:1:1: error DL001" in rendered
+        assert "hint:" in rendered
+
+    def test_json_round_trip(self):
+        payload = json.loads(analyze_source(self.DEFECTIVE).to_json("prog.dl"))
+        assert payload["path"] == "prog.dl"
+        codes = {entry["code"] for entry in payload["diagnostics"]}
+        assert "DL001" in codes
+        first = payload["diagnostics"][0]
+        assert {"code", "message", "severity", "line", "column"} <= set(first)
+
+    def test_ignore_filters_codes(self):
+        report = analyze_source(self.DEFECTIVE, ignore=("DL001",))
+        assert "DL001" not in codes_of(report)
+
+    def test_clean_vs_ok(self):
+        infos_only = analyze_source("p(X) :- q(X).\nq(1).")
+        assert infos_only.ok and infos_only.clean  # DL006 is info
+        warned = analyze_source("p(X) :- q(X), r(Y, X).\nq(1). r(1, 2).")
+        assert warned.ok and not warned.clean  # DL007 is a warning
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(KeyError):
+            Diagnostic(code="DL999", message="nope").title
+
+
+class TestPragmas:
+    def test_source_pragmas_parsed(self):
+        text = "% repro: allow DL007, DL010\np(1)."
+        assert source_pragmas(text) == {"DL007", "DL010"}
+
+    def test_pragma_suppresses(self):
+        text = (
+            "% repro: allow DL007\n"
+            "p(X) :- q(X), r(X, Y).\nq(1). r(1, 2)."
+        )
+        assert "DL007" not in codes_of(analyze_source(text))
+
+    def test_pragma_only_suppresses_listed(self):
+        text = (
+            "% repro: allow DL007\n"
+            "p(X, Y) :- q(X).\nq(1)."
+        )
+        assert "DL001" in codes_of(analyze_source(text))
+
+
+class TestCheckClause:
+    def test_local_findings(self):
+        (clause,) = list(parse_program("p(X) :- q(X), r(X, Y).\nq(1). r(1, 2)."))[0:1]
+        findings = check_clause(clause)
+        assert {f.code for f in findings} == {"DL007"}
+
+    def test_program_context_adds_undefined(self):
+        program = parse_program("q(1).")
+        (rule,) = list(parse_program("p(X) :- q(X), not ghost(X).\nq(1). ghost(9)."))[:1]
+        findings = check_clause(rule, program.clauses)
+        assert "DL005" in {f.code for f in findings}
+
+
+class TestWorkloadAnnotations:
+    def test_every_workload_clean_modulo_annotations(self):
+        for name, program in named_programs().items():
+            expected = EXPECTED_DIAGNOSTICS.get(name, ())
+            report = analyze_program(program, ignore=expected)
+            assert list(report) == [], (
+                f"{name}: unexpected {sorted(codes_of(report))}"
+            )
+
+    def test_annotations_are_not_stale(self):
+        for name, program in named_programs().items():
+            fired = codes_of(analyze_program(program))
+            stale = set(EXPECTED_DIAGNOSTICS.get(name, ())) - fired
+            assert not stale, f"{name}: annotated {sorted(stale)} never fire"
+
+
+class TestIndependence:
+    TWO_SHARDS = """
+    reach(X, Y) :- edge(X, Y).
+    reach(X, Z) :- reach(X, Y), edge(Y, Z).
+    edge(a, b).
+    allowed(U) :- user(U), not banned(U).
+    user(ann). banned(bob).
+    """
+
+    def test_shards_are_the_connected_components(self):
+        report = independence_report(self.TWO_SHARDS)
+        shards = [set(shard) for shard in report.shards()]
+        assert {"reach", "edge"} in shards
+        assert {"allowed", "user", "banned"} in shards
+
+    def test_cross_shard_updates_commute(self):
+        report = independence_report(self.TWO_SHARDS)
+        assert report.commutes("edge", "banned")
+        assert report.commutes("banned", "edge")
+        assert report.disjoint_cones("edge", "user")
+
+    def test_same_shard_updates_conflict(self):
+        report = independence_report(self.TWO_SHARDS)
+        assert not report.commutes("edge", "reach")
+        assert report.conflict("user", "banned")
+
+    def test_negation_sensitivity(self):
+        report = independence_report(self.TWO_SHARDS)
+        # allowed depends on banned through a negation: an update to
+        # banned can *retract* allowed facts.
+        assert "allowed" in report.negation_sensitive("banned")
+        assert report.negation_sensitive("edge") == frozenset()
+
+    def test_accepts_program_and_graph(self):
+        program = parse_program("p(X) :- q(X).\nq(1).")
+        by_program = IndependenceReport(program)
+        by_graph = independence_report(program.clauses)
+        assert by_program.shards() == by_graph.shards()
+
+    def test_to_dict_shape(self):
+        payload = independence_report(self.TWO_SHARDS).to_dict()
+        assert "shards" in payload and "relations" in payload
+
+    def test_writes_include_dependents(self):
+        report = independence_report(self.TWO_SHARDS)
+        assert "reach" in report.writes("edge")
+        assert "allowed" in report.writes("banned")
+
+
+class TestEngineSurface:
+    def test_insert_rule_carries_warnings(self):
+        engine = create_engine("cascade", "q(1).")
+        result = engine.insert_rule("p(X) :- q(X), not ghost(X).")
+        assert any(w.code == "DL005" for w in result.warnings)
+        assert "DL005" in result.summary()
+
+    def test_clean_rule_carries_none(self):
+        engine = create_engine("cascade", "q(1).")
+        result = engine.insert_rule("p(X) :- q(X).")
+        assert result.warnings == ()
+
+    def test_engine_check_reports_program(self):
+        engine = create_engine("cascade", "p(X) :- q(X), r(Y, X).\nq(1). r(1, 2).")
+        report = engine.check()
+        assert "DL007" in codes_of(report)
+
+    def test_insert_rule_error_is_code_tagged(self):
+        engine = create_engine("cascade", "q(1).")
+        with pytest.raises(SafetyError) as info:
+            engine.insert_rule("p(X, Y) :- q(X).")
+        assert info.value.code == "DL001"
+
+
+# ---------------------------------------------------------------------------
+# Property: analyzer-clean random programs evaluate under every engine.
+# ---------------------------------------------------------------------------
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_clean_random_programs_build_everywhere(seed):
+    program = generate(seed).program
+    report = analyze_program(program)
+    # Random programs may carry intentional lints but must never carry
+    # analyzer *errors* ...
+    assert report.ok, f"seed {seed}: {sorted(codes_of(report))}"
+    # ... and an error-free program must build and evaluate under every
+    # engine without raising.
+    for name in ENGINE_NAMES:
+        try:
+            engine = create_engine(name, program)
+        except DatalogError as error:  # pragma: no cover - the property
+            raise AssertionError(
+                f"seed {seed}: engine {name} rejected an analyzer-clean "
+                f"program: {error}"
+            ) from error
+        assert engine.model is not None

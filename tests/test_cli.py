@@ -1,5 +1,6 @@
 """Tests for the interactive console (repro.cli)."""
 
+import json
 import os
 import subprocess
 import sys
@@ -312,3 +313,79 @@ class TestMain:
         program.write_text(PODS)
         main([str(program), "--engine", "factlevel", "-c", "stats"])
         assert "factlevel" in capsys.readouterr().out or True
+
+
+class TestCheckVerb:
+    def test_console_check_renders_report(self, console):
+        console.dispatch("+ p(X) :- submitted(X), not ghost(X).")
+        output = console.dispatch("check")
+        assert "DL005" in output and "ghost" in output
+
+    def test_console_check_json(self, console):
+        payload = json.loads(console.dispatch("check json"))
+        assert "diagnostics" in payload
+
+    def test_console_independence(self, console):
+        output = console.dispatch("independence")
+        assert "shard" in output
+
+    def test_console_independence_json(self, console):
+        payload = json.loads(console.dispatch("independence json"))
+        assert "shards" in payload
+
+    def test_insert_rule_prints_warning(self, console):
+        output = console.dispatch("+ p(X) :- submitted(X), not ghost(X).")
+        assert "warning DL005" in output
+
+
+class TestCheckCommand:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        program = tmp_path / "clean.dl"
+        program.write_text("q(1).\np(X) :- q(X).\nr(X) :- p(X).\n")
+        assert main(["check", str(program)]) == 0
+        assert "clean" not in capsys.readouterr().err
+
+    def test_warning_file_exits_one(self, tmp_path, capsys):
+        program = tmp_path / "warn.dl"
+        program.write_text("p(X) :- q(X), r(Y, X).\nq(1). r(1, 2).\n")
+        assert main(["check", str(program)]) == 1
+        assert "DL007" in capsys.readouterr().out
+
+    def test_error_file_exits_two(self, tmp_path, capsys):
+        program = tmp_path / "bad.dl"
+        program.write_text("p(X, Y) :- q(X).\nq(1).\n")
+        assert main(["check", str(program)]) == 2
+        out = capsys.readouterr().out
+        assert "error DL001" in out
+
+    def test_parse_failure_exits_two(self, tmp_path, capsys):
+        program = tmp_path / "broken.dl"
+        program.write_text("p(X :- q(X).\n")
+        assert main(["check", str(program)]) == 2
+        assert "DL000" in capsys.readouterr().out
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        assert main(["check", str(tmp_path / "absent.dl")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_json_reports_positions(self, tmp_path, capsys):
+        program = tmp_path / "bad.dl"
+        program.write_text("p(X, Y) :- q(X).\nq(1).\n")
+        assert main(["check", "--json", str(program)]) == 2
+        payload = json.loads(capsys.readouterr().out)
+        finding = payload[0]["diagnostics"][0]
+        assert finding["code"] == "DL001"
+        assert finding["line"] == 1 and finding["column"] >= 1
+
+    def test_pragma_makes_file_clean(self, tmp_path, capsys):
+        program = tmp_path / "allowed.dl"
+        program.write_text(
+            "% repro: allow DL007\n"
+            "p(X) :- q(X), r(Y, X).\nq(1). r(1, 2).\n"
+        )
+        assert main(["check", str(program)]) == 0
+
+    def test_workloads_self_lint_is_clean(self, capsys):
+        assert main(["check", "--workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "workload:pods: clean" in out

@@ -9,7 +9,6 @@ from repro.datalog.completion import (
     is_model_of_completion,
 )
 from repro.datalog.evaluation import compute_model
-from repro.datalog.model import Model
 from repro.datalog.parser import parse_program
 from repro.workloads.paper import cascade_example, meet, negation_chain, pods
 from repro.workloads.synthetic import SyntheticSpec, generate

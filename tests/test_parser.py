@@ -120,3 +120,41 @@ class TestAtoms:
 
     def test_parse_fact(self):
         assert parse_fact("p(1)") == Atom("p", (1,))
+
+
+class TestPositions:
+    SOURCE = "a(1).\nb(X) :- a(X),\n    not c(X).\nc(2)."
+
+    def test_clause_positions(self):
+        program = parse_program(self.SOURCE)
+        lines = [clause.line for clause in program]
+        assert lines == [1, 2, 4]
+        assert all(clause.column == 1 for clause in program)
+
+    def test_literal_positions(self):
+        program = parse_program(self.SOURCE)
+        rule = program.clauses[1]
+        positive, negative = rule.body
+        assert (positive.line, positive.column) == (2, 9)
+        # The position of a negated literal is its atom's, past the `not`.
+        assert (negative.line, negative.column) == (3, 9)
+
+    def test_head_position_is_clause_position(self):
+        program = parse_program(self.SOURCE)
+        rule = program.clauses[1]
+        assert (rule.head.line, rule.head.column) == (rule.line, rule.column)
+
+    def test_positions_do_not_affect_identity(self):
+        # Parsed and programmatically built atoms must interchange as
+        # set/dict keys: position is provenance, not identity.
+        parsed = parse_fact("p(1)")
+        built = Atom("p", (1,))
+        assert parsed == built
+        assert hash(parsed) == hash(built)
+        assert len({parsed, built}) == 1
+
+    def test_parse_error_position(self):
+        with pytest.raises(ParseError) as info:
+            parse_program("a(1).\nb(X :- a(X).")
+        assert info.value.line == 2
+        assert info.value.code == "DL000"

@@ -21,8 +21,8 @@ from repro.store import (
     read_snapshot,
     snapshot_positions,
 )
-from repro.store.journal import commit_record, update_record, updates_of
 from repro.store.history import replay
+from repro.store.journal import commit_record, update_record, updates_of
 from repro.workloads.synthetic import SyntheticSpec, generate
 from repro.workloads.updates import random_updates
 
