@@ -1,0 +1,243 @@
+"""E20 — the live columnar support arena: revise, copy, roll back, snapshot.
+
+PR 8 moves the hot support representation out of per-deduction record
+objects into :mod:`repro.core.arena`: interned atom/rule tables plus
+int-slot record columns, with copy-on-write support tables. The paper's
+section 5.2 engine (fact-level records, zero migration) is the stress
+case — it keeps one record per deduction, so every cost the arena is
+meant to remove (object hashing, deep state copies, tagged-object
+serialization) shows up here at full size. Four measurements on the dense
+E15 workload, arena vs the record-object baseline (``arena=False``, the
+differential ablation the equivalence tests pin down):
+
+* **E20a (bulk revision throughput)** — the same flip sequence applied to
+  both representations; identical final models and support totals, wall
+  clock reported (the arena must at least hold parity: the point of the
+  refactor is cheaper copies and snapshots *without* taxing updates).
+
+* **E20b (checkpoint + rollback latency — CI guard)** — one
+  ``engine.checkpoint()`` + mutate + ``restore()`` cycle, the transaction
+  rollback path. The arena checkpoint shares the model relations and the
+  support table copy-on-write; the record path deep-copies every record
+  set. Named guard: the arena cycle must beat the record cycle.
+
+* **E20c (snapshot encode/decode)** — v2 ``write_snapshot`` /
+  ``read_snapshot`` of the full state. The arena state serializes as one
+  canonical ``"A"`` node straight off the live intern tables instead of
+  collect-and-intern over thousands of record objects; encode must not
+  lose, decode is reported.
+
+* **E20d (checkpoint memory)** — tracemalloc peak while holding a
+  checkpoint of the live state: copy-on-write sharing vs deep record
+  copies.
+"""
+
+import time
+import tracemalloc
+
+from test_e15_snapshot_restore import _workload
+
+from repro.bench.reporting import print_table
+from repro.core.registry import create_engine
+from repro.datalog.parser import parse_fact
+from repro.store.snapshot import read_snapshot, snapshot_name, write_snapshot
+
+REPEATS = 5
+NODES = 120
+FLIPS = 12
+
+# E20b's acceptance bar: the arena checkpoint+restore cycle must beat the
+# record-object deep copy by at least this factor on the dense workload.
+ARENA_COPY_MUST_WIN = 2.0
+# E20c floor: arena snapshot encode at parity or better (margin for
+# scheduler noise).
+ARENA_ENCODE_FLOOR = 0.9
+
+
+def _best_of(action, repeats: int = REPEATS):
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = action()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def _engines():
+    program = _workload(NODES)
+    return (
+        create_engine("factlevel", program),
+        create_engine("factlevel", program, arena=False),
+    )
+
+
+def _flip_updates():
+    updates = []
+    for i in range(FLIPS):
+        subject = parse_fact(f"source({i})")
+        updates.append(("insert_fact", subject))
+        if i % 2:
+            updates.append(("delete_fact", subject))
+    return updates
+
+
+def test_e20a_bulk_revision_throughput():
+    arena_engine, record_engine = _engines()
+    updates = _flip_updates()
+
+    def drive(engine):
+        def action():
+            for operation, subject in updates:
+                engine.apply(operation, subject)
+            for operation, subject in reversed(updates):
+                inverse = (
+                    "delete_fact"
+                    if operation == "insert_fact"
+                    else "insert_fact"
+                )
+                engine.apply(inverse, subject)
+            return engine.model
+
+        return action
+
+    arena_s, _ = _best_of(drive(arena_engine), repeats=3)
+    record_s, _ = _best_of(drive(record_engine), repeats=3)
+    assert arena_engine.model == record_engine.model
+    assert (
+        arena_engine.support_entry_count()
+        == record_engine.support_entry_count()
+    )
+
+    print_table(
+        ["representation", "time_s", "speedup_vs_records"],
+        [
+            ["records", record_s, 1.0],
+            ["arena", arena_s, record_s / arena_s],
+        ],
+        f"E20a: {2 * len(updates)} fact-level revisions on the dense "
+        f"workload, best of 3",
+    )
+
+
+def test_e20b_checkpoint_rollback_guard():
+    arena_engine, record_engine = _engines()
+    mutation = parse_fact("source(0)")
+
+    # Correctness first (untimed): a revision between checkpoint and
+    # restore rolls back to the exact pre-checkpoint state.
+    for engine in (arena_engine, record_engine):
+        saved = engine.checkpoint()
+        before = engine.model.as_set()
+        engine.apply("insert_fact", mutation)
+        engine.restore(saved)
+        assert engine.model.as_set() == before
+
+    # The timed cycle is the pure copy cost — checkpoint + restore with
+    # no revision in between. That is what a transaction pays on top of
+    # its updates: the record path deep-copies every support set both
+    # ways, the arena path shares copy-on-write containers.
+    def cycle(engine):
+        def action():
+            saved = engine.checkpoint()
+            engine.restore(saved)
+            return saved
+
+        return action
+
+    arena_s, _ = _best_of(cycle(arena_engine))
+    record_s, _ = _best_of(cycle(record_engine))
+    assert arena_engine.model == record_engine.model
+    assert (
+        arena_engine.support_entry_count()
+        == record_engine.support_entry_count()
+    )
+
+    print_table(
+        ["representation", "cycle_s", "speedup_vs_records"],
+        [
+            ["records", record_s, 1.0],
+            ["arena", arena_s, record_s / arena_s],
+        ],
+        f"E20b: checkpoint + rollback cycle, "
+        f"{arena_engine.support_entry_count()} support entries, best of "
+        f"{REPEATS}",
+    )
+    # The named CI guard: copy-on-write checkpoints must keep beating the
+    # record-object deep copy on the transaction rollback path.
+    assert record_s / arena_s >= ARENA_COPY_MUST_WIN, (
+        f"arena checkpoint+rollback only {record_s / arena_s:.2f}x faster "
+        f"(bar: {ARENA_COPY_MUST_WIN}x)"
+    )
+
+
+def test_e20c_snapshot_encode_decode(benchmark, tmp_path):
+    arena_engine, record_engine = _engines()
+    states = {
+        "arena": arena_engine.state_dict(),
+        "records": record_engine.state_dict(),
+    }
+
+    timings = {}
+    for label, state in states.items():
+        directory = tmp_path / label
+        directory.mkdir()
+        encode_s, path = _best_of(
+            lambda d=directory, s=state: write_snapshot(d, 0, s)
+        )
+        decode_s, decoded = _best_of(
+            lambda d=directory: read_snapshot(d / snapshot_name(0))
+        )
+        size = path.stat().st_size
+        timings[label] = (encode_s, decode_s, size, decoded[1])
+
+    # Both snapshots restore to the same belief state.
+    for label, (_, _, _, state) in timings.items():
+        target = create_engine("factlevel", _workload(NODES), arena=False)
+        target.load_state(state)
+        assert target.model == record_engine.model, label
+        assert (
+            target.support_entry_count()
+            == record_engine.support_entry_count()
+        ), label
+
+    arena_encode, arena_decode, arena_bytes, _ = timings["arena"]
+    record_encode, record_decode, record_bytes, _ = timings["records"]
+    print_table(
+        ["state", "encode_s", "decode_s", "bytes"],
+        [
+            ["records", record_encode, record_decode, record_bytes],
+            ["arena", arena_encode, arena_decode, arena_bytes],
+        ],
+        f"E20c: v2 snapshot of the fact-level state, best of {REPEATS}",
+    )
+    assert record_encode / arena_encode >= ARENA_ENCODE_FLOOR, (
+        f"arena snapshot encode lost to records: "
+        f"{record_encode / arena_encode:.2f}x"
+    )
+    benchmark(
+        lambda: write_snapshot(tmp_path / "arena", 0, states["arena"])
+    )
+
+
+def test_e20d_checkpoint_memory():
+    peaks = {}
+    for label, kwargs in (("arena", {}), ("records", {"arena": False})):
+        engine = create_engine("factlevel", _workload(NODES), **kwargs)
+        tracemalloc.start()
+        checkpoint = engine.checkpoint()
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert checkpoint is not None
+        peaks[label] = peak
+
+    print_table(
+        ["representation", "checkpoint_peak_bytes"],
+        [
+            ["records", peaks["records"]],
+            ["arena", peaks["arena"]],
+        ],
+        "E20d: tracemalloc peak while taking one checkpoint",
+    )
+    # Copy-on-write sharing: the arena checkpoint allocates a small
+    # constant wrapper, the record path duplicates every support set.
+    assert peaks["arena"] < peaks["records"]

@@ -63,12 +63,19 @@ class MaintenanceEngine(ABC):
         method: str = "seminaive",
         granularity: str = "level",
         build: bool = True,
+        arena: bool = True,
     ):
         if isinstance(program, StratifiedDatabase):
             self.db = program.copy()
         else:
             self.db = StratifiedDatabase(program, granularity)
         self.method = method
+        # Support-carrying engines keep their bookkeeping in the interned
+        # int-slot arena (repro.core.arena) when True; arena=False retains
+        # the per-object record path as the differential-testing baseline,
+        # mirroring the materialize_deltas/delta_choice ablation idiom.
+        # Support-free engines ignore the flag.
+        self.arena = arena
         self.model = Model()
         self.planner = Planner()  # engine-owned plan cache, reused across updates
         self.totals = MaintenanceStats()
@@ -196,6 +203,49 @@ class MaintenanceEngine(ABC):
     def _load_support_state(self, state: dict) -> None:
         """Adopt support structures from a :meth:`_support_state` copy."""
         self._reset_supports()
+
+    def checkpoint(self) -> dict:
+        """An in-process snapshot for rollback, priced for the hot path.
+
+        Where :meth:`state_dict` flattens the model to sorted columnar
+        rows (the deterministic on-disk form), a checkpoint keeps live
+        objects: a copy-on-write :meth:`Model.copy` and the engine's
+        support state (itself copy-on-write for arena-backed engines).
+        Taking one is therefore near O(1); the deep-copy cost moves to
+        the writes that actually diverge afterwards. Transactions take a
+        checkpoint at ``BEGIN`` and :meth:`restore` it on failure.
+        """
+        return {
+            "engine": self.name,
+            "method": self.method,
+            "granularity": self.db.granularity,
+            "program": self.db.program.clauses,
+            "model": self.model.copy(),
+            "supports": self._support_state(),
+        }
+
+    def restore(self, checkpoint: dict) -> None:
+        """Adopt the belief state of a :meth:`checkpoint`.
+
+        The checkpoint stays valid afterwards (the model and support
+        containers are re-shared copy-on-write, not moved), so one
+        checkpoint can back out any number of failed attempts. Database
+        structures are rebuilt only when the program actually changed
+        since the checkpoint was taken.
+        """
+        program = tuple(checkpoint["program"])
+        granularity = checkpoint.get("granularity", self.db.granularity)
+        if (
+            self.db.program.clauses != program
+            or self.db.granularity != granularity
+        ):
+            self.db = StratifiedDatabase(Program(program), granularity)
+        self.method = checkpoint.get("method", self.method)
+        self._pin_rule_plans()
+        self.model = checkpoint["model"].copy()
+        self._load_support_state(checkpoint["supports"])
+        self._derivations_fired = 0
+        self._transient = 0
 
     # ------------------------------------------------------------------
     # Public update API

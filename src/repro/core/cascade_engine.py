@@ -41,12 +41,22 @@ from ..datalog.clauses import Clause
 from ..datalog.evaluation import Derivation, semi_naive_saturate
 from ..datalog.stratify import Stratum
 from ..obs import OBS
+from .arena import ASSERTION, Arena, ArenaRuleRecords, SupportTable
 from .base import MaintenanceEngine, _as_fact, _as_rule
 from .supports import RuleRecord
 
 
 class CascadeEngine(MaintenanceEngine):
-    """The cascade solution of section 5.1."""
+    """The cascade solution of section 5.1.
+
+    With ``arena=True`` (the default) the rule-pointer supports live as
+    record slots in a :class:`~repro.core.arena.Arena` — one interned
+    record per clause, fact → {slot} in a copy-on-write table — and the
+    REMOVEPOS/REMOVENEG sweeps intersect the records' pre-extracted body
+    relation-name sets straight out of the arena columns. ``arena=False``
+    keeps the per-object :class:`~repro.core.supports.RuleRecord` path as
+    the differential baseline.
+    """
 
     name = "cascade"
 
@@ -66,6 +76,14 @@ class CascadeEngine(MaintenanceEngine):
         self.skip_strata = skip_strata
         self._records: dict[Atom, set[RuleRecord]] = {}
         self._record_cache: dict[Clause, RuleRecord] = {}
+        self._arena = Arena()
+        self._table = SupportTable()
+        # clause → record slot. Engine-level (NOT a plan support template):
+        # plan objects are pinned in the planner and outlive arena
+        # replacements, so a slot cached on a plan would dangle after a
+        # rebuild or state load. This cache is cleared whenever the arena
+        # is replaced.
+        self._slot_cache: dict[Clause, int] = {}
         self._cluster_cache: dict[int, dict[str, frozenset[str]]] = {}
         self._cluster_cache_owner: object = None
         super().__init__(program, **kwargs)
@@ -77,6 +95,9 @@ class CascadeEngine(MaintenanceEngine):
     def _reset_supports(self) -> None:
         self._records.clear()
         self._record_cache.clear()
+        self._arena = Arena()
+        self._table = SupportTable()
+        self._slot_cache.clear()
 
     def _record_for(self, clause: Clause) -> RuleRecord:
         record = self._record_cache.get(clause)
@@ -89,7 +110,30 @@ class CascadeEngine(MaintenanceEngine):
             self._record_cache[clause] = record
         return record
 
+    def _slot_for(self, clause: Clause) -> int:
+        """The arena record slot of *clause* (one dict probe when hot)."""
+        slot = self._slot_cache.get(clause)
+        if slot is None:
+            slot = self._arena.intern_rule_record(
+                clause if clause.body else None
+            )
+            self._slot_cache[clause] = slot
+        return slot
+
     def _build_listener(self):
+        if self.arena:
+            table = self._table
+            intern_atom = self._arena.intern_atom
+            slot_for = self._slot_for
+
+            def listener(derivation: Derivation, is_new: bool, plan) -> None:
+                self._derivations_fired += 1
+                table.add(
+                    intern_atom(derivation.head), slot_for(derivation.clause)
+                )
+
+            return listener
+
         def listener(derivation: Derivation, is_new: bool, plan) -> None:
             self._derivations_fired += 1
             # The rule-pointer record is a pure function of the clause:
@@ -102,15 +146,31 @@ class CascadeEngine(MaintenanceEngine):
         return listener
 
     def _register_assertion(self, fact: Atom) -> None:
-        self._records.setdefault(fact, set()).add(RuleRecord.assertion())
+        if self.arena:
+            self._table.add(self._arena.intern_atom(fact), ASSERTION)
+        else:
+            self._records.setdefault(fact, set()).add(RuleRecord.assertion())
 
     def records_of(self, fact: Atom) -> set[RuleRecord]:
+        if self.arena:
+            slot = self._arena.atom_id(fact)
+            records = None if slot is None else self._table.get(slot)
+            if records is None:
+                raise KeyError(fact)
+            decode = self._arena.decode_rule_record
+            return {decode(record) for record in records}
         return self._records[fact]
 
     def support_entry_count(self) -> int:
+        if self.arena:
+            return sum(len(records) for records in self._table.values())
         return sum(len(records) for records in self._records.values())
 
     def _support_state(self) -> dict:
+        if self.arena:
+            return {
+                "records": ArenaRuleRecords(self._arena, self._table.copy())
+            }
         return {
             "records": {
                 fact: set(records) for fact, records in self._records.items()
@@ -121,9 +181,18 @@ class CascadeEngine(MaintenanceEngine):
         self._reset_supports()
         self._cluster_cache.clear()
         self._cluster_cache_owner = None
-        self._records = {
-            fact: set(records) for fact, records in state["records"].items()
-        }
+        records = state["records"]
+        if self.arena:
+            if not isinstance(records, ArenaRuleRecords):
+                records = ArenaRuleRecords.from_records(records)
+            self._arena = records.arena
+            self._table = records.table.copy()
+        else:
+            if isinstance(records, ArenaRuleRecords):
+                records = records.to_record_state()
+            self._records = {
+                fact: set(entries) for fact, entries in records.items()
+            }
 
     # ------------------------------------------------------------------
     # The three procedures of section 5.1
@@ -131,7 +200,12 @@ class CascadeEngine(MaintenanceEngine):
 
     def _evict(self, fact: Atom) -> None:
         self.model.discard(fact)
-        self._records.pop(fact, None)
+        if self.arena:
+            slot = self._arena.atom_id(fact)
+            if slot is not None:
+                self._table.pop(slot)
+        else:
+            self._records.pop(fact, None)
 
     def _stratum_facts(self, stratum: Stratum) -> list[Atom]:
         return [
@@ -209,9 +283,111 @@ class CascadeEngine(MaintenanceEngine):
         if not driving:
             return evicted
         with OBS.span("phase:removepos") as span:
-            changed = True
-            while changed:
-                changed = False
+            if self.arena:
+                arena = self._arena
+                atom_id = arena.atom_id
+                table = self._table
+                body_pos = arena.rule_record_pos
+                changed = True
+                while changed:
+                    changed = False
+                    for fact in self._stratum_facts(stratum):
+                        slot = atom_id(fact)
+                        records = None if slot is None else table.get(slot)
+                        if records is None:
+                            continue
+                        dead = {
+                            record
+                            for record in records
+                            if body_pos[record] & driving
+                        }
+                        if not dead:
+                            continue
+                        if killed_relations is not None:
+                            killed_relations.add(fact.relation)
+                        if dead == records:
+                            self._evict(fact)
+                            evicted.add(fact)
+                            driving.add(fact.relation)
+                            changed = True
+                        else:
+                            table.discard_many(slot, dead)
+            else:
+                changed = True
+                while changed:
+                    changed = False
+                    for fact in self._stratum_facts(stratum):
+                        records = self._records.get(fact)
+                        if records is None:
+                            continue
+                        dead = {
+                            record
+                            for record in records
+                            if record.positive_relations & driving
+                        }
+                        if not dead:
+                            continue
+                        records -= dead
+                        if killed_relations is not None:
+                            killed_relations.add(fact.relation)
+                        if not records:
+                            self._evict(fact)
+                            evicted.add(fact)
+                            driving.add(fact.relation)
+                            changed = True
+            if span:
+                span.set("evicted", len(evicted))
+        return evicted
+
+    def _removeneg(
+        self,
+        stratum: Stratum,
+        increased: set[str],
+        fresh: frozenset = frozenset(),
+        killed_relations: set[str] | None = None,
+    ) -> set[Atom]:
+        """REMOVENEG(Stratum, B, C): kill records whose negated relations
+        intersect the increased ones. One pass suffices: negated relations
+        live strictly below the stratum, so evictions here cannot trigger
+        further REMOVENEG work in the same stratum — but they can trigger
+        positive cascades, which the caller hands back to REMOVEPOS.
+
+        *fresh* (saturate-first order only) lists the (fact, record) pairs
+        re-validated by this update's own saturation of the stratum —
+        ``(Atom, RuleRecord)`` pairs in record mode, ``(atom slot, record
+        slot)`` int pairs in arena mode; their negation tests already ran
+        against the final lower strata, so they are sound to keep.
+        """
+        evicted: set[Atom] = set()
+        if not increased:
+            return evicted
+        with OBS.span("phase:removeneg") as span:
+            if self.arena:
+                arena = self._arena
+                atom_id = arena.atom_id
+                table = self._table
+                body_neg = arena.rule_record_neg
+                for fact in self._stratum_facts(stratum):
+                    slot = atom_id(fact)
+                    records = None if slot is None else table.get(slot)
+                    if records is None:
+                        continue
+                    dead = {
+                        record
+                        for record in records
+                        if body_neg[record] & increased
+                        and (slot, record) not in fresh
+                    }
+                    if not dead:
+                        continue
+                    if killed_relations is not None:
+                        killed_relations.add(fact.relation)
+                    if dead == records:
+                        self._evict(fact)
+                        evicted.add(fact)
+                    else:
+                        table.discard_many(slot, dead)
+            else:
                 for fact in self._stratum_facts(stratum):
                     records = self._records.get(fact)
                     if records is None:
@@ -219,7 +395,8 @@ class CascadeEngine(MaintenanceEngine):
                     dead = {
                         record
                         for record in records
-                        if record.positive_relations & driving
+                        if record.negated_relations & increased
+                        and (fact, record) not in fresh
                     }
                     if not dead:
                         continue
@@ -229,52 +406,6 @@ class CascadeEngine(MaintenanceEngine):
                     if not records:
                         self._evict(fact)
                         evicted.add(fact)
-                        driving.add(fact.relation)
-                        changed = True
-            if span:
-                span.set("evicted", len(evicted))
-        return evicted
-
-    def _removeneg(
-        self,
-        stratum: Stratum,
-        increased: set[str],
-        fresh: frozenset[tuple[Atom, RuleRecord]] = frozenset(),
-        killed_relations: set[str] | None = None,
-    ) -> set[Atom]:
-        """REMOVENEG(Stratum, B, C): kill records whose negated relations
-        intersect the increased ones. One pass suffices: negated relations
-        live strictly below the stratum, so evictions here cannot trigger
-        further REMOVENEG work in the same stratum — but they can trigger
-        positive cascades, which the caller hands back to REMOVEPOS.
-
-        *fresh* (saturate-first order only) lists (fact, record) pairs
-        re-validated by this update's own saturation of the stratum; their
-        negation tests already ran against the final lower strata, so they
-        are sound to keep.
-        """
-        evicted: set[Atom] = set()
-        if not increased:
-            return evicted
-        with OBS.span("phase:removeneg") as span:
-            for fact in self._stratum_facts(stratum):
-                records = self._records.get(fact)
-                if records is None:
-                    continue
-                dead = {
-                    record
-                    for record in records
-                    if record.negated_relations & increased
-                    and (fact, record) not in fresh
-                }
-                if not dead:
-                    continue
-                records -= dead
-                if killed_relations is not None:
-                    killed_relations.add(fact.relation)
-                if not records:
-                    self._evict(fact)
-                    evicted.add(fact)
             if span:
                 span.set("evicted", len(evicted))
         return evicted
@@ -330,7 +461,7 @@ class CascadeEngine(MaintenanceEngine):
         dec_names: set[str],
         extra_full_heads: set[str],
         seed_rules: Iterable[Clause] = (),
-        journal: set[tuple[Atom, RuleRecord]] | None = None,
+        journal: set | None = None,
     ) -> set[Atom]:
         """SATURATE(Stratum, B): delta-driven closure of one stratum.
 
@@ -355,6 +486,16 @@ class CascadeEngine(MaintenanceEngine):
         base_listener = self._build_listener()
         if journal is None:
             listener = base_listener
+        elif self.arena:
+            intern_atom = self._arena.intern_atom
+            slot_for = self._slot_for
+
+            def listener(derivation: Derivation, is_new: bool, plan) -> None:
+                base_listener(derivation, is_new, plan)
+                journal.add(
+                    (intern_atom(derivation.head),
+                     slot_for(derivation.clause))
+                )
         else:
 
             def listener(derivation: Derivation, is_new: bool, plan) -> None:
@@ -458,7 +599,7 @@ class CascadeEngine(MaintenanceEngine):
                     snapshot[relation] |= seed_dec.get(relation, set())
                 killed: set[str] = set(pre_killed)
                 if self.order == "saturate_first":
-                    journal: set[tuple[Atom, RuleRecord]] = set()
+                    journal: set = set()
                     self._saturate(
                         stratum, inc, dec_names, refire_heads, rules, journal
                     )
@@ -588,33 +729,71 @@ class CascadeEngine(MaintenanceEngine):
             if fact in self.model:
                 self._register_assertion(fact)
         self.model.add_many(fresh)
-        assertion = RuleRecord.assertion()
-        for fact in fresh:
-            self._records[fact] = {assertion}
-            inc.setdefault(fact.relation, set()).add(fact.args)
-        for rule in net_gone_rules:
-            target = self._record_for(rule)
-            for fact in list(self.model.facts_of(rule.head.relation)):
+        if self.arena:
+            arena = self._arena
+            table = self._table
+            for fact in fresh:
+                table.replace(arena.intern_atom(fact), {ASSERTION})
+                inc.setdefault(fact.relation, set()).add(fact.args)
+            for rule in net_gone_rules:
+                target = arena.rule_record_id(rule)
+                if target is None:  # never fired: no records point at it
+                    continue
+                for fact in list(self.model.facts_of(rule.head.relation)):
+                    slot = arena.atom_id(fact)
+                    records = None if slot is None else table.get(slot)
+                    if records and target in records:
+                        table.discard(slot, target)
+                        seed_killed.add(fact.relation)
+                        if not table.get(slot):
+                            self._evict(fact)
+                            removed.add(fact)
+                            dec.setdefault(fact.relation, set()).add(
+                                fact.args
+                            )
+                            seed_evicted.add(fact.relation)
+            for fact in net_gone_facts:
+                slot = arena.atom_id(fact)
+                records = None if slot is None else table.get(slot)
+                if records is None:
+                    continue
+                table.discard(slot, ASSERTION)
+                seed_killed.add(fact.relation)
+                if not table.get(slot):
+                    self._evict(fact)
+                    removed.add(fact)
+                    dec.setdefault(fact.relation, set()).add(fact.args)
+                    seed_evicted.add(fact.relation)
+        else:
+            assertion = RuleRecord.assertion()
+            for fact in fresh:
+                self._records[fact] = {assertion}
+                inc.setdefault(fact.relation, set()).add(fact.args)
+            for rule in net_gone_rules:
+                target = self._record_for(rule)
+                for fact in list(self.model.facts_of(rule.head.relation)):
+                    records = self._records.get(fact)
+                    if records and target in records:
+                        records.discard(target)
+                        seed_killed.add(fact.relation)
+                        if not records:
+                            self._evict(fact)
+                            removed.add(fact)
+                            dec.setdefault(fact.relation, set()).add(
+                                fact.args
+                            )
+                            seed_evicted.add(fact.relation)
+            for fact in net_gone_facts:
                 records = self._records.get(fact)
-                if records and target in records:
-                    records.discard(target)
-                    seed_killed.add(fact.relation)
-                    if not records:
-                        self._evict(fact)
-                        removed.add(fact)
-                        dec.setdefault(fact.relation, set()).add(fact.args)
-                        seed_evicted.add(fact.relation)
-        for fact in net_gone_facts:
-            records = self._records.get(fact)
-            if records is None:
-                continue
-            records.discard(RuleRecord.assertion())
-            seed_killed.add(fact.relation)
-            if not records:
-                self._evict(fact)
-                removed.add(fact)
-                dec.setdefault(fact.relation, set()).add(fact.args)
-                seed_evicted.add(fact.relation)
+                if records is None:
+                    continue
+                records.discard(assertion)
+                seed_killed.add(fact.relation)
+                if not records:
+                    self._evict(fact)
+                    removed.add(fact)
+                    dec.setdefault(fact.relation, set()).add(fact.args)
+                    seed_evicted.add(fact.relation)
 
         affected = (
             {relation for relation, rows in inc.items() if rows}
@@ -660,7 +839,10 @@ class CascadeEngine(MaintenanceEngine):
 
     def _apply_insert_fact(self, fact: Atom) -> tuple[set[Atom], set[Atom]]:
         self.model.add(fact)
-        self._records[fact] = {RuleRecord.assertion()}
+        if self.arena:
+            self._table.replace(self._arena.intern_atom(fact), {ASSERTION})
+        else:
+            self._records[fact] = {RuleRecord.assertion()}
         inc = {fact.relation: {fact.args}}
         removed, added = self._run_cascade(
             self.db.stratum_of(fact.relation), inc, {}
@@ -668,10 +850,19 @@ class CascadeEngine(MaintenanceEngine):
         return removed, added | {fact}
 
     def _apply_delete_fact(self, fact: Atom) -> tuple[set[Atom], set[Atom]]:
-        records = self._records.get(fact, set())
-        had_assertion = RuleRecord.assertion() in records
-        records.discard(RuleRecord.assertion())
-        if records:
+        if self.arena:
+            slot = self._arena.atom_id(fact)
+            records = None if slot is None else self._table.get(slot)
+            had_assertion = bool(records) and ASSERTION in records
+            if had_assertion:
+                self._table.discard(slot, ASSERTION)
+            survivors = bool(self._table.get(slot)) if slot is not None else False
+        else:
+            records = self._records.get(fact, set())
+            had_assertion = RuleRecord.assertion() in records
+            records.discard(RuleRecord.assertion())
+            survivors = bool(records)
+        if survivors:
             # Other deductions keep the fact alive — unless its relation
             # sits on a recursive cluster, where the surviving records may
             # be the cluster's own circular ones: the assertion we just
@@ -714,18 +905,34 @@ class CascadeEngine(MaintenanceEngine):
         # Rule pointers make deletion direct: kill exactly the records that
         # point at the deleted rule.
         head = rule.head.relation
-        target = self._record_cache.get(rule, RuleRecord.of_rule(rule))
         dec: dict[str, set[tuple]] = {}
         evicted: set[Atom] = set()
-        for fact in list(self.model.facts_of(head)):
-            records = self._records.get(fact)
-            if records is None or target not in records:
-                continue
-            records.discard(target)
-            if not records:
-                self._evict(fact)
-                evicted.add(fact)
-                dec.setdefault(head, set()).add(fact.args)
+        if self.arena:
+            arena = self._arena
+            table = self._table
+            target_slot = arena.rule_record_id(rule)
+            if target_slot is not None:
+                for fact in list(self.model.facts_of(head)):
+                    slot = arena.atom_id(fact)
+                    records = None if slot is None else table.get(slot)
+                    if records is None or target_slot not in records:
+                        continue
+                    table.discard(slot, target_slot)
+                    if not table.get(slot):
+                        self._evict(fact)
+                        evicted.add(fact)
+                        dec.setdefault(head, set()).add(fact.args)
+        else:
+            target = self._record_cache.get(rule, RuleRecord.of_rule(rule))
+            for fact in list(self.model.facts_of(head)):
+                records = self._records.get(fact)
+                if records is None or target not in records:
+                    continue
+                records.discard(target)
+                if not records:
+                    self._evict(fact)
+                    evicted.add(fact)
+                    dec.setdefault(head, set()).add(fact.args)
         removed, added = self._run_cascade(
             self.db.stratum_of(head),
             {},

@@ -35,6 +35,7 @@ from ..datalog.clauses import Clause
 from ..datalog.evaluation import Derivation, semi_naive_saturate
 from ..datalog.stratify import Stratum
 from ..obs import OBS
+from .arena import ASSERTION, Arena, ArenaFactRecords, SupportTable
 from .base import MaintenanceEngine
 from .supports import FactRecord
 
@@ -44,12 +45,24 @@ def _make_assertion_record(_clause) -> FactRecord:
 
 
 class FactLevelEngine(MaintenanceEngine):
-    """Fact-level supports keeping all deductions (section 5.2 discussion)."""
+    """Fact-level supports keeping all deductions (section 5.2 discussion).
+
+    This is the engine the support arena pays off most for: its
+    bookkeeping is the largest of any solution (one record per ground
+    deduction), and with ``arena=True`` (the default) it lives as int
+    slots in a shared :class:`~repro.core.arena.Arena` — kills and
+    groundedness checks intersect frozensets of ints, checkpoints copy
+    one copy-on-write table. ``arena=False`` keeps the per-object
+    :class:`~repro.core.supports.FactRecord` path as the differential
+    baseline.
+    """
 
     name = "factlevel"
 
     def __init__(self, program, **kwargs):
         self._records: dict[Atom, set[FactRecord]] = {}
+        self._arena = Arena()
+        self._table = SupportTable()
         super().__init__(program, **kwargs)
 
     # ------------------------------------------------------------------
@@ -58,8 +71,35 @@ class FactLevelEngine(MaintenanceEngine):
 
     def _reset_supports(self) -> None:
         self._records.clear()
+        self._arena = Arena()
+        self._table = SupportTable()
 
     def _build_listener(self):
+        if self.arena:
+            arena = self._arena
+            table = self._table
+            intern_atom = arena.intern_atom
+
+            def listener(derivation: Derivation, is_new: bool, plan) -> None:
+                self._derivations_fired += 1
+                if not derivation.clause.body:
+                    slot = ASSERTION
+                else:
+                    slot = arena.intern_fact_record(
+                        arena.intern_rule(derivation.clause),
+                        frozenset(
+                            intern_atom(fact)
+                            for fact in derivation.positive_facts
+                        ),
+                        frozenset(
+                            intern_atom(atom)
+                            for atom in derivation.negative_atoms
+                        ),
+                    )
+                table.add(intern_atom(derivation.head), slot)
+
+            return listener
+
         def listener(derivation: Derivation, is_new: bool, plan) -> None:
             self._derivations_fired += 1
             if not derivation.clause.body:
@@ -82,12 +122,29 @@ class FactLevelEngine(MaintenanceEngine):
         return listener
 
     def _register_assertion(self, fact: Atom) -> None:
-        self._records.setdefault(fact, set()).add(FactRecord.assertion())
+        if self.arena:
+            self._table.add(self._arena.intern_atom(fact), ASSERTION)
+        else:
+            self._records.setdefault(fact, set()).add(FactRecord.assertion())
 
     def records_of(self, fact: Atom) -> set[FactRecord]:
+        if self.arena:
+            slot = self._arena.atom_id(fact)
+            records = None if slot is None else self._table.get(slot)
+            if records is None:
+                raise KeyError(fact)
+            decode = self._arena.decode_fact_record
+            return {decode(record) for record in records}
         return self._records[fact]
 
     def support_entry_count(self) -> int:
+        if self.arena:
+            size = self._arena.fact_record_size
+            return sum(
+                size(record)
+                for records in self._table.values()
+                for record in records
+            )
         return sum(
             record.size()
             for records in self._records.values()
@@ -95,6 +152,13 @@ class FactLevelEngine(MaintenanceEngine):
         )
 
     def _support_state(self) -> dict:
+        if self.arena:
+            # The arena is shared (append-only: existing slots never
+            # change meaning), the table is copy-on-write — taking a
+            # support snapshot is O(facts with support), not O(entries).
+            return {
+                "records": ArenaFactRecords(self._arena, self._table.copy())
+            }
         return {
             "records": {
                 fact: set(records) for fact, records in self._records.items()
@@ -102,9 +166,21 @@ class FactLevelEngine(MaintenanceEngine):
         }
 
     def _load_support_state(self, state: dict) -> None:
-        self._records = {
-            fact: set(records) for fact, records in state["records"].items()
-        }
+        records = state["records"]
+        if self.arena:
+            if not isinstance(records, ArenaFactRecords):
+                records = ArenaFactRecords.from_records(records)
+            self._arena = records.arena
+            self._table = records.table.copy()
+            self._records = {}
+        else:
+            if isinstance(records, ArenaFactRecords):
+                records = records.to_record_state()
+            self._records = {
+                fact: set(entries) for fact, entries in records.items()
+            }
+            self._arena = Arena()
+            self._table = SupportTable()
 
     # ------------------------------------------------------------------
     # The cascade at fact granularity
@@ -112,7 +188,12 @@ class FactLevelEngine(MaintenanceEngine):
 
     def _evict(self, fact: Atom) -> None:
         self.model.discard(fact)
-        self._records.pop(fact, None)
+        if self.arena:
+            slot = self._arena.atom_id(fact)
+            if slot is not None:
+                self._table.pop(slot)
+        else:
+            self._records.pop(fact, None)
 
     def _saturate(
         self,
@@ -155,6 +236,8 @@ class FactLevelEngine(MaintenanceEngine):
     ) -> bool:
         """Kill exactly the records invalidated by the update. Returns
         whether anything was killed (triggering a groundedness pass)."""
+        if self.arena:
+            return self._kill_records_arena(stratum, inc_facts, dec_facts)
         killed = False
         for relation in stratum.relations:
             for fact in list(self.model.facts_of(relation)):
@@ -169,6 +252,46 @@ class FactLevelEngine(MaintenanceEngine):
                 }
                 if dead:
                     records -= dead
+                    killed = True
+        return killed
+
+    def _kill_records_arena(
+        self, stratum: Stratum, inc_facts: set[Atom], dec_facts: set[Atom]
+    ) -> bool:
+        """The kill sweep in id space: two int-set intersections per
+        record. A changed fact that was never interned cannot appear in
+        any record, so un-interned facts drop out up front."""
+        arena = self._arena
+        atom_id = arena.atom_id
+        inc_slots = {
+            slot
+            for slot in (atom_id(fact) for fact in inc_facts)
+            if slot is not None
+        }
+        dec_slots = {
+            slot
+            for slot in (atom_id(fact) for fact in dec_facts)
+            if slot is not None
+        }
+        if not inc_slots and not dec_slots:
+            return False
+        table = self._table
+        fact_pos, fact_neg = arena.fact_pos, arena.fact_neg
+        killed = False
+        for relation in stratum.relations:
+            for fact in list(self.model.facts_of(relation)):
+                slot = atom_id(fact)
+                records = None if slot is None else table.get(slot)
+                if not records:
+                    continue
+                dead = {
+                    record
+                    for record in records
+                    if fact_neg[record] & inc_slots
+                    or fact_pos[record] & dec_slots
+                }
+                if dead:
+                    table.discard_many(slot, dead)
                     killed = True
         return killed
 
@@ -190,33 +313,87 @@ class FactLevelEngine(MaintenanceEngine):
             for relation in stratum.relations
             for fact in self.model.facts_of(relation)
         ]
-        validated: set[Atom] = set()
-        changed = True
-        while changed:
-            changed = False
-            for fact in candidates:
-                if fact in validated:
-                    continue
-                for record in self._records.get(fact, ()):
-                    grounded = all(
-                        body in validated
-                        or (
-                            stratum_of(body.relation) < index
-                            and body in self.model
+        if self.arena:
+            evicted = self._well_founded_arena(candidates, index, stratum_of)
+        else:
+            validated: set[Atom] = set()
+            changed = True
+            while changed:
+                changed = False
+                for fact in candidates:
+                    if fact in validated:
+                        continue
+                    for record in self._records.get(fact, ()):
+                        grounded = all(
+                            body in validated
+                            or (
+                                stratum_of(body.relation) < index
+                                and body in self.model
+                            )
+                            for body in record.positive_facts
                         )
-                        for body in record.positive_facts
-                    )
-                    if grounded:
-                        validated.add(fact)
-                        changed = True
-                        break
-        evicted = {fact for fact in candidates if fact not in validated}
+                        if grounded:
+                            validated.add(fact)
+                            changed = True
+                            break
+            evicted = {fact for fact in candidates if fact not in validated}
         for fact in evicted:
             self._evict(fact)
         span = OBS.tracer.current if OBS.enabled else None
         if span is not None:
             span.event("well_founded_check", evicted=len(evicted))
         return evicted
+
+    def _well_founded_arena(
+        self, candidates: list[Atom], index: int, stratum_of
+    ) -> set[Atom]:
+        """The groundedness fixpoint over atom slots.
+
+        The "body fact lives below this stratum and is still in the
+        model" predicate is memoised per slot across the whole fixpoint —
+        the record graph cites the same lower-stratum facts over and over,
+        and in id space the memo is one dict probe.
+        """
+        arena = self._arena
+        atom_id = arena.atom_id
+        atoms = arena.atoms
+        fact_pos = arena.fact_pos
+        table = self._table
+        model = self.model
+        slot_of = {fact: atom_id(fact) for fact in candidates}
+        lower: dict[int, bool] = {}
+
+        def is_lower(slot: int) -> bool:
+            cached = lower.get(slot)
+            if cached is None:
+                atom = atoms[slot]
+                cached = lower[slot] = (
+                    stratum_of(atom.relation) < index and atom in model
+                )
+            return cached
+
+        validated: set[int] = set()
+        changed = True
+        while changed:
+            changed = False
+            for fact in candidates:
+                slot = slot_of[fact]
+                if slot is None or slot in validated:
+                    continue
+                for record in table.get(slot) or ():
+                    grounded = all(
+                        body in validated or is_lower(body)
+                        for body in fact_pos[record]
+                    )
+                    if grounded:
+                        validated.add(slot)
+                        changed = True
+                        break
+        return {
+            fact
+            for fact in candidates
+            if slot_of[fact] is None or slot_of[fact] not in validated
+        }
 
     def _run_cascade(
         self,
@@ -296,15 +473,23 @@ class FactLevelEngine(MaintenanceEngine):
 
     def _apply_insert_fact(self, fact: Atom) -> tuple[set[Atom], set[Atom]]:
         self.model.add(fact)
-        self._records[fact] = {FactRecord.assertion()}
+        if self.arena:
+            self._table.replace(self._arena.intern_atom(fact), {ASSERTION})
+        else:
+            self._records[fact] = {FactRecord.assertion()}
         removed, added = self._run_cascade(
             self.db.stratum_of(fact.relation), {fact}, set()
         )
         return removed, added | {fact}
 
     def _apply_delete_fact(self, fact: Atom) -> tuple[set[Atom], set[Atom]]:
-        records = self._records.get(fact, set())
-        records.discard(FactRecord.assertion())
+        if self.arena:
+            slot = self._arena.atom_id(fact)
+            if slot is not None:
+                self._table.discard(slot, ASSERTION)
+        else:
+            records = self._records.get(fact, set())
+            records.discard(FactRecord.assertion())
         # The fact may survive through other deductions; the well-founded
         # check at its stratum decides (and handles positive cycles whose
         # only external support was this assertion).
@@ -328,21 +513,50 @@ class FactLevelEngine(MaintenanceEngine):
         head = rule.head.relation
         killed = False
         dec_facts: set[Atom] = set()
-        for fact in list(self.model.facts_of(head)):
-            records = self._records.get(fact)
-            if not records:
-                continue
-            dead = {record for record in records if record.rule == rule}
-            if dead:
-                records -= dead
-                killed = True
+        if self.arena:
+            arena = self._arena
+            table = self._table
+            rule_slot = arena.rule_id(rule)
+            fact_rule = arena.fact_rule
+            if rule_slot is not None:  # a never-fired rule has no records
+                for fact in list(self.model.facts_of(head)):
+                    slot = arena.atom_id(fact)
+                    records = None if slot is None else table.get(slot)
+                    if not records:
+                        continue
+                    dead = {
+                        record
+                        for record in records
+                        if fact_rule[record] == rule_slot
+                    }
+                    if dead:
+                        killed = True
+                        if dead == records:
+                            # Evict here rather than in the stratum sweep:
+                            # deleting the relation's last rule can drop it
+                            # out of the stratification entirely, in which
+                            # case no stratum would ever visit these facts
+                            # again.
+                            self._evict(fact)
+                            dec_facts.add(fact)
+                        else:
+                            table.discard_many(slot, dead)
+        else:
+            for fact in list(self.model.facts_of(head)):
+                records = self._records.get(fact)
                 if not records:
-                    # Evict here rather than in the stratum sweep: deleting
-                    # the relation's last rule can drop it out of the
-                    # stratification entirely, in which case no stratum
-                    # would ever visit these facts again.
-                    self._evict(fact)
-                    dec_facts.add(fact)
+                    continue
+                dead = {record for record in records if record.rule == rule}
+                if dead:
+                    records -= dead
+                    killed = True
+                    if not records:
+                        # Evict here rather than in the stratum sweep:
+                        # deleting the relation's last rule can drop it out
+                        # of the stratification entirely, in which case no
+                        # stratum would ever visit these facts again.
+                        self._evict(fact)
+                        dec_facts.add(fact)
         removed, added = self._run_cascade(
             self.db.stratum_of(head),
             set(),

@@ -30,6 +30,14 @@ from ..datalog.atoms import Atom
 from ..datalog.clauses import Clause
 from ..datalog.evaluation import Derivation
 from ..obs import OBS
+from .arena import (
+    ASSERTION,
+    Arena,
+    ArenaPairedRecords,
+    ArenaSosSupports,
+    EMPTY_ELEMENT,
+    SupportTable,
+)
 from .base import MaintenanceEngine
 from .supports import (
     PairedRecord,
@@ -61,6 +69,15 @@ class SetOfSetsEngine(MaintenanceEngine):
         self.prune = prune
         self._supports: dict[Atom, SetOfSetsSupport] = {}
         self._records: dict[Atom, set[PairedRecord]] = {}
+        self._arena = Arena()
+        self._pos_table = SupportTable()  # paper: {atom slot: element ids}
+        self._neg_table = SupportTable()
+        self._rec_table = SupportTable()  # paired: {atom slot: record ids}
+        # Base-element slots per clause live on the engine, not on plan
+        # support templates: plans outlive arena replacements (load_state
+        # adopts a different arena), so template-cached slots would go
+        # stale.
+        self._base_cache: dict[Clause, tuple[int, int]] = {}
         super().__init__(program, **kwargs)
 
     # ------------------------------------------------------------------
@@ -70,6 +87,11 @@ class SetOfSetsEngine(MaintenanceEngine):
     def _reset_supports(self) -> None:
         self._supports.clear()
         self._records.clear()
+        self._arena = Arena()
+        self._pos_table = SupportTable()
+        self._neg_table = SupportTable()
+        self._rec_table = SupportTable()
+        self._base_cache.clear()
 
     def _build_listener(self):
         def listener(derivation: Derivation, is_new: bool, plan) -> None:
@@ -93,7 +115,22 @@ class SetOfSetsEngine(MaintenanceEngine):
         base_neg = frozenset(Signed("+", relation) for relation in negated)
         return base_pos, base_neg
 
+    def _base_slots(self, clause) -> tuple[int, int]:
+        """Arena ids of the clause-level (Pos, Neg) base elements."""
+        slots = self._base_cache.get(clause)
+        if slots is None:
+            base_pos, base_neg = self._base_elements(clause)
+            slots = (
+                self._arena.intern_element_entries(base_pos),
+                self._arena.intern_element_entries(base_neg),
+            )
+            self._base_cache[clause] = slots
+        return slots
+
     def _note_deduction(self, derivation: Derivation, plan) -> None:
+        if self.arena:
+            self._note_deduction_arena(derivation)
+            return
         base_pos, base_neg = plan.support_template(
             "sos_base", self._base_elements
         )
@@ -119,6 +156,77 @@ class SetOfSetsEngine(MaintenanceEngine):
             records = self._records.setdefault(derivation.head, set())
             self._combine_records(records, body_records, base_pos, base_neg)
 
+    def _note_deduction_arena(self, derivation: Derivation) -> None:
+        """⊕ carried out entirely in element-id space.
+
+        Body supports arrive as sets of interned element (or paired-record)
+        ids; each union is interned once, so repeated deductions over the
+        same elements never re-hash entry sets, and pruning walks int
+        buckets instead of frozensets.
+        """
+        arena = self._arena
+        head_slot = arena.intern_atom(derivation.head)
+        base_pos, base_neg = self._base_slots(derivation.clause)
+        if self.mode == "paper":
+            pos_factors: list[set[int]] = []
+            neg_factors: list[set[int]] = []
+            for fact in derivation.positive_facts:
+                slot = arena.intern_atom(fact)
+                pos = self._pos_table.get(slot)
+                if pos is None:
+                    raise KeyError(fact)
+                pos_factors.append(pos)
+                neg_factors.append(self._neg_table.get(slot) or set())
+            pos_ids = set(self._pos_table.get(head_slot) or ())
+            neg_ids = set(self._neg_table.get(head_slot) or ())
+            pos_ids |= self._combine_ids(pos_factors, base_pos)
+            neg_ids |= self._combine_ids(neg_factors, base_neg)
+            if self.prune:
+                pos_ids = set(arena.prune_element_ids(pos_ids))
+                neg_ids = set(arena.prune_element_ids(neg_ids))
+            self._pos_table.replace(head_slot, pos_ids)
+            self._neg_table.replace(head_slot, neg_ids)
+        else:
+            body_factors: list[set[int]] = []
+            for fact in derivation.positive_facts:
+                slot = arena.intern_atom(fact)
+                body = self._rec_table.get(slot)
+                if body is None:
+                    raise KeyError(fact)
+                body_factors.append(body)
+            union = arena.union_elements
+            paired_pos = arena.paired_pos
+            paired_neg = arena.paired_neg
+            choices: list[tuple[int, int]] = [(base_pos, base_neg)]
+            for factor in body_factors:
+                choices = [
+                    (
+                        union((pos, paired_pos[record])),
+                        union((neg, paired_neg[record])),
+                    )
+                    for pos, neg in choices
+                    for record in factor
+                ]
+            record_ids = set(self._rec_table.get(head_slot) or ())
+            record_ids.update(
+                arena.intern_paired_record(pos, neg) for pos, neg in choices
+            )
+            if self.prune:
+                record_ids = set(arena.prune_paired_ids(record_ids))
+            self._rec_table.replace(head_slot, record_ids)
+
+    def _combine_ids(self, factors: list[set[int]], base: int) -> set[int]:
+        """``combine(factors + [{base}])`` over interned element ids."""
+        union = self._arena.union_elements
+        result = {base}
+        for factor in factors:
+            result = {
+                union((accumulated, element))
+                for accumulated in result
+                for element in factor
+            }
+        return result
+
     def _combine_records(
         self,
         records: set[PairedRecord],
@@ -140,18 +248,77 @@ class SetOfSetsEngine(MaintenanceEngine):
 
     @staticmethod
     def _prune_records(records: set[PairedRecord]) -> None:
+        """Keep the records no other record dominates on both sides.
+
+        Same entry-bucket candidate generation as
+        :func:`~repro.core.supports.prune_to_minimal`, with buckets tagged
+        by side — a dominating record's entries all appear in the
+        dominated one's, on the matching side. A record can only dominate
+        from a smaller-or-equal total size, so ascending-size order makes
+        the surviving antichain canonical.
+        """
+        if len(records) <= 1:
+            return
+        trivial = PairedRecord.trivial()
+        if trivial in records:  # ∅/∅ dominates everything
+            records.clear()
+            records.add(trivial)
+            return
         ordered = sorted(records, key=lambda r: (len(r.pos) + len(r.neg)))
         kept: list[PairedRecord] = []
+        by_entry: dict[tuple[str, object], list[int]] = {}
         for record in ordered:
-            if not any(
-                other.pos <= record.pos and other.neg <= record.neg
-                for other in kept
-            ):
-                kept.append(record)
+            dominated = False
+            seen: set[int] = set()
+            for side, element in (("p", record.pos), ("n", record.neg)):
+                for entry in element:
+                    for index in by_entry.get((side, entry), ()):
+                        if index in seen:
+                            continue
+                        seen.add(index)
+                        other = kept[index]
+                        if (
+                            other.pos <= record.pos
+                            and other.neg <= record.neg
+                        ):
+                            dominated = True
+                            break
+                    if dominated:
+                        break
+                if dominated:
+                    break
+            if dominated:
+                continue
+            index = len(kept)
+            kept.append(record)
+            for entry in record.pos:
+                by_entry.setdefault(("p", entry), []).append(index)
+            for entry in record.neg:
+                by_entry.setdefault(("n", entry), []).append(index)
         records.clear()
         records.update(kept)
 
     def _register_assertion(self, fact: Atom) -> None:
+        if self.arena:
+            arena = self._arena
+            slot = arena.intern_atom(fact)
+            if self.mode == "paper":
+                pos_ids = set(self._pos_table.get(slot) or ())
+                neg_ids = set(self._neg_table.get(slot) or ())
+                pos_ids.add(EMPTY_ELEMENT)
+                neg_ids.add(EMPTY_ELEMENT)
+                if self.prune:
+                    pos_ids = set(arena.prune_element_ids(pos_ids))
+                    neg_ids = set(arena.prune_element_ids(neg_ids))
+                self._pos_table.replace(slot, pos_ids)
+                self._neg_table.replace(slot, neg_ids)
+            else:
+                record_ids = set(self._rec_table.get(slot) or ())
+                record_ids.add(ASSERTION)
+                if self.prune:
+                    record_ids = set(arena.prune_paired_ids(record_ids))
+                self._rec_table.replace(slot, record_ids)
+            return
         if self.mode == "paper":
             support = self._supports.setdefault(fact, SetOfSetsSupport())
             support.pos.add(frozenset())
@@ -166,12 +333,49 @@ class SetOfSetsEngine(MaintenanceEngine):
                 self._prune_records(records)
 
     def support_of(self, fact: Atom) -> SetOfSetsSupport:
-        return self._supports[fact]
+        if not self.arena:
+            return self._supports[fact]
+        arena = self._arena
+        slot = arena.atom_id(fact)
+        pos_ids = self._pos_table.get(slot) if slot is not None else None
+        if pos_ids is None:
+            raise KeyError(fact)
+        decode = arena.decode_element
+        return SetOfSetsSupport(
+            {decode(element) for element in pos_ids},
+            {
+                decode(element)
+                for element in self._neg_table.get(slot) or ()
+            },
+        )
 
     def records_of(self, fact: Atom) -> set[PairedRecord]:
-        return self._records[fact]
+        if not self.arena:
+            return self._records[fact]
+        slot = self._arena.atom_id(fact)
+        record_ids = self._rec_table.get(slot) if slot is not None else None
+        if record_ids is None:
+            raise KeyError(fact)
+        decode = self._arena.decode_paired_record
+        return {decode(record) for record in record_ids}
 
     def support_entry_count(self) -> int:
+        if self.arena:
+            arena = self._arena
+            if self.mode == "paper":
+                members = arena.element_members
+                return sum(
+                    len(members[element]) + 1
+                    for table in (self._pos_table, self._neg_table)
+                    for elements in table.values()
+                    for element in elements
+                )
+            size = arena.paired_record_size
+            return sum(
+                size(record)
+                for records in self._rec_table.values()
+                for record in records
+            )
         if self.mode == "paper":
             return sum(s.size() for s in self._supports.values())
         return sum(
@@ -181,6 +385,22 @@ class SetOfSetsEngine(MaintenanceEngine):
         )
 
     def _support_state(self) -> dict:
+        if self.arena:
+            if self.mode == "paper":
+                return {
+                    "supports": ArenaSosSupports(
+                        self._arena,
+                        self._pos_table.copy(),
+                        self._neg_table.copy(),
+                    ),
+                    "records": {},
+                }
+            return {
+                "supports": {},
+                "records": ArenaPairedRecords(
+                    self._arena, self._rec_table.copy()
+                ),
+            }
         return {
             "supports": {
                 fact: SetOfSetsSupport(set(support.pos), set(support.neg))
@@ -192,13 +412,45 @@ class SetOfSetsEngine(MaintenanceEngine):
         }
 
     def _load_support_state(self, state: dict) -> None:
-        self._supports = {
-            fact: SetOfSetsSupport(set(support.pos), set(support.neg))
-            for fact, support in state["supports"].items()
-        }
-        self._records = {
-            fact: set(records) for fact, records in state["records"].items()
-        }
+        supports = state["supports"]
+        records = state["records"]
+        if not self.arena:
+            if isinstance(supports, ArenaSosSupports):
+                supports = supports.to_record_state()
+            if isinstance(records, ArenaPairedRecords):
+                records = records.to_record_state()
+            self._supports = {
+                fact: SetOfSetsSupport(set(support.pos), set(support.neg))
+                for fact, support in supports.items()
+            }
+            self._records = {
+                fact: set(record_set)
+                for fact, record_set in records.items()
+            }
+            return
+        self._supports = {}
+        self._records = {}
+        self._base_cache.clear()
+        if self.mode == "paper":
+            sos = (
+                supports
+                if isinstance(supports, ArenaSosSupports)
+                else ArenaSosSupports.from_records(supports)
+            )
+            self._arena = sos.arena
+            self._pos_table = sos.pos_table.copy()
+            self._neg_table = sos.neg_table.copy()
+            self._rec_table = SupportTable()
+        else:
+            paired = (
+                records
+                if isinstance(records, ArenaPairedRecords)
+                else ArenaPairedRecords.from_records(records)
+            )
+            self._arena = paired.arena
+            self._rec_table = paired.table.copy()
+            self._pos_table = SupportTable()
+            self._neg_table = SupportTable()
 
     # ------------------------------------------------------------------
     # Removal phases
@@ -206,6 +458,13 @@ class SetOfSetsEngine(MaintenanceEngine):
 
     def _evict(self, fact: Atom) -> None:
         self.model.discard(fact)
+        if self.arena:
+            slot = self._arena.atom_id(fact)
+            if slot is not None:
+                self._pos_table.pop(slot)
+                self._neg_table.pop(slot)
+                self._rec_table.pop(slot)
+            return
         self._supports.pop(fact, None)
         self._records.pop(fact, None)
 
@@ -227,6 +486,11 @@ class SetOfSetsEngine(MaintenanceEngine):
     def _remove_failing_into(
         self, relation: str, side: str, statics, doomed: list[Atom]
     ) -> None:
+        if self.arena:
+            self._remove_failing_arena(relation, side, statics, doomed)
+            for fact in doomed:
+                self._evict(fact)
+            return
         if self.mode == "paper":
             for fact, support in self._supports.items():
                 elements = support.neg if side == "neg" else support.pos
@@ -262,6 +526,48 @@ class SetOfSetsEngine(MaintenanceEngine):
                     doomed.append(fact)
         for fact in doomed:
             self._evict(fact)
+
+    def _remove_failing_arena(
+        self, relation: str, side: str, statics, doomed: list[Atom]
+    ) -> None:
+        """Id-space removal pass.
+
+        The arena memoises each element's expansion per statics table, so
+        across the repeated passes of a batch each element is expanded at
+        most once — the record path recomputes the closure every pass.
+        """
+        arena = self._arena
+        expand = arena.expand_neg if side == "neg" else arena.expand_pos
+        if self.mode == "paper":
+            table = self._neg_table if side == "neg" else self._pos_table
+            for slot, elements in list(table.items()):
+                failing = {
+                    element
+                    for element in elements
+                    if relation in expand(element, statics)
+                }
+                if not failing:
+                    continue
+                survivors = elements - failing
+                if survivors:
+                    table.replace(slot, survivors)
+                else:
+                    doomed.append(arena.atoms[slot])
+        else:
+            sides = arena.paired_neg if side == "neg" else arena.paired_pos
+            for slot, records in list(self._rec_table.items()):
+                failing = {
+                    record
+                    for record in records
+                    if relation in expand(sides[record], statics)
+                }
+                if not failing:
+                    continue
+                survivors = records - failing
+                if survivors:
+                    self._rec_table.replace(slot, survivors)
+                else:
+                    doomed.append(arena.atoms[slot])
 
     # ------------------------------------------------------------------
     # Update procedures

@@ -158,10 +158,7 @@ def combine(sets_of_sets: Iterable[frozenset | set]) -> set[frozenset]:
     factors = [tuple(factor) for factor in sets_of_sets]
     result: set[frozenset] = set()
     for choice in product(*factors):
-        merged: frozenset = frozenset()
-        for element in choice:
-            merged |= element
-        result.add(merged)
+        result.add(frozenset().union(*choice))
     return result
 
 
@@ -171,12 +168,40 @@ def prune_to_minimal(elements: set[frozenset]) -> set[frozenset]:
     "We might remove an element A from Pos (or Neg) each time a proper
     subset of it has been added" — keeping the antichain of minimal
     elements bounds the growth of the sets-of-sets supports.
+
+    A kept element can only dominate a candidate that contains all of its
+    entries, so candidates are found through per-entry buckets of the kept
+    antichain instead of scanning it whole: wide supports (many pairwise
+    disjoint elements) prune in near-linear time where the full scan was
+    quadratic. Processing in ascending size keeps the result canonical —
+    the antichain of an input set is unique, so order never shows.
     """
+    if len(elements) <= 1:
+        return set(elements)
     ordered = sorted(elements, key=len)
+    if not ordered[0]:  # ∅ is a subset of everything
+        return {ordered[0]}
     minimal: list[frozenset] = []
+    by_entry: dict[object, list[int]] = {}
     for element in ordered:
-        if not any(kept <= element for kept in minimal):
-            minimal.append(element)
+        dominated = False
+        seen: set[int] = set()
+        for entry in element:
+            for index in by_entry.get(entry, ()):
+                if index in seen:
+                    continue
+                seen.add(index)
+                if minimal[index] <= element:
+                    dominated = True
+                    break
+            if dominated:
+                break
+        if dominated:
+            continue
+        index = len(minimal)
+        minimal.append(element)
+        for entry in element:
+            by_entry.setdefault(entry, []).append(index)
     return set(minimal)
 
 

@@ -59,7 +59,7 @@ class Relation:
     __slots__ = (
         "name", "arity", "_tuples", "_indexes", "_value_counts",
         "_epoch", "_index_hits", "_index_last_probe", "_reclaim_at",
-        "index_idle_epochs",
+        "index_idle_epochs", "_shared",
     )
 
     def __init__(self, name: str, arity: int | None = None) -> None:
@@ -81,6 +81,10 @@ class Relation:
         self._index_last_probe: dict[tuple[int, ...], int] = {}
         self._reclaim_at = 0
         self.index_idle_epochs = self.INDEX_IDLE_EPOCHS
+        # copy-on-write: True while the tuple/index/statistics containers
+        # are shared with another Relation produced by copy(); the first
+        # mutation on either side privatizes (_own) before touching them.
+        self._shared = False
 
     def __len__(self) -> int:
         return len(self._tuples)
@@ -141,9 +145,34 @@ class Relation:
         else:
             self._reclaim_at = epoch + idle + 1
 
+    def _own(self) -> None:
+        """Privatize the shared containers before the first write.
+
+        A relation and its :meth:`copy` share every container until one of
+        them mutates; the deep copy the old ``copy()`` paid eagerly is
+        paid here, once, by the first side that actually writes. Read-only
+        copies (checkpoints, rollback saves, reader sessions pinning an
+        epoch) therefore cost O(1) regardless of relation size.
+        """
+        if not self._shared:
+            return
+        self._shared = False
+        self._tuples = set(self._tuples)
+        self._indexes = {
+            columns: {key: set(bucket) for key, bucket in index.items()}
+            for columns, index in self._indexes.items()
+        }
+        self._value_counts = {
+            column: dict(counts)
+            for column, counts in self._value_counts.items()
+        }
+        self._index_hits = dict(self._index_hits)
+        self._index_last_probe = dict(self._index_last_probe)
+
     def add(self, row: tuple) -> bool:
         """Insert *row*; return True when it was not present."""
         self._adopt_arity(row)
+        self._own()
         self._bump_epoch()
         if row in self._tuples:
             return False
@@ -161,6 +190,7 @@ class Relation:
 
     def discard(self, row: tuple) -> bool:
         """Remove *row*; return True when it was present."""
+        self._own()
         self._bump_epoch()
         if row not in self._tuples:
             return False
@@ -224,6 +254,7 @@ class Relation:
             return 0
         for row in rows:
             self._adopt_arity(row)
+        self._own()
         self._bump_epoch()
         new = rows - self._tuples if self._tuples else set(rows)
         if not new:
@@ -239,6 +270,7 @@ class Relation:
     def discard_many(self, rows: Iterable[tuple]) -> int:
         """Remove a batch of rows; return how many were present."""
         rows = rows if isinstance(rows, (set, frozenset)) else set(rows)
+        self._own()
         self._bump_epoch()
         dead = self._tuples & rows
         if not dead:
@@ -277,11 +309,14 @@ class Relation:
         return relation
 
     def clear(self) -> None:
-        self._tuples.clear()
-        self._indexes.clear()
-        self._value_counts.clear()
-        self._index_hits.clear()
-        self._index_last_probe.clear()
+        # Rebind fresh containers instead of clearing in place: the old
+        # ones may be shared with a copy-on-write duplicate.
+        self._shared = False
+        self._tuples = set()
+        self._indexes = {}
+        self._value_counts = {}
+        self._index_hits = {}
+        self._index_last_probe = {}
         self._reclaim_at = 0
 
     # ------------------------------------------------------------------
@@ -444,28 +479,28 @@ class Relation:
         )
 
     def copy(self) -> "Relation":
-        """An independent duplicate carrying indexes and statistics.
+        """An O(1) copy-on-write duplicate carrying indexes and statistics.
 
-        Undo/redo, transaction rollback, and recompute baselines all go
-        through :meth:`Model.copy`; dropping the lazily-built indexes here
-        (as this method once did) made every copied model re-pay a full
-        index rebuild on its first probe.
+        Undo/redo, transaction rollback, engine checkpoints, and recompute
+        baselines all go through :meth:`Model.copy`. Both sides share
+        every container until one of them mutates (:meth:`_own` pays the
+        deep copy then), so pinning a snapshot of a large model is
+        constant-time — what the per-session epochs of the concurrent
+        service need. Two caveats, both benign: an index built lazily
+        while still shared lands in both relations (their tuple sets are
+        the identical object then, so the index is correct for both), and
+        probe-hit statistics recorded while shared are visible to both
+        sides until the split.
         """
         dup = Relation(self.name, self.arity)
-        dup._tuples = set(self._tuples)
-        dup._indexes = {
-            columns: {key: set(bucket) for key, bucket in index.items()}
-            for columns, index in self._indexes.items()
-        }
-        # Clone the statistics instead of recounting: a copy of n tuples
-        # costs the set/dict copies, never another O(n·arity) count pass.
-        dup._value_counts = {
-            column: dict(counts)
-            for column, counts in self._value_counts.items()
-        }
+        self._shared = True
+        dup._shared = True
+        dup._tuples = self._tuples
+        dup._indexes = self._indexes
+        dup._value_counts = self._value_counts
         dup._epoch = self._epoch
-        dup._index_hits = dict(self._index_hits)
-        dup._index_last_probe = dict(self._index_last_probe)
+        dup._index_hits = self._index_hits
+        dup._index_last_probe = self._index_last_probe
         dup._reclaim_at = self._reclaim_at
         dup.index_idle_epochs = self.index_idle_epochs
         return dup

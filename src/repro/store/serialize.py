@@ -41,6 +41,11 @@ from __future__ import annotations
 import json
 from typing import Any
 
+from ..core.arena import (
+    ArenaSupportState,
+    canonical_parts,
+    from_canonical_parts,
+)
 from ..core.supports import (
     FactRecord,
     PairSupport,
@@ -155,8 +160,15 @@ _INTERNABLE = (
 )
 
 
-def _collect(obj: Any, counts: dict) -> None:
-    """Count occurrences of internable objects reachable from *obj*."""
+def _collect(obj: Any, counts: dict, expand_arena: bool = True) -> None:
+    """Count occurrences of internable objects reachable from *obj*.
+
+    *expand_arena* decides what an arena-backed support state contributes:
+    the v1/object codec expands it to the classic record mapping (so its
+    atoms and records intern alongside everything else and the bytes match
+    a record-mode engine's), while the compact codec writes a
+    self-contained canonical payload and skips it here.
+    """
     if isinstance(obj, _INTERNABLE):
         seen = counts.get(obj, 0)
         counts[obj] = seen + 1
@@ -166,33 +178,36 @@ def _collect(obj: Any, counts: dict) -> None:
         return
     if isinstance(obj, Atom):
         for term in obj.args:
-            _collect(term, counts)
+            _collect(term, counts, expand_arena)
     elif isinstance(obj, Literal):
-        _collect(obj.atom, counts)
+        _collect(obj.atom, counts, expand_arena)
     elif isinstance(obj, Clause):
-        _collect(obj.head, counts)
+        _collect(obj.head, counts, expand_arena)
         for lit in obj.body:
-            _collect(lit, counts)
+            _collect(lit, counts, expand_arena)
     elif isinstance(obj, Signed):
         pass
     elif isinstance(obj, (PairSupport, PairedRecord)):
-        _collect(obj[0], counts)
-        _collect(obj[1], counts)
+        _collect(obj[0], counts, expand_arena)
+        _collect(obj[1], counts, expand_arena)
     elif isinstance(obj, SetOfSetsSupport):
-        _collect(obj.pos, counts)
-        _collect(obj.neg, counts)
+        _collect(obj.pos, counts, expand_arena)
+        _collect(obj.neg, counts, expand_arena)
     elif isinstance(obj, (RuleRecord, FactRecord)):
         if obj.rule is not None:
-            _collect(obj.rule, counts)
-        _collect(obj[1], counts)
-        _collect(obj[2], counts)
+            _collect(obj.rule, counts, expand_arena)
+        _collect(obj[1], counts, expand_arena)
+        _collect(obj[2], counts, expand_arena)
+    elif isinstance(obj, ArenaSupportState):
+        if expand_arena:
+            _collect(obj.to_record_state(), counts, expand_arena)
     elif isinstance(obj, (tuple, list, set, frozenset)):
         for item in obj:
-            _collect(item, counts)
+            _collect(item, counts, expand_arena)
     elif isinstance(obj, dict):
         for key, value in obj.items():
-            _collect(key, counts)
-            _collect(value, counts)
+            _collect(key, counts, expand_arena)
+            _collect(value, counts, expand_arena)
     else:
         raise SerializationError(
             f"cannot encode {type(obj).__name__}: {obj!r}"
@@ -263,6 +278,10 @@ def _encode_with_refs(obj: Any, index: dict) -> Any:
             "pos": _encode_with_refs(obj.positive_facts, index),
             "neg": _encode_with_refs(obj.negative_facts, index),
         }
+    if isinstance(obj, ArenaSupportState):
+        # The v1/object codec has no arena notion: expand to the classic
+        # record mapping so the bytes equal a record-mode engine's.
+        return _encode_with_refs(obj.to_record_state(), index)
     if isinstance(obj, tuple):
         return {
             "$": "tuple",
@@ -401,6 +420,8 @@ def _encode_compact(obj: Any, index: dict) -> Any:
     if isinstance(obj, FactRecord):
         return _compact_record("F", obj.rule, obj.positive_facts,
                                obj.negative_facts, index)
+    if isinstance(obj, ArenaSupportState):
+        return _encode_arena_state(obj)
     if isinstance(obj, tuple):
         return ["t", [_encode_compact(item, index) for item in obj]]
     if isinstance(obj, frozenset):
@@ -459,12 +480,39 @@ def _compact_record(tag: str, rule, pos, neg, index: dict) -> list:
     return node
 
 
+def _encode_arena_state(state: ArenaSupportState) -> list:
+    """One arena-backed support state as a self-contained ``"A"`` node.
+
+    The canonical image (:func:`~repro.core.arena.canonical_parts`) is
+    built straight off the live intern tables — atoms, rules and entries
+    are each written exactly once, in canonical order, and every other
+    section is plain int rows over those positions. Renumbering makes the
+    node deterministic: a state freshly rebuilt from records encodes to
+    the same bytes as the live arena it came from, whatever slot order
+    the arena grew in, and unreachable (superseded) slots are dropped.
+    """
+    parts = canonical_parts(state)
+    return [
+        "A",
+        parts.kind,
+        [_encode_compact(atom, _NO_INTERNING) for atom in parts.atoms],
+        [_encode_compact(rule, _NO_INTERNING) for rule in parts.rules],
+        [_encode_compact(entry, _NO_INTERNING) for entry in parts.entries],
+        parts.elements,
+        parts.records,
+        parts.table,
+    ]
+
+
 def encode_compact_tabled(obj: Any) -> list:
     """Compact counterpart of :func:`encode_tabled`:
     ``["T", [table...], root]``, table entries fully expanded and sorted
-    by their canonical compact dump, refs as ``["r", k]``."""
+    by their canonical compact dump, refs as ``["r", k]``. Arena-backed
+    support states become self-contained ``"A"`` nodes (their canonical
+    payload carries its own object tables, so they stay out of the shared
+    intern table)."""
     counts: dict = {}
-    _collect(obj, counts)
+    _collect(obj, counts, expand_arena=False)
     repeated = [value for value, count in counts.items() if count > 1]
     expanded = sorted(
         ((_encode_compact(value, _NO_INTERNING), value) for value in repeated),
@@ -573,6 +621,16 @@ def _decode_compact(data: Any, table) -> Any:
         )
     if tag == "R":
         return _decode_record(RuleRecord, data, table)
+    if tag == "A":
+        return from_canonical_parts(
+            data[1],
+            [_decode_compact(atom, None) for atom in data[2]],
+            [_decode_compact(rule, None) for rule in data[3]],
+            [_decode_compact(entry, None) for entry in data[4]],
+            data[5],
+            data[6],
+            data[7],
+        )
     raise SerializationError(f"unknown compact tag {tag!r} in {data!r}")
 
 

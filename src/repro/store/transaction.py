@@ -9,17 +9,19 @@ database expects::
         store.delete_fact("accepted(2)")
         # raise, or txn.abort(), to roll everything back
 
-On entry the engine's full state is captured in memory
-(:meth:`~repro.core.base.MaintenanceEngine.state_dict`); updates issued
-inside the block apply to the live engine immediately (queries see the
-intermediate states) but are buffered rather than journaled. On a clean
-exit the whole batch is journaled as a single ``commit`` record (which
-replays through the engine's batch path on reopen); on any exception —
-including an explicit :meth:`Transaction.abort` — the engine is restored to
-the captured state, so a failure mid-batch leaves the database exactly as
-it was before the transaction began. The rollback is a bulk operation:
-the captured state holds the model in columnar form, and ``load_state``
-bulk-loads every relation instead of re-adding fact by fact.
+On entry the engine's state is pinned in memory
+(:meth:`~repro.core.base.MaintenanceEngine.checkpoint` — a copy-on-write
+snapshot of the model and support arena, near O(1) to take); updates
+issued inside the block apply to the live engine immediately (queries see
+the intermediate states) but are buffered rather than journaled. On a
+clean exit the whole batch is journaled as a single ``commit`` record
+(which replays through the engine's batch path on reopen); on any
+exception — including an explicit :meth:`Transaction.abort` — the engine
+:meth:`~repro.core.base.MaintenanceEngine.restore`\\ s the checkpoint, so
+a failure mid-batch leaves the database exactly as it was before the
+transaction began. Both directions are cheap: ``BEGIN`` shares the live
+containers instead of deep-copying them, and rollback re-adopts them
+wholesale instead of re-adding fact by fact.
 """
 
 from __future__ import annotations
@@ -64,7 +66,7 @@ class Transaction:
             raise TransactionError("a Transaction object cannot be reused")
         if self._store._transaction is not None:
             raise TransactionError("transactions do not nest")
-        self._saved = self._store.engine.state_dict()
+        self._saved = self._store.engine.checkpoint()
         self._store._transaction = self
         self._active = True
         return self
@@ -86,5 +88,5 @@ class Transaction:
             return False
         # Any exception — abort or failure mid-batch — restores the exact
         # pre-transaction state, journal untouched.
-        self._store.engine.load_state(self._saved)
+        self._store.engine.restore(self._saved)
         return exc_type is TransactionAbort

@@ -115,6 +115,39 @@ class TestPruneToMinimal:
         antichain = {frozenset({"a"}), frozenset({"b"})}
         assert prune_to_minimal(set(antichain)) == antichain
 
+    def test_matches_naive_reference(self):
+        import random
+
+        rng = random.Random(42)
+        universe = [f"r{i}" for i in range(12)]
+        for _ in range(200):
+            elements = {
+                frozenset(rng.sample(universe, rng.randint(0, 5)))
+                for _ in range(rng.randint(1, 20))
+            }
+            expected = {
+                element
+                for element in elements
+                if not any(
+                    other < element for other in elements
+                )
+            }
+            assert prune_to_minimal(set(elements)) == expected
+
+    def test_wide_disjoint_antichain_stays_fast(self):
+        # Regression: the old implementation compared every pair —
+        # quadratic on wide support sets even when nothing dominates
+        # anything. With entry-bucketed candidates a disjoint antichain
+        # costs one empty bucket probe per entry.
+        import time
+
+        wide = {frozenset({f"r{i}"}) for i in range(4000)}
+        started = time.perf_counter()
+        pruned = prune_to_minimal(set(wide))
+        elapsed = time.perf_counter() - started
+        assert pruned == wide
+        assert elapsed < 1.0, f"pruning 4000 disjoint singletons took {elapsed:.2f}s"
+
 
 class TestSetOfSetsSupport:
     def test_trivial_contains_empty(self):
