@@ -16,7 +16,15 @@ Entry points:
   clause list, or source text;
 * :func:`analyze_source` — same, honouring ``% repro: allow DLnnn`` pragmas;
 * :func:`independence_report` — pairwise update commutation and sharding;
-* ``repro check [--json] [--workloads] FILE...`` — the CLI face.
+* :func:`update_cone_analyzer` — argument-level pattern cones, so updates
+  to the same relation under different keys can still provably commute;
+* :class:`ConflictGraph` / :func:`parse_transactions` — batch admission:
+  per-pair conflict witnesses, commuting-batch coloring, DL011–DL013;
+* :mod:`repro.analysis.fuzz` — the differential commutation fuzzer that
+  keeps the certificates honest (not re-exported here: it sits above the
+  engine registry and is run as ``python -m repro.analysis.fuzz``);
+* ``repro check [--json] [--workloads] [--schedule BATCH] FILE...`` and
+  ``repro independence [--updates BATCH] FILE`` — the CLI face.
 """
 
 from .checks import (
@@ -37,15 +45,37 @@ from .checks import (
 )
 from .diagnostics import CODES, CodeInfo, Diagnostic, Report, Severity
 from .independence import IndependenceReport, independence_report
+from .schedule import (
+    ConflictArc,
+    ConflictGraph,
+    TransactionSummary,
+    parse_transactions,
+)
+from .update_cones import (
+    TOP,
+    Pattern,
+    PatternCone,
+    UpdateConeAnalyzer,
+    UpdateCones,
+    update_cone_analyzer,
+)
 
 __all__ = [
     "ALL_CHECKS",
     "CODES",
     "CodeInfo",
+    "ConflictArc",
+    "ConflictGraph",
     "Diagnostic",
     "IndependenceReport",
+    "Pattern",
+    "PatternCone",
     "Report",
     "Severity",
+    "TOP",
+    "TransactionSummary",
+    "UpdateConeAnalyzer",
+    "UpdateCones",
     "analyze_program",
     "analyze_source",
     "check_arities",
@@ -59,5 +89,7 @@ __all__ = [
     "check_undefined",
     "check_unused",
     "independence_report",
+    "parse_transactions",
     "source_pragmas",
+    "update_cone_analyzer",
 ]

@@ -535,7 +535,12 @@ def analyze_program(
 
 
 def source_pragmas(text: str) -> frozenset[str]:
-    """The codes suppressed by ``% repro: allow DLnnn`` pragmas in *text*."""
+    """The codes suppressed by ``% repro: allow DLnnn`` pragmas in *text*.
+
+    Pragma scope is **file-global**: a pragma suppresses its codes for
+    every clause of the file, wherever the pragma line sits (before,
+    between, or after the clauses). There is no per-clause scoping.
+    """
     allowed: set[str] = set()
     for match in _ALLOW_PRAGMA.finditer(text):
         for code in match.group(1).split(","):
@@ -552,7 +557,10 @@ def analyze_source(text: str, *, ignore: Iterable[str] = ()) -> Report:
         pair(X, Y) :- left(X), right(Y).
 
     and the corresponding diagnostics are suppressed, the idiom the CI
-    self-lint uses to keep intentional patterns warning-clean.
+    self-lint uses to keep intentional patterns warning-clean. The
+    suppression is **file-global** (see :func:`source_pragmas`): the
+    pragma silences its codes for the whole file, not just the clause it
+    precedes — conventionally it is written at the top of the file.
     """
     return analyze_program(
         text, ignore=frozenset(ignore) | source_pragmas(text)

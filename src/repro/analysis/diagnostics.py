@@ -131,6 +131,33 @@ CODES: Mapping[str, CodeInfo] = {
             "share no variables, so evaluating the rule multiplies the "
             "groups' candidate sets — a planner performance hazard.",
         ),
+        CodeInfo(
+            "DL011",
+            Severity.WARNING,
+            "non-commuting transaction pair",
+            "Two transactions of a batch have overlapping pattern cones "
+            "(one's writes meet the other's reads), so applying them in "
+            "different orders may yield different intermediate states; "
+            "they must be serialized. The message carries the overlapping "
+            "patterns and a dependency-arc witness.",
+        ),
+        CodeInfo(
+            "DL012",
+            Severity.WARNING,
+            "hotspot relation",
+            "A relation appears in every transaction's read cone: it is a "
+            "static contention point — no batch split can place two "
+            "transactions touching it in different commuting groups.",
+        ),
+        CodeInfo(
+            "DL013",
+            Severity.WARNING,
+            "negation-sensitive reordering hazard",
+            "An insertion's cone crosses an odd number of negative arcs "
+            "into another transaction's reads: the insertion can *retract* "
+            "facts the other transaction consults, the reordering class "
+            "where belief-revision outcomes genuinely diverge.",
+        ),
     )
 }
 

@@ -47,6 +47,7 @@ class IndependenceReport:
             self._graph = DependencyGraph(source)
         self._writes: dict[str, frozenset[str]] = {}
         self._reads: dict[str, frozenset[str]] = {}
+        self._pairs: tuple[tuple[str, str], ...] | None = None
 
     @property
     def graph(self) -> DependencyGraph:
@@ -127,14 +128,75 @@ class IndependenceReport:
         )
 
     def independent_pairs(self) -> tuple[tuple[str, str], ...]:
-        """Every unordered relation pair whose updates commute, sorted."""
+        """Every unordered relation pair whose updates commute, sorted.
+
+        Cached: the O(n²) pairwise sweep runs once per report (the graph
+        is immutable from this class's point of view), so ``summary()``
+        and ``to_dict()`` no longer pay it on every call.
+        """
+        if self._pairs is None:
+            names = self.relations
+            self._pairs = tuple(
+                (a, b)
+                for i, a in enumerate(names)
+                for b in names[i + 1 :]
+                if self.commutes(a, b)
+            )
+        return self._pairs
+
+    def negation_sensitive_pairs(self) -> tuple[tuple[str, str], ...]:
+        """Unordered pairs where one update's odd-parity writes meet the
+        other's reads — the reorderings where an insertion can retract
+        facts the other revision consults (the DL013 hazard class at
+        relation granularity).
+        """
         names = self.relations
         return tuple(
             (a, b)
             for i, a in enumerate(names)
             for b in names[i + 1 :]
-            if self.commutes(a, b)
+            if not self.negation_sensitive(a).isdisjoint(self.reads(b))
+            or not self.negation_sensitive(b).isdisjoint(self.reads(a))
         )
+
+    def conflict_witness(self, a: str, b: str) -> dict | None:
+        """Witness arcs for one non-commuting pair, or None.
+
+        Picks the (sorted-)first conflicting relation ``c`` and orients
+        the pair so *writer*'s update rewrites ``c`` while *reader*'s
+        maintenance consults it; the two rendered paths are dependency-arc
+        chains in the style of the DL002 negative-cycle witness.
+        """
+        conflicting = sorted(self.conflict(a, b))
+        if not conflicting:
+            return None
+        relation = conflicting[0]
+        if relation in self.writes(a) and relation in self.reads(b):
+            writer, reader = a, b
+        else:
+            writer, reader = b, a
+        anchor = min(
+            dependent
+            for dependent in self.writes(reader)
+            if relation in self._graph.depends_on(dependent)
+        )
+        return {
+            "relation": relation,
+            "writer": writer,
+            "reader": reader,
+            "write_path": self._render_path(
+                relation, self._graph.arc_path(relation, writer)
+            ),
+            "read_path": self._render_path(
+                anchor, self._graph.arc_path(anchor, relation)
+            ),
+        }
+
+    @staticmethod
+    def _render_path(start: str, arcs: tuple) -> str:
+        from ..datalog.dependency import format_witness
+
+        return format_witness(arcs) if arcs else start
 
     # sharding ----------------------------------------------------------
 
@@ -185,8 +247,35 @@ class IndependenceReport:
             "independent_pairs": [
                 list(pair) for pair in self.independent_pairs()
             ],
+            "negation_sensitive_pairs": [
+                list(pair) for pair in self.negation_sensitive_pairs()
+            ],
+            "conflicts": [
+                {
+                    "pair": [a, b],
+                    "relations": sorted(self.conflict(a, b)),
+                    "negation_sensitive": not (
+                        self.negation_sensitive(a).isdisjoint(self.reads(b))
+                        and self.negation_sensitive(b).isdisjoint(
+                            self.reads(a)
+                        )
+                    ),
+                    "witness": self.conflict_witness(a, b),
+                }
+                for a, b in self._conflicting_pairs()
+            ],
             "shards": [sorted(shard) for shard in self.shards()],
         }
+
+    def _conflicting_pairs(self) -> tuple[tuple[str, str], ...]:
+        names = self.relations
+        independent = set(self.independent_pairs())
+        return tuple(
+            (a, b)
+            for i, a in enumerate(names)
+            for b in names[i + 1 :]
+            if (a, b) not in independent
+        )
 
     def summary(self) -> str:
         names = self.relations

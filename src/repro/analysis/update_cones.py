@@ -1,0 +1,578 @@
+"""Argument-level update cones: pattern refinement of the independence view.
+
+:class:`~repro.analysis.independence.IndependenceReport` prices a revision
+at *relation* granularity: an update to ``deposit`` conflicts with every
+other update whose cone shares a relation, even when the two updates touch
+provably disjoint facts (its own docstring concedes as much). On a
+single-shard program — one weakly-connected component, the common case —
+relation granularity certifies nothing.
+
+This module refines the same section-4.1 closures to **binding patterns**.
+A ground update ``Δr(c₁, …, cₖ)`` is abstracted as the pattern
+``r(c₁, …, cₖ)`` and propagated through clause bodies adornment-style:
+
+* matching the pattern against a body occurrence of ``r`` binds the
+  clause's variables to the pattern's constants (a constant clash with a
+  constant in the literal, or with a repeated variable, *prunes* the
+  clause — it cannot transmit this delta);
+* a head position keeps a constant when the join chain carries it (the
+  head variable is bound by the matched occurrence, or the head position
+  is itself a constant); joins that drop the binding widen the position
+  to ``TOP``;
+* the closure of this step is the **pattern write cone** — every fact
+  whose truth can change matches some pattern of the cone — and the
+  downward closure (head pattern into the defining bodies) is the
+  **pattern read cone** — every fact maintenance may consult matches some
+  read pattern.
+
+Widening keeps the analysis bounded: per relation, at most
+``max_patterns`` incomparable patterns are tracked; one more collapses
+the relation to its all-``TOP`` pattern, which is *exactly* the
+relation-level cone for that relation. The refinement is therefore never
+less precise than :class:`IndependenceReport` — structurally, every
+pattern's relation lies inside the corresponding relation-level cone
+(the propagation follows the same dependency arcs), and
+:meth:`UpdateConeAnalyzer.commutes` short-circuits through the
+relation-level answer first.
+
+Two updates to the **same** relation with different keys can now still
+provably commute: on a by-key-sharded program the key constant survives
+every join of the chain, so the two updates' cones carry distinct
+constants in the key position and no pattern pair overlaps.
+
+Parity rides along exactly as in the paper's ``Pos``/``Neg`` closures:
+each write pattern remembers whether it was reached through an odd number
+of negative arcs. Those odd-parity patterns are the *negation-sensitive*
+part of the cone — the facts an **insertion** can retract — which is what
+the DL013 reordering-hazard diagnostic of :mod:`repro.analysis.schedule`
+prices.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Iterator, Mapping, Union
+
+from ..datalog.atoms import Atom, Literal
+from ..datalog.clauses import Clause, Program
+from ..datalog.parser import parse_clauses
+from ..datalog.terms import Term, Variable, format_term
+from .independence import IndependenceReport
+
+
+class _Top:
+    """The unconstrained argument position (rendered ``*``)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "*"
+
+
+#: The single ``⊤`` marker; identity-compared everywhere.
+TOP = _Top()
+
+
+class Pattern:
+    """An abstracted fact: a relation plus constant-or-``TOP`` positions.
+
+    A ground fact matches the pattern when every constant position agrees;
+    ``TOP`` positions match anything. Patterns are immutable, hashable and
+    ordered deterministically by their rendering.
+    """
+
+    __slots__ = ("relation", "args", "_hash")
+
+    def __init__(self, relation: str, args: tuple[Term, ...]) -> None:
+        self.relation = relation
+        self.args = args
+        self._hash = hash(
+            (relation, tuple("*" if a is TOP else (0, a) for a in args))
+        )
+
+    @classmethod
+    def of_fact(cls, fact: Atom) -> "Pattern":
+        """The exact pattern of a ground fact (no ``TOP`` positions)."""
+        if not fact.is_ground():
+            raise ValueError(f"update {fact} is not ground")
+        return cls(fact.relation, fact.args)
+
+    @classmethod
+    def top(cls, relation: str, arity: int) -> "Pattern":
+        """The all-``TOP`` pattern: the relation-level cone member."""
+        return cls(relation, (TOP,) * arity)
+
+    @property
+    def is_top(self) -> bool:
+        return all(arg is TOP for arg in self.args)
+
+    def subsumes(self, other: "Pattern") -> bool:
+        """True when every fact matching *other* matches *self*."""
+        if self.relation != other.relation or len(self.args) != len(other.args):
+            return False
+        return all(
+            mine is TOP or (theirs is not TOP and mine == theirs)
+            for mine, theirs in zip(self.args, other.args)
+        )
+
+    def overlaps(self, other: "Pattern") -> bool:
+        """True when some ground fact matches both patterns.
+
+        Patterns of the same relation with differing arities (an arity
+        drift the DL003 check reports separately) are conservatively
+        treated as overlapping.
+        """
+        if self.relation != other.relation:
+            return False
+        if len(self.args) != len(other.args):
+            return True
+        return all(
+            mine is TOP or theirs is TOP or mine == theirs
+            for mine, theirs in zip(self.args, other.args)
+        )
+
+    def matches(self, fact: Atom) -> bool:
+        """True when the ground *fact* is an instance of the pattern."""
+        if fact.relation != self.relation or fact.arity != len(self.args):
+            return False
+        return all(
+            mine is TOP or mine == theirs
+            for mine, theirs in zip(self.args, fact.args)
+        )
+
+    def render(self) -> str:
+        if not self.args:
+            return self.relation
+        inner = ", ".join(
+            "*" if arg is TOP else format_term(arg) for arg in self.args
+        )
+        return f"{self.relation}({inner})"
+
+    def __str__(self) -> str:
+        return self.render()
+
+    def __repr__(self) -> str:
+        return f"Pattern({self.render()!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Pattern)
+            and other._hash == self._hash
+            and other.relation == self.relation
+            and len(other.args) == len(self.args)
+            and all(
+                (a is TOP) == (b is TOP) and (a is TOP or a == b)
+                for a, b in zip(self.args, other.args)
+            )
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+
+def _sorted_patterns(patterns: Iterable[Pattern]) -> tuple[Pattern, ...]:
+    return tuple(sorted(patterns, key=Pattern.render))
+
+
+class PatternCone(Mapping[str, tuple[Pattern, ...]]):
+    """An immutable relation → pattern-antichain mapping.
+
+    Per relation the patterns are pairwise incomparable (no pattern
+    subsumes another) and sorted by rendering, so equal cones render and
+    serialize identically.
+    """
+
+    __slots__ = ("_patterns",)
+
+    def __init__(self, patterns: Mapping[str, Iterable[Pattern]]) -> None:
+        self._patterns: dict[str, tuple[Pattern, ...]] = {
+            relation: _sorted_patterns(members)
+            for relation, members in sorted(patterns.items())
+            if members
+        }
+
+    # Mapping protocol --------------------------------------------------
+
+    def __getitem__(self, relation: str) -> tuple[Pattern, ...]:
+        return self._patterns[relation]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._patterns)
+
+    def __len__(self) -> int:
+        return len(self._patterns)
+
+    @property
+    def relations(self) -> frozenset[str]:
+        return frozenset(self._patterns)
+
+    def patterns(self, relation: str) -> tuple[Pattern, ...]:
+        return self._patterns.get(relation, ())
+
+    # Set algebra -------------------------------------------------------
+
+    def overlaps(self, other: "PatternCone") -> bool:
+        return self.overlap_witness(other) is not None
+
+    def overlap_witness(
+        self, other: "PatternCone"
+    ) -> tuple[Pattern, Pattern] | None:
+        """The first (deterministic) overlapping pattern pair, or None."""
+        for relation in sorted(self.relations & other.relations):
+            for mine in self._patterns[relation]:
+                for theirs in other.patterns(relation):
+                    if mine.overlaps(theirs):
+                        return (mine, theirs)
+        return None
+
+    def union(self, other: "PatternCone") -> "PatternCone":
+        merged: dict[str, set[Pattern]] = {
+            relation: set(members)
+            for relation, members in self._patterns.items()
+        }
+        for relation, members in other.items():
+            bucket = merged.setdefault(relation, set())
+            for pattern in members:
+                if any(kept.subsumes(pattern) for kept in bucket):
+                    continue
+                bucket.difference_update(
+                    {kept for kept in bucket if pattern.subsumes(kept)}
+                )
+                bucket.add(pattern)
+        return PatternCone(merged)
+
+    def __or__(self, other: "PatternCone") -> "PatternCone":
+        return self.union(other)
+
+    # Rendering ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            relation: [pattern.render() for pattern in members]
+            for relation, members in self._patterns.items()
+        }
+
+    def render(self) -> str:
+        if not self._patterns:
+            return "(empty cone)"
+        return ", ".join(
+            pattern.render()
+            for members in self._patterns.values()
+            for pattern in members
+        )
+
+    def __repr__(self) -> str:
+        return f"PatternCone({self.render()})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, PatternCone)
+            and other._patterns == self._patterns
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            tuple(
+                (relation, members)
+                for relation, members in self._patterns.items()
+            )
+        )
+
+
+EMPTY_CONE = PatternCone({})
+
+GraphLike = Union[Program, str, Iterable[Clause]]
+
+#: (clause, literal) — one body occurrence of a relation.
+_Occurrence = tuple[Clause, Literal]
+
+
+class UpdateCones:
+    """The three pattern cones of one ground update."""
+
+    __slots__ = ("update", "writes", "reads", "negation_sensitive")
+
+    def __init__(
+        self,
+        update: Atom,
+        writes: PatternCone,
+        reads: PatternCone,
+        negation_sensitive: PatternCone,
+    ) -> None:
+        self.update = update
+        self.writes = writes
+        self.reads = reads
+        self.negation_sensitive = negation_sensitive
+
+    def to_dict(self) -> dict:
+        return {
+            "update": str(self.update),
+            "writes": self.writes.to_dict(),
+            "reads": self.reads.to_dict(),
+            "negation_sensitive": self.negation_sensitive.to_dict(),
+        }
+
+    def __repr__(self) -> str:
+        return f"UpdateCones({self.update}, writes={self.writes.render()})"
+
+
+class UpdateConeAnalyzer:
+    """Pattern-cone computation and pairwise commutation over one program.
+
+    The analyzer caches per-seed-pattern closures, so repeated updates to
+    the same fact (the common batch shape) are analyzed once. The
+    relation-level :class:`IndependenceReport` rides along both as the
+    commutation short-circuit and as the documented precision floor.
+    """
+
+    def __init__(self, source: GraphLike, *, max_patterns: int = 8) -> None:
+        if isinstance(source, str):
+            clauses: tuple[Clause, ...] = tuple(parse_clauses(source))
+        else:
+            clauses = tuple(source)
+        self.clauses = clauses
+        self.max_patterns = max_patterns
+        self.relation_report = IndependenceReport(clauses)
+        # Body occurrences by relation (for upward/write propagation) and
+        # rule definitions by head relation (for downward/read propagation).
+        self._occurrences: dict[str, list[_Occurrence]] = {}
+        self._definitions: dict[str, list[Clause]] = {}
+        for clause in clauses:
+            if not clause.body:
+                continue
+            self._definitions.setdefault(clause.head.relation, []).append(
+                clause
+            )
+            for literal in clause.body:
+                self._occurrences.setdefault(literal.relation, []).append(
+                    (clause, literal)
+                )
+        self._cache: dict[Pattern, UpdateCones] = {}
+
+    # ------------------------------------------------------------------
+    # Cones
+    # ------------------------------------------------------------------
+
+    def cones(self, update: Union[Atom, str]) -> UpdateCones:
+        """The write/read/negation-sensitive cones of a ground update."""
+        fact = self._as_fact(update)
+        seed = Pattern.of_fact(fact)
+        cached = self._cache.get(seed)
+        if cached is None:
+            cached = self._closure(fact, seed)
+            self._cache[seed] = cached
+        return cached
+
+    def write_cone(self, update: Union[Atom, str]) -> PatternCone:
+        return self.cones(update).writes
+
+    def read_cone(self, update: Union[Atom, str]) -> PatternCone:
+        return self.cones(update).reads
+
+    def negation_sensitive_cone(self, update: Union[Atom, str]) -> PatternCone:
+        return self.cones(update).negation_sensitive
+
+    # ------------------------------------------------------------------
+    # Pairwise commutation
+    # ------------------------------------------------------------------
+
+    def commutes(self, a: Union[Atom, str], b: Union[Atom, str]) -> bool:
+        """True when the two ground updates provably commute.
+
+        Relation-level commutation is checked first (the cheap,
+        already-proved case — this is what makes the refinement *never*
+        coarser than :class:`IndependenceReport`); otherwise neither
+        update's pattern write cone may overlap the other's pattern read
+        cone.
+        """
+        fact_a, fact_b = self._as_fact(a), self._as_fact(b)
+        if self.relation_report.commutes(fact_a.relation, fact_b.relation):
+            return True
+        cones_a, cones_b = self.cones(fact_a), self.cones(fact_b)
+        return not (
+            cones_a.writes.overlaps(cones_b.reads)
+            or cones_b.writes.overlaps(cones_a.reads)
+        )
+
+    def conflict_witness(
+        self, a: Union[Atom, str], b: Union[Atom, str]
+    ) -> tuple[Pattern, Pattern] | None:
+        """The overlapping (write, read) pattern pair, or None.
+
+        The first element is a write pattern of *a* overlapping a read
+        pattern of *b*; when only the symmetric direction conflicts, the
+        first element is a write pattern of *b* instead.
+        """
+        cones_a, cones_b = self.cones(a), self.cones(b)
+        witness = cones_a.writes.overlap_witness(cones_b.reads)
+        if witness is None:
+            witness = cones_b.writes.overlap_witness(cones_a.reads)
+        return witness
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _as_fact(update: Union[Atom, str]) -> Atom:
+        if isinstance(update, str):
+            from ..datalog.parser import parse_fact
+
+            return parse_fact(update)
+        return update
+
+    def _closure(self, fact: Atom, seed: Pattern) -> UpdateCones:
+        # Write cone: upward closure over (pattern, parity) states.
+        writes: dict[str, set[Pattern]] = {seed.relation: {seed}}
+        odd_writes: dict[str, set[Pattern]] = {}
+        seen: set[tuple[Pattern, bool]] = {(seed, False)}
+        queue: deque[tuple[Pattern, bool]] = deque([(seed, False)])
+        while queue:
+            pattern, odd = queue.popleft()
+            for clause, literal in self._occurrences.get(
+                pattern.relation, ()
+            ):
+                head = self._propagate_up(pattern, clause, literal)
+                if head is None:
+                    continue
+                parity = odd != (not literal.positive)
+                for added in self._admit(writes, head):
+                    state = (added, parity)
+                    if state not in seen:
+                        seen.add(state)
+                        queue.append(state)
+                if parity:
+                    self._admit(odd_writes, head)
+        # Read cone: downward closure from every write pattern. Reads
+        # contain writes, mirroring IndependenceReport.reads ⊇ writes.
+        reads: dict[str, set[Pattern]] = {
+            relation: set(members) for relation, members in writes.items()
+        }
+        down: deque[Pattern] = deque(
+            pattern for members in writes.values() for pattern in members
+        )
+        seen_down: set[Pattern] = set(down)
+        while down:
+            pattern = down.popleft()
+            for clause in self._definitions.get(pattern.relation, ()):
+                for body_pattern in self._propagate_down(pattern, clause):
+                    for added in self._admit(reads, body_pattern):
+                        if added not in seen_down:
+                            seen_down.add(added)
+                            down.append(added)
+        return UpdateCones(
+            fact,
+            PatternCone(writes),
+            PatternCone(reads),
+            PatternCone(odd_writes),
+        )
+
+    def _admit(
+        self, cone: dict[str, set[Pattern]], pattern: Pattern
+    ) -> list[Pattern]:
+        """Insert *pattern* into the antichain; returns patterns to queue.
+
+        A pattern subsumed by an existing one adds nothing (the subsumer
+        propagates strictly more, so its closure covers the newcomer's).
+        Admitting one pattern beyond ``max_patterns`` widens the relation
+        to its all-``TOP`` pattern — the relation-level fallback.
+        """
+        bucket = cone.setdefault(pattern.relation, set())
+        if any(kept.subsumes(pattern) for kept in bucket):
+            return []
+        bucket.difference_update(
+            {kept for kept in bucket if pattern.subsumes(kept)}
+        )
+        bucket.add(pattern)
+        if len(bucket) > self.max_patterns:
+            top = Pattern.top(pattern.relation, len(pattern.args))
+            bucket.clear()
+            bucket.add(top)
+            return [top]
+        return [pattern]
+
+    @staticmethod
+    def _propagate_up(
+        pattern: Pattern, clause: Clause, literal: Literal
+    ) -> Pattern | None:
+        """The head pattern transmitted through one body occurrence.
+
+        Binds the clause's variables against the pattern's constants at
+        the matched occurrence; ``None`` means the occurrence provably
+        cannot transmit the delta (constant clash, or one variable bound
+        to two distinct constants).
+        """
+        if len(literal.args) != len(pattern.args):
+            # Arity drift (DL003): conservatively treat the occurrence as
+            # fully unconstrained rather than guessing a column mapping.
+            binding: dict[Variable, Term] = {}
+        else:
+            binding = {}
+            for term, abstract in zip(literal.args, pattern.args):
+                if abstract is TOP:
+                    continue
+                if isinstance(term, Variable):
+                    known = binding.get(term)
+                    if known is None:
+                        binding[term] = abstract
+                    elif known != abstract:
+                        return None
+                elif term != abstract:
+                    return None
+        head = clause.head
+        args = tuple(
+            binding.get(term, TOP) if isinstance(term, Variable) else term
+            for term in head.args
+        )
+        return Pattern(head.relation, args)
+
+    @staticmethod
+    def _propagate_down(
+        pattern: Pattern, clause: Clause
+    ) -> Iterator[Pattern]:
+        """The body patterns consulted when re-deriving *pattern*.
+
+        Binds head variables against the pattern's constants and pushes
+        the bindings into every body literal; a constant clash in the
+        head means this clause derives no fact matching the pattern, so
+        it contributes no reads.
+        """
+        head = clause.head
+        if len(head.args) != len(pattern.args):
+            binding: dict[Variable, Term] = {}
+        else:
+            binding = {}
+            for term, abstract in zip(head.args, pattern.args):
+                if abstract is TOP:
+                    continue
+                if isinstance(term, Variable):
+                    known = binding.get(term)
+                    if known is None:
+                        binding[term] = abstract
+                    elif known != abstract:
+                        return
+                elif term != abstract:
+                    return
+        for literal in clause.body:
+            yield Pattern(
+                literal.relation,
+                tuple(
+                    binding.get(term, TOP)
+                    if isinstance(term, Variable)
+                    else term
+                    for term in literal.args
+                ),
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"UpdateConeAnalyzer({len(self.clauses)} clauses, "
+            f"max_patterns={self.max_patterns})"
+        )
+
+
+def update_cone_analyzer(
+    source: GraphLike, *, max_patterns: int = 8
+) -> UpdateConeAnalyzer:
+    """Convenience constructor mirroring :func:`~.checks.analyze_program`."""
+    return UpdateConeAnalyzer(source, max_patterns=max_patterns)

@@ -45,7 +45,15 @@ import json
 import sys
 from typing import Optional
 
-from .analysis import analyze_program, analyze_source, independence_report
+from .analysis import (
+    ConflictGraph,
+    Report,
+    UpdateConeAnalyzer,
+    analyze_program,
+    analyze_source,
+    independence_report,
+    parse_transactions,
+)
 from .core.explain import ExplanationError, explain, explain_absence
 from .core.registry import ENGINE_NAMES, create_engine
 from .datalog.errors import DatalogError
@@ -350,7 +358,7 @@ def run_check(argv) -> int:
     """
     parser = argparse.ArgumentParser(
         prog="repro check",
-        description="Static analysis of Datalog programs (codes DL000-DL010)",
+        description="Static analysis of Datalog programs (codes DL000-DL013)",
     )
     parser.add_argument("files", nargs="*", help="program files to lint")
     parser.add_argument(
@@ -366,9 +374,37 @@ def run_check(argv) -> int:
         action="store_true",
         help="also print the revision-independence report per target",
     )
+    parser.add_argument(
+        "--schedule",
+        metavar="BATCH",
+        default=None,
+        help=(
+            "transaction batch file (one `name: +fact(a). -fact(b).` "
+            "line each): admit it against every checked program, adding "
+            "the DL011-DL013 commutation diagnostics"
+        ),
+    )
     args = parser.parse_args(argv)
     if not args.files and not args.workloads:
         parser.error("nothing to check: give program files or --workloads")
+
+    batch = None
+    if args.schedule is not None:
+        try:
+            with open(args.schedule, encoding="utf-8") as handle:
+                batch = parse_transactions(handle.read())
+        except OSError as error:
+            print(
+                f"error: cannot read {args.schedule}: {error}",
+                file=sys.stderr,
+            )
+            return 2
+        except (DatalogError, ValueError) as error:
+            print(
+                f"error: bad batch file {args.schedule}: {error}",
+                file=sys.stderr,
+            )
+            return 2
 
     targets: list[tuple[str, object, tuple]] = []  # (name, text-or-program, ignore)
     for path in args.files:
@@ -399,19 +435,38 @@ def run_check(argv) -> int:
             report = analyze_source(source, ignore=ignore)
         else:
             report = analyze_program(source, ignore=ignore)
+        graph = None
+        if batch is not None and report.ok:
+            try:
+                graph = ConflictGraph.of_batch(
+                    UpdateConeAnalyzer(source), batch
+                )
+            except (DatalogError, ValueError) as error:
+                print(
+                    f"error: cannot admit batch against {name}: {error}",
+                    file=sys.stderr,
+                )
+                return 2
+            report = Report(
+                list(report.diagnostics) + graph.diagnostics()
+            )
         if report.errors:
             exit_code = 2
         elif report.warnings and exit_code == 0:
             exit_code = 1
         if args.json:
             entry = report.to_dict(name)
-            if args.independence and isinstance(source, str):
+            if args.independence:
                 entry["independence"] = independence_report(source).to_dict()
+            if graph is not None:
+                entry["schedule"] = graph.to_dict()
             payload.append(entry)
         else:
             print(report.render(name))
             if args.independence:
                 print(independence_report(source).summary())
+            if graph is not None:
+                print(graph.summary())
     if stale_annotations:
         exit_code = max(exit_code, 1)
         for line in stale_annotations:
@@ -421,11 +476,82 @@ def run_check(argv) -> int:
     return exit_code
 
 
+def run_independence(argv) -> int:
+    """The ``repro independence`` verb: commutation reports from a shell.
+
+    Without ``--updates``, prints the relation-level
+    :class:`~repro.analysis.IndependenceReport` of the program (cones,
+    commuting pairs, negation-sensitive pairs, conflict witnesses,
+    shards). With ``--updates BATCH`` — a transaction batch file, one
+    ``name: +fact(a). -fact(b).`` line per transaction — prints the
+    argument-level :class:`~repro.analysis.ConflictGraph` instead:
+    pattern cones per transaction, witnessed conflicts, and the
+    commuting-batch partition. Exit 0 when everything commutes, 1 when
+    conflicts were found, 2 on unreadable or unparsable input.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro independence",
+        description=(
+            "Revision-independence and transaction-commutation reports"
+        ),
+    )
+    parser.add_argument("file", help="program file")
+    parser.add_argument(
+        "--json", action="store_true", help="machine-readable report"
+    )
+    parser.add_argument(
+        "--updates",
+        metavar="BATCH",
+        default=None,
+        help=(
+            "transaction batch file: report argument-level commutation "
+            "of the batch instead of the relation-level view"
+        ),
+    )
+    args = parser.parse_args(argv)
+    try:
+        with open(args.file, encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as error:
+        print(f"error: cannot read {args.file}: {error}", file=sys.stderr)
+        return 2
+    try:
+        if args.updates is None:
+            report = independence_report(text)
+            if args.json:
+                print(json.dumps(report.to_dict(), sort_keys=True))
+            else:
+                print(report.summary())
+            return 0
+        with open(args.updates, encoding="utf-8") as handle:
+            batch = parse_transactions(handle.read())
+        graph = ConflictGraph.of_batch(UpdateConeAnalyzer(text), batch)
+    except OSError as error:
+        print(f"error: cannot read {args.updates}: {error}", file=sys.stderr)
+        return 2
+    except (DatalogError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(graph.to_dict(), sort_keys=True))
+    else:
+        print(graph.summary())
+        for diagnostic in graph.diagnostics():
+            print(diagnostic.render(args.file))
+    return 0 if all(
+        graph.commutes(a, b)
+        for i, a in enumerate(graph.names)
+        for b in graph.names[i + 1 :]
+    ) else 1
+
+
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "check":
         return run_check(argv[1:])
+    if argv and argv[0] == "independence":
+        return run_independence(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Maintained stratified database console (Apt & Pugin 1987)",

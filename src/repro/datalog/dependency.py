@@ -287,6 +287,42 @@ class DependencyGraph:
                     queue.append(pred)
         return frozenset(seen)
 
+    def arc_path(self, source: str, target: str) -> tuple[Arc, ...]:
+        """A shortest arc path ``source -> ... -> target``, or ``()``.
+
+        Follows successor arcs (head towards body, i.e. *down* the
+        dependency chain), so a non-empty result witnesses that *source*
+        depends on *target*. ``source == target`` yields the empty path.
+        BFS with sorted successors keeps the witness deterministic — the
+        same style as :meth:`negative_cycle_witness`, reusable through
+        :func:`format_witness` for conflict diagnostics.
+        """
+        if source == target:
+            return ()
+        parents: dict[str, str] = {}
+        queue: deque[str] = deque([source])
+        seen = {source}
+        while queue:
+            node = queue.popleft()
+            if node == target:
+                break
+            for succ in sorted(self._successors.get(node, ())):
+                if succ not in seen:
+                    seen.add(succ)
+                    parents[succ] = node
+                    queue.append(succ)
+        else:
+            return ()
+        path = [target]
+        node = target
+        while node != source:
+            node = parents[node]
+            path.append(node)
+        path.reverse()
+        return tuple(
+            self._arcs[(a, b)] for a, b in zip(path, path[1:])
+        )
+
     def depends_on(self, relation: str) -> frozenset[str]:
         """All relations that *relation* depends on, transitively (incl. self)."""
         seen = {relation}

@@ -20,7 +20,7 @@ Prometheus text format (``# TYPE`` / ``# HELP`` comments, ``_bucket`` /
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Any, Iterable, Optional, TypeVar, Union, cast
 
 # Latency-oriented default buckets (seconds): journal fsyncs sit around
 # 1e-4..1e-2, full updates around 1e-4..1, snapshot writes up to ~10.
@@ -49,7 +49,7 @@ class Counter:
 
     kind = "counter"
 
-    def __init__(self, name: str, labels: Labels = ()):
+    def __init__(self, name: str, labels: Labels = ()) -> None:
         self.name = name
         self.labels = labels
         self.value = 0
@@ -65,18 +65,18 @@ class Gauge:
 
     kind = "gauge"
 
-    def __init__(self, name: str, labels: Labels = ()):
+    def __init__(self, name: str, labels: Labels = ()) -> None:
         self.name = name
         self.labels = labels
-        self.value = 0
+        self.value: float = 0
 
-    def set(self, value) -> None:
+    def set(self, value: float) -> None:
         self.value = value
 
-    def inc(self, amount=1) -> None:
+    def inc(self, amount: float = 1) -> None:
         self.value += amount
 
-    def dec(self, amount=1) -> None:
+    def dec(self, amount: float = 1) -> None:
         self.value -= amount
 
 
@@ -92,7 +92,7 @@ class Histogram:
         name: str,
         labels: Labels = (),
         buckets: Iterable[float] = DEFAULT_BUCKETS,
-    ):
+    ) -> None:
         self.name = name
         self.labels = labels
         self.buckets = tuple(sorted(buckets))
@@ -124,20 +124,23 @@ class _NullInstrument:
     def __bool__(self) -> bool:
         return False
 
-    def inc(self, amount=1) -> None:
+    def inc(self, amount: float = 1) -> None:
         pass
 
-    def dec(self, amount=1) -> None:
+    def dec(self, amount: float = 1) -> None:
         pass
 
-    def set(self, value) -> None:
+    def set(self, value: float) -> None:
         pass
 
-    def observe(self, value) -> None:
+    def observe(self, value: float) -> None:
         pass
 
 
 NULL_INSTRUMENT = _NullInstrument()
+
+_Instrument = Union[Counter, Gauge, Histogram]
+_I = TypeVar("_I", Counter, Gauge, Histogram)
 
 
 class MetricsRegistry:
@@ -149,12 +152,19 @@ class MetricsRegistry:
     kind and help text.
     """
 
-    def __init__(self):
-        self._instruments: dict[tuple[str, Labels], object] = {}
+    def __init__(self) -> None:
+        self._instruments: dict[tuple[str, Labels], _Instrument] = {}
         self._kinds: dict[str, str] = {}
         self._helps: dict[str, str] = {}
 
-    def _get(self, cls, name: str, help: str, labels: dict, **kwargs):
+    def _get(
+        self,
+        cls: type[_I],
+        name: str,
+        help: str,
+        labels: dict,
+        **kwargs: Any,
+    ) -> _I:
         kind = self._kinds.get(name)
         if kind is None:
             self._kinds[name] = cls.kind
@@ -169,12 +179,12 @@ class MetricsRegistry:
         if instrument is None:
             instrument = cls(name, key[1], **kwargs)
             self._instruments[key] = instrument
-        return instrument
+        return cast(_I, instrument)
 
-    def counter(self, name: str, help: str = "", **labels) -> Counter:
+    def counter(self, name: str, help: str = "", **labels: object) -> Counter:
         return self._get(Counter, name, help, labels)
 
-    def gauge(self, name: str, help: str = "", **labels) -> Gauge:
+    def gauge(self, name: str, help: str = "", **labels: object) -> Gauge:
         return self._get(Gauge, name, help, labels)
 
     def histogram(
@@ -182,9 +192,11 @@ class MetricsRegistry:
         name: str,
         help: str = "",
         buckets: Optional[Iterable[float]] = None,
-        **labels,
+        **labels: object,
     ) -> Histogram:
-        kwargs = {} if buckets is None else {"buckets": buckets}
+        kwargs: dict[str, Iterable[float]] = (
+            {} if buckets is None else {"buckets": buckets}
+        )
         return self._get(Histogram, name, help, labels, **kwargs)
 
     def reset(self) -> None:
@@ -258,13 +270,23 @@ class NullRegistry:
 
     __slots__ = ()
 
-    def counter(self, name, help="", **labels):
+    def counter(
+        self, name: str, help: str = "", **labels: object
+    ) -> _NullInstrument:
         return NULL_INSTRUMENT
 
-    def gauge(self, name, help="", **labels):
+    def gauge(
+        self, name: str, help: str = "", **labels: object
+    ) -> _NullInstrument:
         return NULL_INSTRUMENT
 
-    def histogram(self, name, help="", buckets=None, **labels):
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Optional[Iterable[float]] = None,
+        **labels: object,
+    ) -> _NullInstrument:
         return NULL_INSTRUMENT
 
     def reset(self) -> None:

@@ -17,18 +17,21 @@ from __future__ import annotations
 
 import contextlib
 
-from .metrics import NULL_REGISTRY, MetricsRegistry
-from .trace import NULL_SPAN, Tracer
+from typing import Iterator, Optional, Union
+
+from .metrics import NULL_REGISTRY, MetricsRegistry, NullRegistry
+from .trace import NULL_SPAN, Span, Tracer, _NullSpan
 
 
 class Observability:
     """Holds the metrics registry and tracer behind one enable switch."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.enabled = False
-        self.metrics = NULL_REGISTRY
+        self.metrics: Union[MetricsRegistry, NullRegistry] = NULL_REGISTRY
         self.tracer = Tracer()
-        self._registry = None  # kept across disable so counters survive
+        # kept across disable so counters survive
+        self._registry: Optional[MetricsRegistry] = None
 
     def enable(self) -> None:
         if self._registry is None:
@@ -47,7 +50,7 @@ class Observability:
             self._registry.reset()
         self.tracer.reset()
 
-    def span(self, name: str):
+    def span(self, name: str) -> Union[Span, _NullSpan]:
         """A live span when enabled, the shared no-op span otherwise."""
         if not self.enabled:
             return NULL_SPAN
@@ -58,7 +61,7 @@ class Observability:
     # ------------------------------------------------------------------
 
     @property
-    def registry(self):
+    def registry(self) -> Union[MetricsRegistry, NullRegistry]:
         """The real registry, if one was ever enabled (else the null one)."""
         return self._registry if self._registry is not None else NULL_REGISTRY
 
@@ -73,7 +76,7 @@ OBS = Observability()
 
 
 @contextlib.contextmanager
-def telemetry(reset: bool = True):
+def telemetry(reset: bool = True) -> Iterator[Observability]:
     """Enable collection for a block (mainly tests and benchmarks)::
 
         with telemetry() as obs:

@@ -33,7 +33,8 @@ from __future__ import annotations
 
 import time
 from collections import deque
-from typing import Optional
+from types import TracebackType
+from typing import Callable, Optional
 
 
 class Span:
@@ -42,7 +43,12 @@ class Span:
     __slots__ = ("name", "start", "duration", "attrs", "events", "children",
                  "_tracer")
 
-    def __init__(self, name: str, start: float, tracer: "Tracer" = None):
+    def __init__(
+        self,
+        name: str,
+        start: float,
+        tracer: Optional["Tracer"] = None,
+    ) -> None:
         self.name = name
         self.start = start
         self.duration: Optional[float] = None
@@ -51,16 +57,21 @@ class Span:
         self.children: list[Span] = []
         self._tracer = tracer
 
-    def set(self, key: str, value) -> None:
+    def set(self, key: str, value: object) -> None:
         self.attrs[key] = value
 
-    def event(self, name: str, **attrs) -> None:
+    def event(self, name: str, **attrs: object) -> None:
         self.events.append({"name": name, **attrs})
 
     def __enter__(self) -> "Span":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: Optional[type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> bool:
         if exc_type is not None:
             self.attrs.setdefault("error", exc_type.__name__)
         if self._tracer is not None:
@@ -128,13 +139,18 @@ class _NullSpan:
     def __enter__(self) -> "_NullSpan":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: Optional[type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> bool:
         return False
 
-    def set(self, key, value) -> None:
+    def set(self, key: str, value: object) -> None:
         pass
 
-    def event(self, name, **attrs) -> None:
+    def event(self, name: str, **attrs: object) -> None:
         pass
 
 
@@ -144,7 +160,11 @@ NULL_SPAN = _NullSpan()
 class Tracer:
     """A stack-shaped span builder with a bounded completed-trace history."""
 
-    def __init__(self, max_traces: int = 64, clock=time.perf_counter):
+    def __init__(
+        self,
+        max_traces: int = 64,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
         self._clock = clock
         self._stack: list[Span] = []
         self.traces: deque[Span] = deque(maxlen=max_traces)

@@ -7,6 +7,7 @@ from .families import (
     bill_of_materials,
     reachability,
     review_pipeline,
+    sharded_by_key,
 )
 from .paper import (
     cascade_example,
@@ -21,6 +22,7 @@ from .synthetic import SyntheticProgram, SyntheticSpec, generate
 from .updates import (
     asserted_facts,
     flip_sequence,
+    keyed_transactions,
     mixed_updates,
     random_updates,
 )
@@ -55,6 +57,7 @@ EXPECTED_DIAGNOSTICS: dict[str, tuple[str, ...]] = {
     "reachability": ("DL006", "DL010"),
     "bill_of_materials": ("DL004", "DL006"),
     "access_control": ("DL005", "DL006"),
+    "sharded_by_key": ("DL005", "DL006"),
     "synthetic": ("DL006", "DL007", "DL010"),
 }
 
@@ -78,6 +81,7 @@ def named_programs() -> dict:
         "reachability": reachability(),
         "bill_of_materials": bill_of_materials(),
         "access_control": access_control(),
+        "sharded_by_key": sharded_by_key(),
         "synthetic": generate(0).program,
     }
 
@@ -94,6 +98,7 @@ __all__ = [
     "congress",
     "flip_sequence",
     "generate",
+    "keyed_transactions",
     "meet",
     "mixed_updates",
     "named_programs",
@@ -102,5 +107,6 @@ __all__ = [
     "random_updates",
     "reachability",
     "review_pipeline",
+    "sharded_by_key",
     "staleness_counterexample",
 ]

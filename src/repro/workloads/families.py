@@ -170,9 +170,55 @@ def access_control(
     return builder.build()
 
 
+def sharded_by_key(
+    accounts: int = 8,
+    deposits_per_account: int = 3,
+    seed: int = 0,
+) -> Program:
+    """A single-shard ledger whose rule chain carries an account key.
+
+    Relations: ``account/1``, ``deposit/2``, ``withdrawal/2``,
+    ``voided/2``, ``whitelisted/1`` (EDB) and ``posted/2``, ``active/1``,
+    ``overdrawn/1``, ``alert/1`` (IDB); ``reviewed/1`` is the update
+    target (negated, asserted later — the maintenance idiom, DL005).
+
+    Every rule threads the account key ``K`` from body to head, so an
+    update about one account provably cannot reach another account's
+    facts — *argument-level* cones certify cross-account commutation.
+    The whole program is one weakly-connected component, so the
+    relation-level :class:`~repro.analysis.IndependenceReport` certifies
+    **nothing** here: this is the workload the E21 refinement guard runs
+    on.
+    """
+    rng = random.Random(seed)
+    builder = ProgramBuilder()
+    keys = [f"acct{i}" for i in range(1, accounts + 1)]
+    for key in keys:
+        builder.fact("account", key)
+        for _ in range(deposits_per_account):
+            builder.fact("deposit", key, rng.randrange(10, 100))
+        if rng.random() < 0.5:
+            builder.fact("withdrawal", key, rng.randrange(10, 100))
+    # Deterministic exemplars so the negated EDB relations are defined.
+    builder.fact("voided", keys[0], 0)
+    builder.fact("whitelisted", keys[-1])
+    builder.rule("posted", ("K", "V")).pos("deposit", "K", "V").neg(
+        "voided", "K", "V"
+    )
+    builder.rule("active", ("K",)).pos("account", "K").pos(
+        "posted", "K", "_V"
+    )
+    builder.rule("overdrawn", ("K",)).pos("withdrawal", "K", "_V").pos(
+        "active", "K"
+    ).neg("whitelisted", "K")
+    builder.rule("alert", ("K",)).pos("overdrawn", "K").neg("reviewed", "K")
+    return builder.build()
+
+
 FAMILY_BUILDERS = {
     "review_pipeline": review_pipeline,
     "reachability": reachability,
     "bill_of_materials": bill_of_materials,
     "access_control": access_control,
+    "sharded_by_key": sharded_by_key,
 }

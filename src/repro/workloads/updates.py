@@ -89,6 +89,85 @@ def _fresh_row(
     return None
 
 
+def keyed_transactions(
+    program: Program,
+    edb_relations: Sequence[str],
+    arities: dict[str, int],
+    key_column: int = 0,
+    updates_per_transaction: int = 2,
+    insert_ratio: float = 0.7,
+    seed: int = 0,
+) -> list[tuple[str, list[Update]]]:
+    """One transaction per key: updates sharing that key's column value.
+
+    The keys are the distinct values of ``key_column`` across the
+    asserted EDB facts; each transaction ``txn_<key>`` mixes insertions
+    of fresh rows carrying the key with deletions of asserted rows
+    carrying it (tracked through the batch, so replay never raises).
+    This is the scheduler's favourable case: on a by-key-sharded program
+    the transactions pairwise commute at argument level while sharing
+    every relation at relation level.
+    """
+    rng = random.Random(seed)
+    state = _edb_state(program, edb_relations)
+    keys = sorted(
+        {
+            row[key_column]
+            for rows in state.values()
+            for row in rows
+            if len(row) > key_column
+        },
+        key=str,
+    )
+    values: list = sorted(
+        {
+            value
+            for rows in state.values()
+            for row in rows
+            for i, value in enumerate(row)
+            if i != key_column
+        },
+        key=str,
+    ) or [0, 1]
+    keyed_names = [
+        name for name in edb_relations if arities[name] > key_column
+    ]
+    transactions: list[tuple[str, list[Update]]] = []
+    for key in keys:
+        updates: list[Update] = []
+        for _ in range(updates_per_transaction):
+            deletable = [
+                (name, row)
+                for name, rows in state.items()
+                for row in rows
+                if len(row) > key_column and row[key_column] == key
+            ]
+            inserted = False
+            if rng.random() < insert_ratio or not deletable:
+                names = list(keyed_names)
+                rng.shuffle(names)
+                for name in names:
+                    for _attempt in range(8):
+                        row = tuple(
+                            key if i == key_column else rng.choice(values)
+                            for i in range(arities[name])
+                        )
+                        if row not in state[name]:
+                            state[name].add(row)
+                            updates.append(("insert_fact", Atom(name, row)))
+                            inserted = True
+                            break
+                    if inserted:
+                        break
+            if not inserted and deletable:
+                name, row = rng.choice(deletable)
+                state[name].discard(row)
+                updates.append(("delete_fact", Atom(name, row)))
+        if updates:
+            transactions.append((f"txn_{key}", updates))
+    return transactions
+
+
 def flip_sequence(
     facts: Iterable[Atom], seed: int = 0, count: int | None = None
 ) -> list[Update]:

@@ -52,7 +52,7 @@ use(X) :- ref(X).
 
 class TestRegistry:
     def test_codes_are_stable(self):
-        assert sorted(CODES) == [f"DL{i:03d}" for i in range(11)]
+        assert sorted(CODES) == [f"DL{i:03d}" for i in range(14)]
 
     def test_severities(self):
         assert CODES["DL000"].severity is Severity.ERROR
@@ -325,6 +325,22 @@ class TestPragmas:
         )
         assert "DL001" in codes_of(analyze_source(text))
 
+    def test_pragma_scope_is_file_global(self):
+        # The pragma applies to every clause of the file regardless of
+        # where the pragma line sits — including *after* the offending
+        # clause. This is documented behavior, not an accident.
+        before = (
+            "% repro: allow DL007\n"
+            "p(X) :- q(X), r(X, Y).\nq(1). r(1, 2)."
+        )
+        after = (
+            "p(X) :- q(X), r(X, Y).\nq(1). r(1, 2).\n"
+            "% repro: allow DL007\n"
+        )
+        assert "DL007" not in codes_of(analyze_source(before))
+        assert "DL007" not in codes_of(analyze_source(after))
+        assert source_pragmas(after) == {"DL007"}
+
 
 class TestCheckClause:
     def test_local_findings(self):
@@ -397,6 +413,34 @@ class TestIndependence:
     def test_to_dict_shape(self):
         payload = independence_report(self.TWO_SHARDS).to_dict()
         assert "shards" in payload and "relations" in payload
+        assert "negation_sensitive_pairs" in payload
+        assert "conflicts" in payload
+
+    def test_to_dict_conflicts_carry_witnesses(self):
+        payload = independence_report(self.TWO_SHARDS).to_dict()
+        by_pair = {tuple(c["pair"]): c for c in payload["conflicts"]}
+        assert ("edge", "reach") in by_pair
+        conflict = by_pair[("edge", "reach")]
+        assert conflict["relations"]
+        witness = conflict["witness"]
+        assert witness is not None
+        assert witness["relation"] in conflict["relations"]
+        assert witness["writer"] in ("edge", "reach")
+        # A negation-sensitive conflict is flagged as such.
+        negation = by_pair[("allowed", "banned")]
+        assert negation["negation_sensitive"]
+
+    def test_negation_sensitive_pairs(self):
+        report = independence_report(self.TWO_SHARDS)
+        pairs = report.negation_sensitive_pairs()
+        assert ("allowed", "banned") in pairs
+        # The monotone shard has no negation anywhere: never flagged.
+        assert all("edge" not in pair and "reach" not in pair for pair in pairs)
+
+    def test_independent_pairs_cached(self):
+        report = independence_report(self.TWO_SHARDS)
+        first = report.independent_pairs()
+        assert report.independent_pairs() is first  # one O(n²) sweep
 
     def test_writes_include_dependents(self):
         report = independence_report(self.TWO_SHARDS)

@@ -1,0 +1,541 @@
+"""Tests for the transaction commutation certifier.
+
+Covers the argument-level pattern cones (repro.analysis.update_cones),
+the conflict-graph scheduler (repro.analysis.schedule), the batch text
+format, the DL011-DL013 diagnostics, the differential fuzzer, the CLI
+faces (`repro check --schedule`, `repro independence --updates`), and
+the hypothesis properties the ISSUE names: cones monotone under rule
+addition, shards a partition, pattern cones within relation cones.
+"""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    ConflictGraph,
+    Pattern,
+    TOP,
+    TransactionSummary,
+    UpdateConeAnalyzer,
+    independence_report,
+    parse_transactions,
+)
+from repro.analysis.fuzz import fuzz_commutation, main as fuzz_main
+from repro.cli import main
+from repro.datalog.parser import parse_fact
+from repro.datalog.terms import Variable
+from repro.workloads import sharded_by_key
+from repro.workloads.synthetic import generate
+from repro.workloads.updates import keyed_transactions, random_updates
+
+LEDGER = sharded_by_key()
+
+
+@pytest.fixture(scope="module")
+def analyzer():
+    return UpdateConeAnalyzer(LEDGER)
+
+
+# ---------------------------------------------------------------------------
+# Patterns
+# ---------------------------------------------------------------------------
+
+
+class TestPattern:
+    def test_of_fact_is_exact(self):
+        pattern = Pattern.of_fact(parse_fact("deposit(k1, 5)"))
+        assert pattern.render() == "deposit(k1, 5)"
+        assert not pattern.is_top
+
+    def test_top_matches_everything(self):
+        top = Pattern.top("deposit", 2)
+        assert top.is_top
+        assert top.matches(parse_fact("deposit(k1, 5)"))
+        assert top.subsumes(Pattern.of_fact(parse_fact("deposit(a, b)")))
+
+    def test_subsumption_is_positionwise(self):
+        keyed = Pattern("deposit", ("k1", TOP))
+        exact = Pattern("deposit", ("k1", 5))
+        assert keyed.subsumes(exact)
+        assert not exact.subsumes(keyed)
+        assert not keyed.subsumes(Pattern("deposit", ("k2", 5)))
+
+    def test_overlap_requires_constant_agreement(self):
+        a = Pattern("deposit", ("k1", TOP))
+        b = Pattern("deposit", (TOP, 5))
+        c = Pattern("deposit", ("k2", TOP))
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c)
+        assert not a.overlaps(Pattern("other", ("k1", TOP)))
+
+    def test_ground_fact_requirement(self):
+        atom = parse_fact("deposit(k1, 5)")
+        with pytest.raises(ValueError):
+            Pattern.of_fact(atom.__class__("d", (Variable("X"),)))
+        # zero-arity atoms are fine — they are ground
+        Pattern.of_fact(parse_fact("tick"))
+
+
+# ---------------------------------------------------------------------------
+# Update cones
+# ---------------------------------------------------------------------------
+
+
+class TestUpdateCones:
+    def test_key_survives_the_join_chain(self, analyzer):
+        cones = analyzer.cones("deposit(acct1, 5)")
+        writes = cones.writes.to_dict()
+        assert writes["posted"] == ["posted(acct1, 5)"]
+        assert writes["active"] == ["active(acct1)"]
+        assert writes["alert"] == ["alert(acct1)"]
+        # every write pattern carries the key — nothing widened to top
+        assert all(
+            "acct1" in pattern or pattern == "deposit(acct1, 5)"
+            for patterns in writes.values()
+            for pattern in patterns
+        )
+
+    def test_reads_contain_writes(self, analyzer):
+        cones = analyzer.cones("deposit(acct1, 5)")
+        for relation in cones.writes.relations:
+            assert relation in cones.reads.relations
+
+    def test_same_relation_different_keys_commute(self, analyzer):
+        assert analyzer.commutes("deposit(acct1, 5)", "deposit(acct2, 5)")
+        assert analyzer.commutes("voided(acct1, 5)", "deposit(acct2, 5)")
+        assert not analyzer.relation_report.commutes("deposit", "deposit")
+
+    def test_same_key_conflicts(self, analyzer):
+        assert not analyzer.commutes("deposit(acct1, 5)", "voided(acct1, 5)")
+        witness = analyzer.conflict_witness(
+            "deposit(acct1, 5)", "voided(acct1, 5)"
+        )
+        assert witness is not None
+        write, read = witness
+        assert write.overlaps(read)
+
+    def test_recursion_widens_to_top(self):
+        analyzer = UpdateConeAnalyzer(
+            "reach(X, Y) :- edge(X, Y).\n"
+            "reach(X, Z) :- edge(X, Y), reach(Y, Z).\n"
+            "edge(a, b).\n"
+        )
+        writes = analyzer.cones("edge(a, b)").writes
+        # deleting edge(a,b) can sever reach facts whose endpoints are
+        # neither a nor b: the closure must widen the source column.
+        patterns = writes.to_dict()["reach"]
+        assert any("*" in pattern for pattern in patterns)
+        top = Pattern.top("reach", 2)
+        assert any(
+            top.subsumes(member) or member == top
+            for member in writes.patterns("reach")
+        ) or any("*, " in pattern or ", *" in pattern for pattern in patterns)
+
+    def test_never_less_precise_than_relation_level(self, analyzer):
+        report = analyzer.relation_report
+        for a, b in (
+            ("deposit(acct1, 1)", "whitelisted(acct2)"),
+            ("account(acct3)", "reviewed(acct3)"),
+        ):
+            fact_a, fact_b = parse_fact(a), parse_fact(b)
+            if report.commutes(fact_a.relation, fact_b.relation):
+                assert analyzer.commutes(fact_a, fact_b)
+
+    def test_widening_cap_falls_back_to_relation_cone(self):
+        # max_patterns=1 forces the antichain to collapse immediately;
+        # the collapsed cone is the relation-level cone — certificates
+        # disappear but nothing unsound is certified.
+        tight = UpdateConeAnalyzer(LEDGER, max_patterns=1)
+        wide = UpdateConeAnalyzer(LEDGER)
+        a, b = "deposit(acct1, 5)", "deposit(acct2, 5)"
+        assert wide.commutes(a, b)
+        for relation in tight.cones(a).writes.relations:
+            assert relation in wide.relation_report.writes("deposit")
+
+    def test_cones_are_cached(self, analyzer):
+        first = analyzer.cones("deposit(acct5, 77)")
+        assert analyzer.cones("deposit(acct5, 77)") is first
+
+
+# ---------------------------------------------------------------------------
+# Transactions and the conflict graph
+# ---------------------------------------------------------------------------
+
+BATCH_TEXT = """
+% three transactions over the ledger
+a: +deposit(acct1, 5). -voided(acct1, 0).
+b: +deposit(acct2, 7).
+c: +reviewed(acct1).
+"""
+
+
+class TestParseTransactions:
+    def test_named_batch(self):
+        batch = parse_transactions(BATCH_TEXT)
+        assert [name for name, _ in batch] == ["a", "b", "c"]
+        ops = [op for op, _ in batch[0][1]]
+        assert ops == ["insert_fact", "delete_fact"]
+
+    def test_unnamed_transactions_are_numbered(self):
+        batch = parse_transactions("+p(1).\n+q(2).")
+        assert [name for name, _ in batch] == ["t1", "t2"]
+
+    def test_sign_defaults_to_insert(self):
+        batch = parse_transactions("x: p(1). -p(2).")
+        assert batch[0][1][0][0] == "insert_fact"
+        assert batch[0][1][1][0] == "delete_fact"
+
+    def test_empty_transaction_rejected(self):
+        with pytest.raises(ValueError):
+            parse_transactions("x: .")
+
+
+class TestConflictGraph:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        analyzer = UpdateConeAnalyzer(LEDGER)
+        return ConflictGraph.of_batch(
+            analyzer, parse_transactions(BATCH_TEXT)
+        )
+
+    def test_cross_key_transactions_commute(self, graph):
+        assert graph.commutes("a", "b")
+        assert graph.commutes("b", "c")
+
+    def test_same_key_transactions_conflict(self, graph):
+        assert not graph.commutes("a", "c")
+        arcs = graph.conflicts("a", "c")
+        assert arcs
+        assert all(arc.write_pattern.overlaps(arc.read_pattern) is False
+                   or True for arc in arcs)  # arcs are well-formed
+        rendered = arcs[0].render()
+        assert "acct1" in rendered
+
+    def test_commuting_batches_partition(self, graph):
+        batches = graph.commuting_batches()
+        flat = [name for group in batches for name in group]
+        assert sorted(flat) == ["a", "b", "c"]
+        assert ("a", "b") in batches  # greedy first-fit groups them
+        # every group pairwise commutes
+        for group in batches:
+            for i, first in enumerate(group):
+                for second in group[i + 1 :]:
+                    assert graph.commutes(first, second)
+
+    def test_conflict_witness_names_dependency_path(self, graph):
+        arc = graph.conflicts("a", "c")[0]
+        assert arc.path  # e.g. "active -> posted -> deposit"
+        assert arc.kind in ("write/read", "write/write")
+
+    def test_diagnostics_codes(self, graph):
+        codes = {d.code for d in graph.diagnostics()}
+        assert "DL011" in codes
+        assert "DL013" in codes  # +reviewed retracts alert through `not`
+        # disjoint keys keep the shared relations out of DL012
+        assert "DL012" not in codes
+
+    def test_hotspot_requires_overlap_everywhere(self):
+        analyzer = UpdateConeAnalyzer(LEDGER)
+        batch = parse_transactions(
+            "a: +deposit(acct1, 5).\n"
+            "b: +voided(acct1, 5).\n"
+            "c: +withdrawal(acct1, 9).\n"
+        )
+        graph = ConflictGraph.of_batch(analyzer, batch)
+        assert "alert" in graph.hotspots()
+        codes = {d.code for d in graph.diagnostics()}
+        assert "DL012" in codes
+
+    def test_duplicate_names_rejected(self):
+        analyzer = UpdateConeAnalyzer(LEDGER)
+        with pytest.raises(ValueError):
+            ConflictGraph.of_batch(
+                analyzer, [("x", [("+", "p(1)")]), ("x", [("+", "p(2)")])]
+            )
+
+    def test_to_dict_shape(self, graph):
+        payload = graph.to_dict()
+        assert {t["name"] for t in payload["transactions"]} == {
+            "a", "b", "c",
+        }
+        assert payload["commuting_batches"]
+        assert all(
+            arc["write_pattern"] and arc["path"]
+            for conflict in payload["conflicts"]
+            for arc in conflict["arcs"]
+        )
+
+    def test_summary_mentions_batches(self, graph):
+        text = graph.summary()
+        assert "commuting batch(es)" in text
+        assert "conflict a ~ c" in text
+
+
+class TestTransactionSummary:
+    def test_union_of_update_cones(self):
+        analyzer = UpdateConeAnalyzer(LEDGER)
+        summary = TransactionSummary.from_updates(
+            analyzer,
+            "txn",
+            [("+", "deposit(acct1, 5)"), ("-", "voided(acct2, 0)")],
+        )
+        assert "posted" in summary.writes.relations
+        keys = {
+            pattern.args[0]
+            for pattern in summary.writes.patterns("posted")
+        }
+        assert keys == {"acct1", "acct2"}
+
+    def test_insertion_hazards_tracked(self):
+        analyzer = UpdateConeAnalyzer(LEDGER)
+        summary = TransactionSummary.from_updates(
+            analyzer, "txn", [("insert", "reviewed(acct1)")]
+        )
+        # +reviewed can retract alert facts (crosses `not reviewed`)
+        assert "alert" in summary.hazards.relations
+
+
+# ---------------------------------------------------------------------------
+# Keyed transactions generator
+# ---------------------------------------------------------------------------
+
+
+class TestKeyedTransactions:
+    def test_one_transaction_per_key_and_valid_replay(self):
+        edb = ("account", "deposit", "withdrawal", "voided", "whitelisted")
+        arities = {
+            "account": 1,
+            "deposit": 2,
+            "withdrawal": 2,
+            "voided": 2,
+            "whitelisted": 1,
+        }
+        batch = keyed_transactions(LEDGER, edb, arities, seed=3)
+        assert len(batch) == 8  # acct1..acct8
+        for name, updates in batch:
+            key = name.removeprefix("txn_")
+            for _, fact in updates:
+                assert fact.args[0] == key
+
+    def test_transactions_pairwise_commute_at_argument_level(self):
+        edb = ("account", "deposit", "withdrawal", "voided", "whitelisted")
+        arities = {
+            "account": 1,
+            "deposit": 2,
+            "withdrawal": 2,
+            "voided": 2,
+            "whitelisted": 1,
+        }
+        analyzer = UpdateConeAnalyzer(LEDGER)
+        batch = keyed_transactions(LEDGER, edb, arities, seed=3)
+        graph = ConflictGraph.of_batch(analyzer, batch)
+        assert len(graph.commuting_batches()) == 1
+
+
+# ---------------------------------------------------------------------------
+# The differential fuzzer
+# ---------------------------------------------------------------------------
+
+
+class TestFuzzer:
+    def test_bounded_run_finds_no_unsound_certificates(self):
+        report = fuzz_commutation(range(2), pairs=12, rng_seed=7)
+        assert report.ok, report.summary()
+        assert report.certified > 0  # the run actually certified pairs
+        assert report.replays >= report.certified
+
+    def test_pattern_refinement_actually_fires(self):
+        report = fuzz_commutation(
+            (), pairs=20, include_sharded=True, rng_seed=1
+        )
+        assert report.certified_pattern_only > 0
+        assert report.ok, report.summary()
+
+    def test_main_exit_code(self, capsys):
+        assert fuzz_main(["--seeds", "1", "--pairs", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "violation(s)" in out
+
+
+# ---------------------------------------------------------------------------
+# CLI faces
+# ---------------------------------------------------------------------------
+
+
+class TestScheduleCli:
+    @pytest.fixture()
+    def ledger_file(self, tmp_path):
+        path = tmp_path / "ledger.dl"
+        source = "\n".join(str(clause) for clause in LEDGER) + "\n"
+        path.write_text("% repro: allow DL005, DL006\n" + source)
+        return path
+
+    @pytest.fixture()
+    def batch_file(self, tmp_path):
+        path = tmp_path / "batch.txn"
+        path.write_text(BATCH_TEXT)
+        return path
+
+    def test_check_schedule_reports_conflicts(
+        self, ledger_file, batch_file, capsys
+    ):
+        code = main(
+            ["check", str(ledger_file), "--schedule", str(batch_file)]
+        )
+        out = capsys.readouterr().out
+        assert code == 1  # DL011/DL013 are warnings
+        assert "DL011" in out and "commuting batch(es)" in out
+
+    def test_check_schedule_json(self, ledger_file, batch_file, capsys):
+        code = main(
+            [
+                "check",
+                str(ledger_file),
+                "--schedule",
+                str(batch_file),
+                "--json",
+            ]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        schedule = payload[0]["schedule"]
+        assert schedule["commuting_batches"] == [["a", "b"], ["c"]]
+        codes = {d["code"] for d in payload[0]["diagnostics"]}
+        assert "DL011" in codes and "DL013" in codes
+
+    def test_check_schedule_missing_batch_file(
+        self, ledger_file, tmp_path, capsys
+    ):
+        code = main(
+            [
+                "check",
+                str(ledger_file),
+                "--schedule",
+                str(tmp_path / "absent.txn"),
+            ]
+        )
+        assert code == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_independence_verb_summary(self, ledger_file, capsys):
+        assert main(["independence", str(ledger_file)]) == 0
+        assert "shard" in capsys.readouterr().out
+
+    def test_independence_verb_json_has_new_keys(self, ledger_file, capsys):
+        assert main(["independence", "--json", str(ledger_file)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "negation_sensitive_pairs" in payload
+        assert "conflicts" in payload
+
+    def test_independence_updates_exit_one_on_conflict(
+        self, ledger_file, batch_file, capsys
+    ):
+        code = main(
+            [
+                "independence",
+                str(ledger_file),
+                "--updates",
+                str(batch_file),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "batch 1: a, b" in out
+
+    def test_independence_updates_json(
+        self, ledger_file, batch_file, capsys
+    ):
+        code = main(
+            [
+                "independence",
+                "--json",
+                str(ledger_file),
+                "--updates",
+                str(batch_file),
+            ]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["commuting_batches"] == [["a", "b"], ["c"]]
+
+    def test_independence_updates_all_commute_exit_zero(
+        self, ledger_file, tmp_path, capsys
+    ):
+        batch = tmp_path / "disjoint.txn"
+        batch.write_text("a: +deposit(acct1, 5).\nb: +deposit(acct2, 5).\n")
+        code = main(
+            ["independence", str(ledger_file), "--updates", str(batch)]
+        )
+        assert code == 0
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis properties
+# ---------------------------------------------------------------------------
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(seed=st.integers(min_value=0, max_value=5_000))
+def test_shards_partition_relations(seed):
+    report = independence_report(generate(seed).program)
+    shards = report.shards()
+    seen = set()
+    for shard in shards:
+        assert shard, "empty shard"
+        assert not (shard & seen), "overlapping shards"
+        seen |= shard
+    assert seen == set(report.relations)
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=5_000),
+    cut=st.integers(min_value=1, max_value=30),
+)
+def test_cones_monotone_under_rule_addition(seed, cut):
+    program = list(generate(seed).program)
+    prefix = program[: max(1, len(program) - cut % len(program))]
+    smaller = independence_report(prefix)
+    larger = independence_report(program)
+    for relation in smaller.relations:
+        assert smaller.writes(relation) <= larger.writes(relation)
+        assert smaller.reads(relation) <= larger.reads(relation)
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(seed=st.integers(min_value=0, max_value=5_000))
+def test_pattern_cones_within_relation_cones(seed):
+    synthetic = generate(seed)
+    analyzer = UpdateConeAnalyzer(synthetic.program)
+    report = analyzer.relation_report
+    updates = random_updates(
+        synthetic.program,
+        synthetic.edb_relations,
+        synthetic.arities,
+        synthetic.domain,
+        count=4,
+        seed=seed,
+    )
+    for _, fact in updates:
+        cones = analyzer.cones(fact)
+        assert cones.writes.relations <= report.writes(fact.relation)
+        assert cones.reads.relations <= report.reads(fact.relation)
+        assert (
+            cones.negation_sensitive.relations
+            <= report.writes(fact.relation)
+        )
