@@ -7,11 +7,11 @@ EXPERIMENTS.md. Benchmarks print their tables so
 there.
 """
 
-import pytest
+from repro.bench.reporting import artifact_dir
 
 
 def pytest_configure(config):
-    # The experiment tables are the point of these benches: show them even
-    # without -s by printing to the terminalreporter at the end would be
-    # noisy; we simply rely on -s or captured output in CI logs.
-    pass
+    # All bench artifacts (traces, expositions, --benchmark-json targets)
+    # live in the gitignored benchmarks/out/; create it up front so
+    # pytest-benchmark's JSON writer never hits a missing directory.
+    artifact_dir()

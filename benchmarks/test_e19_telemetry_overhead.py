@@ -17,9 +17,10 @@ The observability layer (``repro.obs``) promises two things at once:
   step records carry both the ``estimated`` and the actual (``rows``)
   matched-row counts for *every* step of the clause, and the registry
   must expose the update counters in the Prometheus text format. The
-  trace and the exposition are written next to the benchmark JSON
-  (``bench-e19-trace.json`` / ``bench-e19-metrics.txt``) so CI archives
-  a real artifact, not just a pass/fail bit.
+  trace and the exposition are written into the gitignored artifact
+  directory (``benchmarks/out/bench-e19-trace.json`` /
+  ``benchmarks/out/bench-e19-metrics.txt``) so CI archives a real
+  artifact, not just a pass/fail bit — and the working tree stays clean.
 
 The workload is E17a's skewed star — the join the planner instrumentation
 is most interesting on — driven both through raw saturation (E19a) and a
@@ -29,7 +30,7 @@ maintained engine update (E19b).
 import json
 import time
 
-from repro.bench.reporting import print_table
+from repro.bench.reporting import artifact_path, print_table
 from repro.core.registry import create_engine
 from repro.datalog.atoms import Atom, fact
 from repro.datalog.builder import ProgramBuilder
@@ -166,9 +167,13 @@ def test_e19b_enabled_trace_has_estimates_and_actuals():
 
     assert 'repro_updates_total{engine="cascade",operation="insert_fact"} 1' \
         in exposition
-    with open("bench-e19-trace.json", "w", encoding="utf-8") as handle:
+    with open(
+        artifact_path("bench-e19-trace.json"), "w", encoding="utf-8"
+    ) as handle:
         json.dump(
             {"root": root.to_dict(), "traceEvents": chrome}, handle, indent=1
         )
-    with open("bench-e19-metrics.txt", "w", encoding="utf-8") as handle:
+    with open(
+        artifact_path("bench-e19-metrics.txt"), "w", encoding="utf-8"
+    ) as handle:
         handle.write(exposition)

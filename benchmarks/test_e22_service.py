@@ -1,0 +1,186 @@
+"""E22 — the concurrent revision service: scheduled-parallel admission.
+
+PR 10 adds the revision service: a transaction batch goes through the
+argument-level commutation scheduler, the commuting groups execute in
+worker threads against copy-on-write checkpoints and merge by state
+delta, and the accepted transactions become durable with **one** journal
+group commit (one fsync, one redo-tail check) instead of one fsync per
+transaction. Two claims, both guarded:
+
+* **E22a (scheduled-parallel beats serial admission — CI guard)** — on
+  disjoint-key ledger traffic, batch admission through
+  :class:`~repro.service.RevisionService` must sustain strictly more
+  committed transactions per second than per-transaction serial
+  admission against the same durable store, **and** the final store must
+  be byte-identical: the canonical v2 snapshot written after the
+  parallel run must equal the serial store's snapshot byte for byte.
+  The throughput floor is deliberately modest (the engines are
+  GIL-bound; the honest win is fsync amortization + one scheduling pass
+  + one redo-tail check per batch) but it must be a *win*.
+
+* **E22b (throughput rises with session count — CI guard)** — driving
+  the ``asyncio`` front-end over real sockets, N concurrent sessions
+  each submitting disjoint-key transactions must commit more
+  transactions per second in aggregate than one session alone: the
+  micro-batching writer turns concurrency into larger commuting groups
+  and fewer fsyncs. The guard compares the best multi-session rate
+  against the single-session rate.
+"""
+
+import asyncio
+import time
+
+from repro.bench.reporting import print_table
+from repro.datalog.atoms import Atom
+from repro.service import RevisionService
+from repro.service.server import RevisionServer, ServiceClient
+from repro.store import open_store
+from repro.workloads import sharded_by_key
+
+ACCOUNTS = 16
+ROUNDS = 14
+UPDATES_PER_TXN = 2
+WORKERS = 4
+
+#: E22a acceptance bar: committed-txn/sec of batch admission over
+#: per-transaction serial admission. The compute is GIL-bound either
+#: way; the scheduled path must still convert group commit + one
+#: scheduling pass per batch into a real win, with margin for CI noise.
+PARALLEL_OVER_SERIAL_FLOOR = 1.10
+
+#: E22b acceptance bar: aggregate committed-txn/sec of the best
+#: multi-session run over the single-session run through the server.
+SESSIONS_SCALING_FLOOR = 1.25
+SESSION_COUNTS = (1, 2, 4, 8, 16)
+COMMITS_PER_SESSION = 30
+
+
+def _traffic(tag: int):
+    """One round of disjoint-key transactions, all fresh insertions.
+
+    Values are partitioned by *tag* so every round (and every caller)
+    stays admissible against everything committed before it.
+    """
+    base = 100_000 + tag * 1_000
+    batch = []
+    for key in range(1, ACCOUNTS + 1):
+        account = f"acct{key}"
+        updates = [
+            ("insert_fact", Atom("deposit", (account, base + step)))
+            for step in range(UPDATES_PER_TXN)
+        ]
+        batch.append((f"r{tag}_{account}", updates))
+    return batch
+
+
+def test_e22a_parallel_admission_beats_serial(tmp_path):
+    program = str(sharded_by_key(accounts=ACCOUNTS))
+    rounds = [_traffic(tag) for tag in range(ROUNDS)]
+    total = sum(len(batch) for batch in rounds)
+
+    serial = open_store(
+        tmp_path / "serial", program=program, engine="factlevel"
+    )
+    started = time.perf_counter()
+    for batch in rounds:
+        for _, updates in batch:
+            with serial.transaction():
+                for operation, fact in updates:
+                    serial.apply(operation, fact)
+    serial_seconds = time.perf_counter() - started
+    assert serial.revision == total
+
+    store = open_store(
+        tmp_path / "parallel", program=program, engine="factlevel"
+    )
+    committed = 0
+    parallel_groups = 0
+    with RevisionService(store, max_workers=WORKERS) as service:
+        started = time.perf_counter()
+        for batch in rounds:
+            result = service.submit_batch(batch)
+            committed += result.committed
+            parallel_groups += result.report.parallel_groups
+        parallel_seconds = time.perf_counter() - started
+        assert committed == total
+        assert service.revision == total
+        # The disjoint-key rounds must actually take the parallel path.
+        assert parallel_groups >= ROUNDS
+
+        # Byte-identical durability: the canonical v2 snapshots of the
+        # two stores must match exactly.
+        parallel_snapshot = store.snapshot().read_bytes()
+    serial_snapshot = serial.snapshot().read_bytes()
+    serial.close()
+    assert parallel_snapshot == serial_snapshot
+
+    serial_tps = total / serial_seconds
+    parallel_tps = total / parallel_seconds
+    speedup = parallel_tps / serial_tps
+    print_table(
+        ["admission", "txns", "seconds", "txn_per_sec", "speedup"],
+        [
+            ["serial (per-txn fsync)", total, serial_seconds, serial_tps, 1.0],
+            ["scheduled-parallel", total, parallel_seconds, parallel_tps,
+             speedup],
+        ],
+        "E22a: batch admission vs per-transaction serial admission "
+        f"({ACCOUNTS} disjoint keys, {WORKERS} workers)",
+    )
+    assert speedup >= PARALLEL_OVER_SERIAL_FLOOR, (
+        f"scheduled-parallel admission managed only {speedup:.2f}x over "
+        f"serial (floor {PARALLEL_OVER_SERIAL_FLOOR}x)"
+    )
+
+
+def test_e22b_throughput_rises_with_sessions(tmp_path):
+    program = str(sharded_by_key(accounts=max(SESSION_COUNTS)))
+    store = open_store(tmp_path / "store", program=program, engine="factlevel")
+    service = RevisionService(store, max_workers=WORKERS)
+    rows = []
+    rates = {}
+
+    async def run_sessions(count: int, tag: int) -> float:
+        server = RevisionServer(service, batch_window=0.001)
+        await server.start()
+        try:
+            async def session(index: int) -> None:
+                client = await ServiceClient.connect(server.host, server.port)
+                try:
+                    account = f"acct{index + 1}"
+                    base = 10_000_000 + tag * 100_000 + index * 1_000
+                    for step in range(COMMITS_PER_SESSION):
+                        response = await client.commit(
+                            [f"+deposit({account}, {base + step})"]
+                        )
+                        assert response["committed"], response
+                finally:
+                    await client.close()
+
+            started = time.perf_counter()
+            await asyncio.gather(*(session(i) for i in range(count)))
+            return time.perf_counter() - started
+        finally:
+            await server.stop()
+
+    with service:
+        for tag, count in enumerate(SESSION_COUNTS):
+            seconds = asyncio.run(run_sessions(count, tag))
+            txns = count * COMMITS_PER_SESSION
+            rates[count] = txns / seconds
+            rows.append([count, txns, seconds, rates[count]])
+        expected = sum(SESSION_COUNTS) * COMMITS_PER_SESSION
+        assert service.revision == expected
+
+    print_table(
+        ["sessions", "txns", "seconds", "txn_per_sec"],
+        rows,
+        "E22b: aggregate committed-transactions/sec vs session count "
+        "(asyncio front-end, micro-batching writer)",
+    )
+    best = max(rates[count] for count in SESSION_COUNTS if count > 1)
+    scaling = best / rates[1]
+    assert scaling >= SESSIONS_SCALING_FLOOR, (
+        f"multi-session throughput only {scaling:.2f}x the single "
+        f"session (floor {SESSIONS_SCALING_FLOOR}x)"
+    )

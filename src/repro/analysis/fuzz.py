@@ -113,6 +113,8 @@ class FuzzReport:
         self.certified_pattern_only = 0
         self.replays = 0
         self.record_validations = 0
+        self.parallel_batches = 0
+        self.parallel_groups = 0
         self.violations: list[FuzzViolation] = []
 
     @property
@@ -133,6 +135,12 @@ class FuzzReport:
             f"{self.record_validations} record validation(s), "
             f"{len(self.violations)} violation(s)"
         ]
+        if self.parallel_batches:
+            lines.append(
+                f"threaded: {self.parallel_batches} batch(es) executed "
+                f"in parallel, {self.parallel_groups} commuting group(s) "
+                "merged"
+            )
         lines.extend(v.render() for v in self.violations)
         return "\n".join(lines)
 
@@ -391,44 +399,157 @@ def fuzz_commutation(
     workload), ``pairs`` update pairs drawn per program; every pair the
     analyzer certifies is replayed in both orders on every engine.
     """
+    rng = random.Random(rng_seed)
+    report = FuzzReport()
+    for label, program, edb, arities, domain in _program_suite(
+        seeds, include_sharded
+    ):
+        _fuzz_program(
+            label,
+            program,
+            edb,
+            arities,
+            domain,
+            pairs=pairs,
+            engine_names=engine_names,
+            rng=rng,
+            report=report,
+        )
+    return report
+
+
+def _program_suite(
+    seeds: Sequence[int], include_sharded: bool
+) -> list[tuple[str, Program, tuple[str, ...], dict[str, int], list]]:
     from ..workloads.families import sharded_by_key
     from ..workloads.synthetic import generate
 
-    rng = random.Random(rng_seed)
-    report = FuzzReport()
+    suite: list = []
     for seed in seeds:
         synthetic = generate(seed)
-        _fuzz_program(
-            f"synthetic(seed={seed})",
-            synthetic.program,
-            synthetic.edb_relations,
-            synthetic.arities,
-            synthetic.domain,
-            pairs=pairs,
-            engine_names=engine_names,
-            rng=rng,
-            report=report,
+        suite.append(
+            (
+                f"synthetic(seed={seed})",
+                synthetic.program,
+                tuple(synthetic.edb_relations),
+                dict(synthetic.arities),
+                list(synthetic.domain),
+            )
         )
     if include_sharded:
-        program = sharded_by_key()
         keys = [f"acct{i}" for i in range(1, 9)]
-        _fuzz_program(
-            "sharded_by_key",
-            program,
-            ("account", "deposit", "withdrawal", "voided", "whitelisted"),
-            {
-                "account": 1,
-                "deposit": 2,
-                "withdrawal": 2,
-                "voided": 2,
-                "whitelisted": 1,
-            },
-            keys + list(range(10, 100, 17)),
-            pairs=pairs,
-            engine_names=engine_names,
-            rng=rng,
-            report=report,
+        suite.append(
+            (
+                "sharded_by_key",
+                sharded_by_key(),
+                ("account", "deposit", "withdrawal", "voided", "whitelisted"),
+                {
+                    "account": 1,
+                    "deposit": 2,
+                    "withdrawal": 2,
+                    "voided": 2,
+                    "whitelisted": 1,
+                },
+                keys + list(range(10, 100, 17)),
+            )
         )
+    return suite
+
+
+def fuzz_parallel_service(
+    seeds: Sequence[int] = range(2),
+    *,
+    transactions: int = 8,
+    per_transaction: int = 2,
+    engine_names: Sequence[str] = ENGINE_NAMES,
+    include_sharded: bool = True,
+    rng_seed: int = 0,
+    max_workers: int = 4,
+) -> FuzzReport:
+    """Threaded mode: scheduled-parallel batches vs submission-order serial.
+
+    For each program a transaction batch is drawn from the update pool
+    and pushed through the revision service's
+    :class:`~repro.service.executor.ParallelExecutor` — commuting groups
+    execute in real worker threads against checkpoint snapshots and merge
+    by state delta. The resulting model and canonical supports must equal
+    a fresh engine's submission-order serial replay; rule-record tables
+    (history-dependent by design, see the module docstring) are instead
+    validated as a support cover of the final state.
+    """
+    # Lazy import: repro.service imports this package's scheduler.
+    from ..service.executor import ParallelExecutor
+
+    rng = random.Random(rng_seed)
+    report = FuzzReport()
+    for label, program, edb, arities, domain in _program_suite(
+        seeds, include_sharded
+    ):
+        pool = _update_pool(
+            program, edb, arities, domain, rng,
+            transactions * per_transaction,
+        )
+        if len(pool) < 2 * per_transaction:
+            continue
+        report.programs += 1
+        batch = [
+            (
+                f"txn{i}",
+                pool[i * per_transaction : (i + 1) * per_transaction],
+            )
+            for i in range((len(pool) + per_transaction - 1) // per_transaction)
+        ]
+        batch = [(name, updates) for name, updates in batch if updates]
+        asserted = {clause.head for clause in program if not clause.body}
+        for _, updates in batch:
+            for operation, fact in updates:
+                if operation == "insert_fact":
+                    asserted.add(fact)
+                else:
+                    asserted.discard(fact)
+        all_updates = [u for _, updates in batch for u in updates]
+        for name in engine_names:
+            serial = create_engine(name, program)
+            for operation, fact in all_updates:
+                serial.apply(operation, fact)
+            expected = _signature(serial)
+            engine = create_engine(name, program)
+            executor = ParallelExecutor(
+                engine,
+                lambda name=name: create_engine(name, "", build=False),
+                max_workers=max_workers,
+            )
+            try:
+                result = executor.execute(batch)
+            finally:
+                executor.close()
+            report.replays += 1
+            report.parallel_batches += 1
+            report.parallel_groups += result.parallel_groups
+            rejected = [o.name for o in result.outcomes if not o.committed]
+            actual = _signature(engine)
+            if rejected:
+                detail = f"transactions rejected: {rejected}"
+            elif actual[0] != expected[0]:
+                detail = "parallel batch model differs from serial replay"
+            elif actual[1] != expected[1]:
+                detail = (
+                    "parallel batch canonical supports differ from "
+                    "serial replay"
+                )
+            else:
+                detail = None
+                if actual[2]:
+                    report.record_validations += 1
+                    defect = _validate_rule_records(
+                        engine, actual[2], asserted
+                    )
+                    if defect is not None:
+                        detail = f"after parallel batch, {defect}"
+            if detail is not None:
+                report.violations.append(
+                    FuzzViolation(label, name, all_updates, [], detail)
+                )
     return report
 
 
@@ -449,12 +570,27 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "--rng-seed", type=int, default=0, help="pair-drawing seed"
     )
+    parser.add_argument(
+        "--threaded",
+        action="store_true",
+        help=(
+            "also run the threaded mode: scheduled-parallel batch "
+            "execution through the revision service vs serial replay"
+        ),
+    )
     args = parser.parse_args(argv)
     report = fuzz_commutation(
         range(args.seeds), pairs=args.pairs, rng_seed=args.rng_seed
     )
     print(report.summary())
-    return 0 if report.ok else 1
+    ok = report.ok
+    if args.threaded:
+        threaded = fuzz_parallel_service(
+            range(args.seeds), rng_seed=args.rng_seed
+        )
+        print(threaded.summary())
+        ok = ok and threaded.ok
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

@@ -45,6 +45,7 @@ from .update_cones import (
     PatternCone,
     UpdateConeAnalyzer,
     UpdateCones,
+    _CanonConst,
 )
 
 #: A ground update: ("insert_fact" | "delete_fact", fact).
@@ -140,6 +141,122 @@ class TransactionSummary:
         return (
             f"TransactionSummary({self.name}: {self.render_updates()})"
         )
+
+
+class CommutationOracle:
+    """Memoized pairwise commutation verdicts for batch scheduling.
+
+    The full :class:`ConflictGraph` recomputes cone unions and overlap
+    witnesses per batch — right for diagnostics, wasteful for the service
+    hot path, where every round carries the same *shape* of transactions
+    with fresh payload constants. Commutation is invariant under renaming
+    constants the rule set never mentions (the closure and the overlap
+    checks compare such constants only for equality), so the oracle keys
+    each **pair** of transactions by a joint canonical form: rule
+    constants stay literal, every other constant becomes a
+    first-appearance placeholder shared across the pair — which preserves
+    exactly the equality pattern within and *between* the two
+    transactions. Isomorphic pairs share one cached verdict; steady
+    keyed traffic schedules by dictionary lookup, falling back to the
+    summary-level overlap check only on a miss.
+    """
+
+    def __init__(
+        self, analyzer: UpdateConeAnalyzer, max_entries: int = 65536
+    ) -> None:
+        self.analyzer = analyzer
+        self._fixed = analyzer.rule_constants
+        self._verdicts: dict[tuple, bool] = {}
+        self._max_entries = max_entries
+
+    def _pair_key(
+        self, first: tuple[Update, ...], second: tuple[Update, ...]
+    ) -> tuple:
+        mapping: dict = {}
+        fixed = self._fixed
+
+        def canon(updates: tuple[Update, ...]) -> tuple:
+            rows = []
+            for operation, fact in updates:
+                args = []
+                for arg in fact.args:
+                    if arg in fixed:
+                        args.append(arg)
+                    else:
+                        placeholder = mapping.get(arg)
+                        if placeholder is None:
+                            placeholder = _CanonConst(len(mapping))
+                            mapping[arg] = placeholder
+                        args.append(placeholder)
+                rows.append((operation, fact.relation, tuple(args)))
+            return tuple(rows)
+
+        return canon(first), canon(second)
+
+    def commuting_groups(
+        self,
+        batch: Sequence[tuple[str, tuple[Update, ...]]],
+        preserve_order: bool = True,
+    ) -> tuple[tuple[str, ...], ...]:
+        """Partition *batch* like :meth:`ConflictGraph.commuting_batches`.
+
+        Same greedy strategies over the same commutation relation — the
+        verdicts just come from the pair cache when they can.
+        """
+        summaries: dict[str, TransactionSummary] = {}
+
+        def summary(name: str, updates: tuple[Update, ...]):
+            cached = summaries.get(name)
+            if cached is None:
+                cached = summaries[name] = TransactionSummary(
+                    name, updates, tuple(map(self.analyzer.cones, (
+                        fact for _, fact in updates
+                    )))
+                )
+            return cached
+
+        def commutes(
+            a: tuple[str, tuple[Update, ...]],
+            b: tuple[str, tuple[Update, ...]],
+        ) -> bool:
+            key = self._pair_key(a[1], b[1])
+            verdict = self._verdicts.get(key)
+            if verdict is None:
+                first = summary(*a)
+                second = summary(*b)
+                verdict = (
+                    first.writes.overlap_witness(second.reads) is None
+                    and second.writes.overlap_witness(first.reads) is None
+                )
+                if len(self._verdicts) < self._max_entries:
+                    self._verdicts[key] = verdict
+            return verdict
+
+        if preserve_order:
+            level: dict[str, int] = {}
+            leveled: list[list[str]] = []
+            for position, transaction in enumerate(batch):
+                slot = 0
+                for earlier in batch[:position]:
+                    if not commutes(transaction, earlier):
+                        slot = max(slot, level[earlier[0]] + 1)
+                level[transaction[0]] = slot
+                if slot == len(leveled):
+                    leveled.append([])
+                leveled[slot].append(transaction[0])
+            return tuple(tuple(group) for group in leveled)
+        groups: list[list[str]] = []
+        members: list[list[tuple[str, tuple[Update, ...]]]] = []
+        for transaction in batch:
+            for group, present in zip(groups, members):
+                if all(commutes(transaction, other) for other in present):
+                    group.append(transaction[0])
+                    present.append(transaction)
+                    break
+            else:
+                groups.append([transaction[0]])
+                members.append([transaction])
+        return tuple(tuple(group) for group in groups)
 
 
 class ConflictArc:
@@ -354,7 +471,9 @@ class ConflictGraph:
         for (a, b), arcs in self._edges.items():
             yield a, b, arcs
 
-    def commuting_batches(self) -> tuple[tuple[str, ...], ...]:
+    def commuting_batches(
+        self, preserve_order: bool = False
+    ) -> tuple[tuple[str, ...], ...]:
         """Partition the batch into groups safe to apply in any order.
 
         Greedy first-fit coloring in batch order: each transaction joins
@@ -363,7 +482,29 @@ class ConflictGraph:
         may be applied in any order — or concurrently — without changing
         the final belief state; distinct groups must still be serialized
         against each other.
+
+        First-fit may *reorder* conflicting transactions: a late
+        transaction can slot into an earlier group than a conflicting
+        predecessor, so executing groups in sequence realizes a serial
+        order different from submission order. With ``preserve_order``
+        every transaction lands strictly after its conflicting
+        predecessors (longest-conflict-chain leveling), so group-by-group
+        execution is equivalent to the submission-order serial replay —
+        the contract the parallel executor journals under.
         """
+        if preserve_order:
+            level: dict[str, int] = {}
+            leveled: list[list[str]] = []
+            for position, transaction in enumerate(self.transactions):
+                slot = 0
+                for earlier in self.transactions[:position]:
+                    if not self.commutes(transaction.name, earlier.name):
+                        slot = max(slot, level[earlier.name] + 1)
+                level[transaction.name] = slot
+                if slot == len(leveled):
+                    leveled.append([])
+                leveled[slot].append(transaction.name)
+            return tuple(tuple(group) for group in leveled)
         groups: list[list[str]] = []
         for transaction in self.transactions:
             for group in groups:

@@ -281,6 +281,34 @@ class PatternCone(Mapping[str, tuple[Pattern, ...]]):
 
 EMPTY_CONE = PatternCone({})
 
+
+class _CanonConst:
+    """A placeholder constant for cone canonicalization.
+
+    Update constants that appear nowhere in the program's rules are
+    interchangeable for the closure: the propagation only ever compares
+    constants for equality, so renaming them (injectively, avoiding every
+    rule constant) yields an isomorphic cone. Canonicalizing an update to
+    placeholders lets one closure serve every update of the same shape —
+    the dominant cost of scheduling keyed traffic, where each transaction
+    carries fresh payload values over a fixed pattern.
+    """
+
+    __slots__ = ("index",)
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _CanonConst) and other.index == self.index
+
+    def __hash__(self) -> int:
+        return hash(("_CanonConst", self.index))
+
+    def __repr__(self) -> str:
+        return f"?{self.index}"
+
+
 GraphLike = Union[Program, str, Iterable[Clause]]
 
 #: (clause, literal) — one body occurrence of a relation.
@@ -316,6 +344,36 @@ class UpdateCones:
         return f"UpdateCones({self.update}, writes={self.writes.render()})"
 
 
+def _rename_cone(cone: PatternCone, inverse: dict) -> PatternCone:
+    return PatternCone(
+        {
+            relation: [
+                Pattern(
+                    pattern.relation,
+                    tuple(
+                        arg if arg is TOP else inverse.get(arg, arg)
+                        for arg in pattern.args
+                    ),
+                )
+                for pattern in members
+            ]
+            for relation, members in cone.items()
+        }
+    )
+
+
+def _rename_cones(
+    cones: "UpdateCones", fact: Atom, inverse: dict
+) -> "UpdateCones":
+    """Instantiate a canonical closure for one concrete update."""
+    return UpdateCones(
+        fact,
+        _rename_cone(cones.writes, inverse),
+        _rename_cone(cones.reads, inverse),
+        _rename_cone(cones.negation_sensitive, inverse),
+    )
+
+
 class UpdateConeAnalyzer:
     """Pattern-cone computation and pairwise commutation over one program.
 
@@ -337,31 +395,89 @@ class UpdateConeAnalyzer:
         # rule definitions by head relation (for downward/read propagation).
         self._occurrences: dict[str, list[_Occurrence]] = {}
         self._definitions: dict[str, list[Clause]] = {}
+        self._rule_constants: set = set()
         for clause in clauses:
             if not clause.body:
                 continue
             self._definitions.setdefault(clause.head.relation, []).append(
                 clause
             )
+            for atom in (clause.head, *clause.body):
+                for arg in atom.args:
+                    if not isinstance(arg, Variable):
+                        self._rule_constants.add(arg)
             for literal in clause.body:
                 self._occurrences.setdefault(literal.relation, []).append(
                     (clause, literal)
                 )
         self._cache: dict[Pattern, UpdateCones] = {}
+        self._canon_cache: dict[Pattern, UpdateCones] = {}
 
     # ------------------------------------------------------------------
     # Cones
     # ------------------------------------------------------------------
 
+    @property
+    def rule_constants(self) -> frozenset:
+        """Constants the rule set mentions anywhere (head or body).
+
+        Every other constant is interchangeable for the closure — the
+        renaming-invariance the canonical cone cache and the scheduling
+        oracle both rest on.
+        """
+        return frozenset(self._rule_constants)
+
     def cones(self, update: Union[Atom, str]) -> UpdateCones:
-        """The write/read/negation-sensitive cones of a ground update."""
+        """The write/read/negation-sensitive cones of a ground update.
+
+        Memoized twice over: exactly per seed pattern, and — for the
+        constants the program's rules never mention — modulo renaming, so
+        a stream of same-shaped updates with fresh payload values (keyed
+        transaction traffic) computes its closure once.
+        """
         fact = self._as_fact(update)
         seed = Pattern.of_fact(fact)
         cached = self._cache.get(seed)
         if cached is None:
-            cached = self._closure(fact, seed)
-            self._cache[seed] = cached
+            canon, inverse = self._canonicalize(fact)
+            if inverse is None:
+                cached = self._closure(fact, seed)
+            else:
+                canon_seed = Pattern.of_fact(canon)
+                canon_cones = self._canon_cache.get(canon_seed)
+                if canon_cones is None:
+                    canon_cones = self._closure(canon, canon_seed)
+                    self._canon_cache[canon_seed] = canon_cones
+                cached = _rename_cones(canon_cones, fact, inverse)
+            if len(self._cache) < 8192:
+                self._cache[seed] = cached
         return cached
+
+    def _canonicalize(self, fact: Atom) -> tuple[Atom, dict | None]:
+        """(canonical fact, placeholder → original) — or (fact, None).
+
+        Constants the rules mention stay themselves (their identity can
+        steer the closure); every other constant becomes a placeholder,
+        one per distinct value so repeated-argument equalities survive.
+        """
+        mapping: dict = {}
+        args = []
+        for arg in fact.args:
+            if arg in self._rule_constants:
+                args.append(arg)
+                continue
+            placeholder = mapping.get(arg)
+            if placeholder is None:
+                placeholder = _CanonConst(len(mapping))
+                mapping[arg] = placeholder
+            args.append(placeholder)
+        if not mapping:
+            return fact, None
+        inverse = {
+            placeholder: original
+            for original, placeholder in mapping.items()
+        }
+        return Atom(fact.relation, tuple(args)), inverse
 
     def write_cone(self, update: Union[Atom, str]) -> PatternCone:
         return self.cones(update).writes

@@ -1,13 +1,32 @@
-"""Plain-text table rendering for the benchmark harness.
+"""Plain-text table rendering + artifact routing for the benchmark harness.
 
 The paper reports no numeric tables (it is a 1987 theory paper), so the
 benches print their measured counterparts in a uniform format that
 EXPERIMENTS.md quotes directly.
+
+Benches that persist artifacts (traces, expositions, throughput curves)
+route them through :func:`artifact_path` so everything lands in one
+gitignored directory (``benchmarks/out/`` by default, overridable with
+``REPRO_BENCH_OUT``) instead of littering the working tree.
 """
 
 from __future__ import annotations
 
+import os
+from pathlib import Path
 from typing import Sequence
+
+
+def artifact_dir() -> Path:
+    """The benchmark artifact directory, created on first use."""
+    root = Path(os.environ.get("REPRO_BENCH_OUT", "benchmarks/out"))
+    root.mkdir(parents=True, exist_ok=True)
+    return root
+
+
+def artifact_path(name: str) -> Path:
+    """Where a benchmark artifact called *name* belongs."""
+    return artifact_dir() / name
 
 
 def format_table(

@@ -545,6 +545,95 @@ def run_independence(argv) -> int:
     ) else 1
 
 
+def run_serve(argv) -> int:
+    """The ``repro serve`` verb: the concurrent revision service.
+
+    Opens (or creates) a durable store and listens on a TCP port for
+    newline-JSON sessions — see :mod:`repro.service.server` for the
+    protocol. Many sessions submit transactions concurrently; the
+    micro-batching writer admits them through the commutation scheduler
+    and group-commits each batch with one journal fsync. Prints one
+    ``serving on HOST:PORT`` line once the socket is bound (port 0 picks
+    an ephemeral port), then runs until a ``shutdown`` op arrives.
+    """
+    import asyncio
+
+    from .service import RevisionService
+    from .service.server import serve
+    from .store import open_store
+
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Serve one maintained store to many concurrent sessions",
+    )
+    parser.add_argument(
+        "--store", required=True, metavar="DIR", help="durable store directory"
+    )
+    parser.add_argument(
+        "--program",
+        default=None,
+        help="program file (required when creating a new store)",
+    )
+    parser.add_argument(
+        "--engine",
+        default="cascade",
+        choices=ENGINE_NAMES,
+        help="maintenance engine for a newly created store",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=0, help="0 picks an ephemeral port"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4, help="parallel execution workers"
+    )
+    parser.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.002,
+        metavar="SECONDS",
+        help="micro-batch gathering pause (0 disables)",
+    )
+    parser.add_argument(
+        "--telemetry", action="store_true", help="collect metrics and traces"
+    )
+    args = parser.parse_args(argv)
+
+    if args.telemetry:
+        OBS.enable()
+    text = ""
+    if args.program:
+        try:
+            with open(args.program, encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as error:
+            print(f"error: cannot read {args.program}: {error}", file=sys.stderr)
+            return 2
+    try:
+        store = open_store(args.store, program=text, engine=args.engine)
+    except (DatalogError, StoreError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    def ready(server) -> None:
+        print(f"serving on {server.host}:{server.port}", flush=True)
+
+    with RevisionService(store, max_workers=args.workers) as service:
+        try:
+            asyncio.run(
+                serve(
+                    service,
+                    host=args.host,
+                    port=args.port,
+                    batch_window=args.batch_window,
+                    ready=ready,
+                )
+            )
+        except KeyboardInterrupt:
+            pass
+    return 0
+
+
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -552,6 +641,8 @@ def main(argv=None) -> int:
         return run_check(argv[1:])
     if argv and argv[0] == "independence":
         return run_independence(argv[1:])
+    if argv and argv[0] == "serve":
+        return run_serve(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Maintained stratified database console (Apt & Pugin 1987)",

@@ -177,6 +177,12 @@ class CascadeEngine(MaintenanceEngine):
             }
         }
 
+    def _live_support_state(self) -> dict:
+        if self.arena:
+            # Uncopied live table: preserves _owned for O(changed) diffs.
+            return {"records": ArenaRuleRecords(self._arena, self._table)}
+        return self._support_state()
+
     def _load_support_state(self, state: dict) -> None:
         self._reset_supports()
         self._cluster_cache.clear()

@@ -165,6 +165,12 @@ class FactLevelEngine(MaintenanceEngine):
             }
         }
 
+    def _live_support_state(self) -> dict:
+        if self.arena:
+            # Uncopied live table: preserves _owned for O(changed) diffs.
+            return {"records": ArenaFactRecords(self._arena, self._table)}
+        return self._support_state()
+
     def _load_support_state(self, state: dict) -> None:
         records = state["records"]
         if self.arena:
@@ -204,9 +210,18 @@ class FactLevelEngine(MaintenanceEngine):
         seed_rules: Iterable[Clause] = (),
     ) -> set[Atom]:
         seed_rules = set(seed_rules)
+        # Asserted facts only ever need a full fire when their head
+        # relation must re-derive (extra_full_heads) or they were seeded
+        # directly; the hot insert path scans rules only — O(rules), not
+        # O(asserted facts).
+        candidates = (
+            stratum.clauses
+            if extra_full_heads or seed_rules
+            else stratum.rules
+        )
         full_fire = {
             clause
-            for clause in stratum.clauses
+            for clause in candidates
             if clause in seed_rules
             or clause.head.relation in extra_full_heads
             or any(
@@ -231,6 +246,36 @@ class FactLevelEngine(MaintenanceEngine):
                 span.set("full_fire", len(full_fire))
         return added
 
+    @staticmethod
+    def _vulnerable_heads(
+        stratum: Stratum, inc_facts: set[Atom], dec_facts: set[Atom]
+    ) -> set[str]:
+        """Head relations whose records could reference a changed fact.
+
+        A fact-level record stores the ground body facts of one rule
+        firing, so it can intersect *inc_facts* only through a negative
+        body literal of the same relation as an inserted fact, and
+        *dec_facts* only through a positive literal of a deleted fact's
+        relation. Heads of rules with no such literal cannot lose a
+        record — the kill sweep skips them, which on traffic whose
+        relations no rule negates reduces the sweep to nothing instead
+        of an O(model) scan per update.
+        """
+        inc_relations = {fact.relation for fact in inc_facts}
+        dec_relations = {fact.relation for fact in dec_facts}
+        return {
+            clause.head.relation
+            for clause in stratum.rules
+            if any(
+                literal.relation in inc_relations
+                for literal in clause.negative_body
+            )
+            or any(
+                literal.relation in dec_relations
+                for literal in clause.positive_body
+            )
+        }
+
     def _kill_records(
         self, stratum: Stratum, inc_facts: set[Atom], dec_facts: set[Atom]
     ) -> bool:
@@ -238,8 +283,9 @@ class FactLevelEngine(MaintenanceEngine):
         whether anything was killed (triggering a groundedness pass)."""
         if self.arena:
             return self._kill_records_arena(stratum, inc_facts, dec_facts)
+        heads = self._vulnerable_heads(stratum, inc_facts, dec_facts)
         killed = False
-        for relation in stratum.relations:
+        for relation in stratum.relations & heads:
             for fact in list(self.model.facts_of(relation)):
                 records = self._records.get(fact)
                 if not records:
@@ -275,10 +321,11 @@ class FactLevelEngine(MaintenanceEngine):
         }
         if not inc_slots and not dec_slots:
             return False
+        heads = self._vulnerable_heads(stratum, inc_facts, dec_facts)
         table = self._table
         fact_pos, fact_neg = arena.fact_pos, arena.fact_neg
         killed = False
-        for relation in stratum.relations:
+        for relation in stratum.relations & heads:
             for fact in list(self.model.facts_of(relation)):
                 slot = atom_id(fact)
                 records = None if slot is None else table.get(slot)

@@ -411,6 +411,22 @@ class SetOfSetsEngine(MaintenanceEngine):
             },
         }
 
+    def _live_support_state(self) -> dict:
+        if self.arena:
+            # Uncopied live tables: preserve _owned for O(changed) diffs.
+            if self.mode == "paper":
+                return {
+                    "supports": ArenaSosSupports(
+                        self._arena, self._pos_table, self._neg_table
+                    ),
+                    "records": {},
+                }
+            return {
+                "supports": {},
+                "records": ArenaPairedRecords(self._arena, self._rec_table),
+            }
+        return self._support_state()
+
     def _load_support_state(self, state: dict) -> None:
         supports = state["supports"]
         records = state["records"]

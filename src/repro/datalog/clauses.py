@@ -167,11 +167,12 @@ class Program:
     want runs to be deterministic).
     """
 
-    __slots__ = ("_clauses", "_index")
+    __slots__ = ("_clauses", "_index", "_tuple")
 
     def __init__(self, clauses: Iterable[Clause] = ()) -> None:
         self._clauses: list[Clause] = []
         self._index: dict[Clause, int] = {}
+        self._tuple: tuple[Clause, ...] | None = None
         for clause in clauses:
             self.add(clause)
 
@@ -182,6 +183,7 @@ class Program:
         clause.check_safety()
         self._index[clause] = len(self._clauses)
         self._clauses.append(clause)
+        self._tuple = None
         return True
 
     def remove(self, clause: Clause) -> bool:
@@ -190,6 +192,7 @@ class Program:
             return False
         del self._index[clause]
         self._clauses.remove(clause)
+        self._tuple = None
         return True
 
     def __contains__(self, clause: Clause) -> bool:
@@ -203,7 +206,9 @@ class Program:
 
     @property
     def clauses(self) -> tuple[Clause, ...]:
-        return tuple(self._clauses)
+        if self._tuple is None:
+            self._tuple = tuple(self._clauses)
+        return self._tuple
 
     @property
     def rules(self) -> tuple[Clause, ...]:

@@ -275,13 +275,18 @@ def semi_naive_saturate(
     else:
         external: Mapping[str, set[tuple]] = delta or {}
         for clause in rules:
-            plan = planner.plan_for(clause)
             if clause in full_fire:
+                plan = planner.plan_for(clause)
                 for derivation in _plan_derivations(
                     plan, model, None, None, None, planner
                 ):
                     emit(derivation, plan)
                 continue
+            if not clause.body:
+                # An asserted fact outside full_fire cannot react to a
+                # delta; skipping keeps the pass O(rules), not O(clauses).
+                continue
+            plan = planner.plan_for(clause)
             for position, literal in enumerate(clause.positive_body):
                 rows = external.get(literal.relation)
                 if rows:
@@ -304,6 +309,8 @@ def semi_naive_saturate(
                 )
             for clause in rules:
                 body = clause.positive_body
+                if not body:
+                    continue
                 delta_positions = [
                     position
                     for position, literal in enumerate(body)

@@ -158,9 +158,11 @@ class Relation:
             return
         self._shared = False
         self._tuples = set(self._tuples)
+        # list() snapshots: a sibling copy on another thread may publish a
+        # lazily-built index into the still-shared dict while we privatize.
         self._indexes = {
             columns: {key: set(bucket) for key, bucket in index.items()}
-            for columns, index in self._indexes.items()
+            for columns, index in list(self._indexes.items())
         }
         self._value_counts = {
             column: dict(counts)

@@ -59,24 +59,66 @@ def unstratifiable_error(
 class Stratum:
     """One element P_i of the partition: its index, relations and clauses.
 
-    The clause tuple is kept in sync with the program by the owning
+    The clause sequence is kept in sync with the program by the owning
     :class:`~repro.datalog.database.StratifiedDatabase` when facts are
     asserted or retracted (rule updates rebuild the whole stratification).
+    Membership is indexed and the exposed tuple is cached, so registering
+    an asserted fact costs O(1) however many facts the stratum holds —
+    the service's worker engines re-sync fact diffs on every restore.
     """
 
-    __slots__ = ("index", "relations", "clauses")
+    __slots__ = (
+        "index", "relations", "_clauses", "_members", "_tuple", "_rules"
+    )
 
     def __init__(
         self, index: int, relations: frozenset[str], clauses: tuple[Clause, ...]
     ) -> None:
         self.index = index  # 1-based, as in the paper
         self.relations = relations
-        self.clauses = clauses
+        self._clauses = list(clauses)
+        self._members = set(self._clauses)
+        self._tuple: tuple[Clause, ...] | None = tuple(self._clauses)
+        self._rules: tuple[Clause, ...] | None = None
+
+    @property
+    def clauses(self) -> tuple[Clause, ...]:
+        if self._tuple is None:
+            self._tuple = tuple(self._clauses)
+        return self._tuple
+
+    @property
+    def rules(self) -> tuple[Clause, ...]:
+        """The stratum's clauses with bodies (asserted facts excluded).
+
+        Fact churn leaves this tuple alone — asserting a fact is a
+        bodiless clause — so per-update passes that only consult rules
+        stay O(rules) however many facts accumulate.
+        """
+        if self._rules is None:
+            self._rules = tuple(c for c in self._clauses if c.body)
+        return self._rules
+
+    def add(self, clause: Clause) -> None:
+        if clause not in self._members:
+            self._members.add(clause)
+            self._clauses.append(clause)
+            self._tuple = None
+            if clause.body:
+                self._rules = None
+
+    def discard(self, clause: Clause) -> None:
+        if clause in self._members:
+            self._members.discard(clause)
+            self._clauses.remove(clause)
+            self._tuple = None
+            if clause.body:
+                self._rules = None
 
     def __repr__(self) -> str:
         return (
             f"Stratum({self.index}, relations={sorted(self.relations)}, "
-            f"{len(self.clauses)} clauses)"
+            f"{len(self._clauses)} clauses)"
         )
 
 
@@ -117,17 +159,13 @@ class Stratification:
 
     def add_clause(self, clause: Clause) -> None:
         """Register a clause of an already-known relation in its stratum."""
-        stratum = self._strata[self.stratum_of(clause.head.relation) - 1]
-        if clause not in stratum.clauses:
-            stratum.clauses = stratum.clauses + (clause,)
+        self._strata[self.stratum_of(clause.head.relation) - 1].add(clause)
 
     def remove_clause(self, clause: Clause) -> None:
         """Unregister a clause from its stratum (no-op when absent)."""
-        stratum = self._strata[self.stratum_of(clause.head.relation) - 1]
-        if clause in stratum.clauses:
-            stratum.clauses = tuple(
-                existing for existing in stratum.clauses if existing != clause
-            )
+        self._strata[self.stratum_of(clause.head.relation) - 1].discard(
+            clause
+        )
 
 
 def _scc_levels(

@@ -12,6 +12,13 @@ cost at one attribute lookup:
   the instrument handle once; when telemetry is off the handle is one of
   the shared null instruments below, whose methods are no-ops.
 
+Instruments and the registry are thread-safe: the concurrent service's
+worker pool increments counters and observes histograms from many threads
+at once, so every update takes a per-instrument lock and create-or-get
+takes a registry lock. The disabled path is untouched — ``OBS.metrics``
+is the lock-free :class:`NullRegistry` then, and the ``if OBS.enabled:``
+guard is still one attribute lookup (the E19 overhead guard enforces it).
+
 :meth:`MetricsRegistry.exposition` renders the whole registry in the
 Prometheus text format (``# TYPE`` / ``# HELP`` comments, ``_bucket`` /
 ``_sum`` / ``_count`` series per histogram), so a future service front-end
@@ -20,6 +27,7 @@ Prometheus text format (``# TYPE`` / ``# HELP`` comments, ``_bucket`` /
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Iterable, Optional, TypeVar, Union, cast
 
 # Latency-oriented default buckets (seconds): journal fsyncs sit around
@@ -43,9 +51,9 @@ def _render_labels(labels: Labels) -> str:
 
 
 class Counter:
-    """A monotonically increasing count."""
+    """A monotonically increasing count (thread-safe)."""
 
-    __slots__ = ("name", "labels", "value")
+    __slots__ = ("name", "labels", "value", "_lock")
 
     kind = "counter"
 
@@ -53,15 +61,17 @@ class Counter:
         self.name = name
         self.labels = labels
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
     """A value that can go up and down (sizes, cursors, cache fill)."""
 
-    __slots__ = ("name", "labels", "value")
+    __slots__ = ("name", "labels", "value", "_lock")
 
     kind = "gauge"
 
@@ -69,21 +79,27 @@ class Gauge:
         self.name = name
         self.labels = labels
         self.value: float = 0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
 
     def inc(self, amount: float = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
 
 class Histogram:
     """A cumulative-bucket histogram over float observations."""
 
-    __slots__ = ("name", "labels", "buckets", "counts", "sum", "count")
+    __slots__ = (
+        "name", "labels", "buckets", "counts", "sum", "count", "_lock"
+    )
 
     kind = "histogram"
 
@@ -99,17 +115,20 @@ class Histogram:
         self.counts = [0] * len(self.buckets)
         self.sum = 0.0
         self.count = 0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.sum += value
-        self.count += 1
-        for index, bound in enumerate(self.buckets):
-            if value <= bound:
-                self.counts[index] += 1
+        with self._lock:
+            self.sum += value
+            self.count += 1
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self.counts[index] += 1
 
     def bucket_counts(self) -> dict[float, int]:
         """Cumulative count per upper bound (Prometheus ``le`` semantics)."""
-        return dict(zip(self.buckets, self.counts))
+        with self._lock:
+            return dict(zip(self.buckets, self.counts))
 
 
 class _NullInstrument:
@@ -149,13 +168,15 @@ class MetricsRegistry:
     A name is bound to one instrument kind; asking for the same name with
     a different kind raises, mirroring the Prometheus data model. Distinct
     label sets under one name are distinct time series sharing the name's
-    kind and help text.
+    kind and help text. Create-or-get is serialized by a registry lock so
+    concurrent first lookups of one series return the same instrument.
     """
 
     def __init__(self) -> None:
         self._instruments: dict[tuple[str, Labels], _Instrument] = {}
         self._kinds: dict[str, str] = {}
         self._helps: dict[str, str] = {}
+        self._lock = threading.Lock()
 
     def _get(
         self,
@@ -165,21 +186,22 @@ class MetricsRegistry:
         labels: dict,
         **kwargs: Any,
     ) -> _I:
-        kind = self._kinds.get(name)
-        if kind is None:
-            self._kinds[name] = cls.kind
-            if help:
-                self._helps[name] = help
-        elif kind != cls.kind:
-            raise ValueError(
-                f"metric {name!r} is a {kind}, not a {cls.kind}"
-            )
-        key = (name, _labelize(labels))
-        instrument = self._instruments.get(key)
-        if instrument is None:
-            instrument = cls(name, key[1], **kwargs)
-            self._instruments[key] = instrument
-        return cast(_I, instrument)
+        with self._lock:
+            kind = self._kinds.get(name)
+            if kind is None:
+                self._kinds[name] = cls.kind
+                if help:
+                    self._helps[name] = help
+            elif kind != cls.kind:
+                raise ValueError(
+                    f"metric {name!r} is a {kind}, not a {cls.kind}"
+                )
+            key = (name, _labelize(labels))
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                instrument = cls(name, key[1], **kwargs)
+                self._instruments[key] = instrument
+            return cast(_I, instrument)
 
     def counter(self, name: str, help: str = "", **labels: object) -> Counter:
         return self._get(Counter, name, help, labels)
@@ -200,17 +222,20 @@ class MetricsRegistry:
         return self._get(Histogram, name, help, labels, **kwargs)
 
     def reset(self) -> None:
-        self._instruments.clear()
-        self._kinds.clear()
-        self._helps.clear()
+        with self._lock:
+            self._instruments.clear()
+            self._kinds.clear()
+            self._helps.clear()
 
     def __len__(self) -> int:
         return len(self._instruments)
 
     def as_dict(self) -> dict:
         """A JSON-ready dump: name → list of {labels, value(s)} series."""
+        with self._lock:
+            instruments = sorted(self._instruments.items())
         out: dict[str, list] = {}
-        for (name, labels), instrument in sorted(self._instruments.items()):
+        for (name, labels), instrument in instruments:
             series: dict = {"labels": dict(labels)}
             if isinstance(instrument, Histogram):
                 series["sum"] = instrument.sum
@@ -226,15 +251,19 @@ class MetricsRegistry:
 
     def exposition(self) -> str:
         """The registry in the Prometheus text exposition format."""
+        with self._lock:
+            snapshot = sorted(self._instruments.items())
+            helps = dict(self._helps)
+            kinds = dict(self._kinds)
         lines: list[str] = []
         by_name: dict[str, list] = {}
-        for (name, _labels), instrument in sorted(self._instruments.items()):
+        for (name, _labels), instrument in snapshot:
             by_name.setdefault(name, []).append(instrument)
         for name, instruments in by_name.items():
-            help_text = self._helps.get(name)
+            help_text = helps.get(name)
             if help_text:
                 lines.append(f"# HELP {name} {help_text}")
-            lines.append(f"# TYPE {name} {self._kinds[name]}")
+            lines.append(f"# TYPE {name} {kinds[name]}")
             for instrument in instruments:
                 rendered = _render_labels(instrument.labels)
                 if isinstance(instrument, Histogram):

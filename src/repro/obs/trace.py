@@ -31,6 +31,7 @@ and pay one attribute lookup plus a no-op context manager when disabled.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import deque
 from types import TracebackType
@@ -158,7 +159,15 @@ NULL_SPAN = _NullSpan()
 
 
 class Tracer:
-    """A stack-shaped span builder with a bounded completed-trace history."""
+    """A stack-shaped span builder with a bounded completed-trace history.
+
+    The open-span stack is **thread-local**: each worker thread of the
+    concurrent service builds its own span tree (a span opened on one
+    thread never becomes the child of another thread's span), while the
+    completed-trace deque is shared — ``deque.append`` is atomic, so
+    roots from every thread land in one history, interleaved by
+    completion time.
+    """
 
     def __init__(
         self,
@@ -166,21 +175,30 @@ class Tracer:
         clock: Callable[[], float] = time.perf_counter,
     ) -> None:
         self._clock = clock
-        self._stack: list[Span] = []
+        self._local = threading.local()
         self.traces: deque[Span] = deque(maxlen=max_traces)
+
+    @property
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     def span(self, name: str) -> Span:
         """Open a child of the innermost open span (or a new root)."""
         span = Span(name, self._clock(), self)
-        if self._stack:
-            self._stack[-1].children.append(span)
-        self._stack.append(span)
+        stack = self._stack
+        if stack:
+            stack[-1].children.append(span)
+        stack.append(span)
         return span
 
     @property
     def current(self) -> Optional[Span]:
         """The innermost open span, or None outside any traced region."""
-        return self._stack[-1] if self._stack else None
+        stack = self._stack
+        return stack[-1] if stack else None
 
     @property
     def last(self) -> Optional[Span]:
@@ -191,16 +209,19 @@ class Tracer:
         span.duration = self._clock() - span.start
         # Exceptions may unwind several spans through one __exit__ chain;
         # pop (and close) everything above the span being exited.
-        while self._stack:
-            top = self._stack.pop()
+        stack = self._stack
+        while stack:
+            top = stack.pop()
             if top is span:
                 break
             if top.duration is None:
                 top.duration = self._clock() - top.start
-        if not self._stack:
+        if not stack:
             self.traces.append(span)
 
     def reset(self) -> None:
+        # Only the calling thread's open stack can be dropped safely;
+        # other threads' stacks die with their threads.
         self._stack.clear()
         self.traces.clear()
 

@@ -1,0 +1,39 @@
+"""The concurrent revision service (ROADMAP item 1).
+
+Layers, bottom up:
+
+* :mod:`repro.service.merge` — engine-generic *state deltas*: what one
+  transaction changed relative to a checkpoint (model facts + support
+  slots), extracted in O(changed) from the copy-on-write arena tables,
+  with cross-transaction conflict detection on overlapping slots.
+* :mod:`repro.service.executor` — :class:`ParallelExecutor`: runs a
+  transaction batch through the commutation scheduler
+  (:meth:`repro.analysis.schedule.ConflictGraph.commuting_batches`),
+  executes each commuting group's transactions in worker threads against
+  per-worker ``engine.checkpoint()`` snapshots, merges the deltas
+  deterministically, and falls back to serial execution for conflicting
+  arcs (DL011), rule updates, and any group whose deltas collide.
+* :mod:`repro.service.core` — :class:`RevisionService`: the executor
+  wrapped around a durable :class:`~repro.store.Store` with journal
+  group commit (one fsync per admitted batch) and epoch-pinned
+  :class:`ReadView` snapshots for readers.
+* :mod:`repro.service.server` — the ``asyncio`` newline-JSON front-end
+  (``repro serve``): many sessions submit transactions, a micro-batching
+  writer admits them through one service, readers pin checkpoint epochs.
+"""
+
+from .core import BatchResult, ReadView, RevisionService
+from .executor import ExecutionReport, ParallelExecutor, TransactionOutcome
+from .merge import StateDelta, extract_delta, merge_deltas
+
+__all__ = [
+    "BatchResult",
+    "ExecutionReport",
+    "ParallelExecutor",
+    "ReadView",
+    "RevisionService",
+    "StateDelta",
+    "TransactionOutcome",
+    "extract_delta",
+    "merge_deltas",
+]

@@ -1,0 +1,158 @@
+"""End-to-end smoke for ``repro serve``: real process, real sockets.
+
+    PYTHONPATH=src python -m repro.service.smoke
+
+Spawns the server as a subprocess on an ephemeral port over a fresh
+temporary store, drives several concurrent client sessions — disjoint-key
+commits, live queries, an epoch-pinned read view that must *not* observe
+later commits — then sends ``shutdown`` and requires a clean exit. Exits
+0 on success, 1 with a diagnostic on any failure; CI runs this as the
+service smoke step.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+from .server import ServiceClient
+
+PROGRAM = """\
+account(acct0). account(acct1). account(acct2). account(acct3).
+posted(A, X) :- deposit(A, X), account(A), not voided(A, X).
+active(A) :- account(A), posted(A, X).
+idle(A) :- account(A), not active(A).
+"""
+
+SESSIONS = 4
+COMMITS_PER_SESSION = 6
+
+
+async def _session(host: str, port: int, index: int) -> int:
+    """One client session: commit a disjoint-key stream, verify reads."""
+    client = await ServiceClient.connect(host, port)
+    committed = 0
+    try:
+        account = f"acct{index}"
+        for step in range(COMMITS_PER_SESSION):
+            response = await client.commit([f"+deposit({account}, {step})"])
+            if not response.get("committed"):
+                raise AssertionError(
+                    f"session {index} commit {step} rejected: {response}"
+                )
+            committed += 1
+        probe = await client.request("query", fact=f"posted({account}, 0)")
+        if probe.get("holds") is not True:
+            raise AssertionError(f"session {index} lost its own write: {probe}")
+        response = await client.commit([f"-deposit({account}, 0)"])
+        if not response.get("committed"):
+            raise AssertionError(f"session {index} delete rejected: {response}")
+        committed += 1
+        probe = await client.request("query", fact=f"posted({account}, 0)")
+        if probe.get("holds") is not False:
+            raise AssertionError(
+                f"session {index} delete not visible: {probe}"
+            )
+    finally:
+        await client.close()
+    return committed
+
+
+async def _drive(host: str, port: int) -> None:
+    control = await ServiceClient.connect(host, port)
+    pong = await control.request("ping")
+    assert pong["ok"], pong
+
+    # Pin an epoch before any traffic: the view must stay empty of
+    # posted/2 rows no matter how much the writers commit after it.
+    pin = await control.request("pin")
+    assert pin["ok"] and pin["epoch"] == 0, pin
+
+    totals = await asyncio.gather(
+        *(_session(host, port, i) for i in range(SESSIONS))
+    )
+    expected = SESSIONS * (COMMITS_PER_SESSION + 1)
+    assert sum(totals) == expected, (totals, expected)
+
+    stale = await control.request(
+        "rows", relation="posted", view=pin["view"]
+    )
+    assert stale["ok"] and stale["rows"] == [], stale
+    live = await control.request("rows", relation="posted")
+    live_rows = {tuple(row) for row in live["rows"]}
+    want = {
+        (f"acct{i}", step)
+        for i in range(SESSIONS)
+        for step in range(1, COMMITS_PER_SESSION)
+    }
+    assert live_rows == want, (sorted(live_rows - want), sorted(want - live_rows))
+    await control.request("release", view=pin["view"])
+
+    log = await control.request("log")
+    assert log["ok"] and len(log["lines"]) >= expected, log
+
+    undo = await control.request("undo", n=1)
+    redo = await control.request("redo", n=1)
+    assert redo["revision"] == undo["revision"] + 1, (undo, redo)
+
+    down = await control.request("shutdown")
+    assert down["ok"], down
+    await control.close()
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-") as tmp:
+        program = Path(tmp) / "bank.dl"
+        program.write_text(PROGRAM, encoding="utf-8")
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--store",
+                str(Path(tmp) / "store"),
+                "--program",
+                str(program),
+                "--engine",
+                "factlevel",
+                "--port",
+                "0",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            banner = process.stdout.readline().strip()
+            if not banner.startswith("serving on "):
+                process.kill()
+                rest = process.stdout.read()
+                print(f"smoke: bad banner {banner!r}\n{rest}", file=sys.stderr)
+                return 1
+            host, _, port = banner.removeprefix("serving on ").rpartition(":")
+            asyncio.run(_drive(host, int(port)))
+            code = process.wait(timeout=30)
+            if code != 0:
+                print(f"smoke: server exited {code}", file=sys.stderr)
+                return 1
+        except Exception as error:  # noqa: BLE001
+            process.kill()
+            print(f"smoke: FAILED: {error!r}", file=sys.stderr)
+            return 1
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait()
+    print(
+        f"smoke: OK — {SESSIONS} sessions, "
+        f"{SESSIONS * (COMMITS_PER_SESSION + 1)} commits, clean shutdown"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -170,6 +170,62 @@ class Journal:
         self._records.append(record)
         return record["seq"]
 
+    def append_many(self, payloads) -> list[int]:
+        """Durably append several payloads with ONE write + flush + fsync.
+
+        This is the group-commit primitive: a batch of transaction commit
+        records costs one disk sync instead of one per record, which is
+        where most of a small transaction's latency lives. The records
+        land contiguously (dense seqs, submission order); a torn tail is
+        recovered exactly like a torn single append.
+        """
+        payloads = list(payloads)
+        if not payloads:
+            return []
+        records = []
+        lines = []
+        next_seq = len(self._records) + 1
+        for offset, payload in enumerate(payloads):
+            record = dict(payload)
+            record["seq"] = next_seq + offset
+            records.append(record)
+            lines.append(
+                json.dumps(record, sort_keys=True, separators=(",", ":"))
+            )
+        blob = "\n".join(lines) + "\n"
+        started = time.perf_counter() if OBS.enabled else 0.0
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+        if OBS.enabled:
+            elapsed = time.perf_counter() - started
+            metrics = OBS.metrics
+            metrics.counter(
+                "repro_journal_appends_total",
+                "Durable journal appends (write + flush + fsync)",
+            ).inc(len(records))
+            metrics.counter(
+                "repro_journal_group_commits_total",
+                "Batched journal appends (one fsync, many records)",
+            ).inc()
+            metrics.counter(
+                "repro_journal_bytes_total",
+                "Bytes appended to the journal",
+            ).inc(len(blob.encode("utf-8")))
+            metrics.histogram(
+                "repro_journal_append_seconds",
+                "Latency of one durable journal append",
+            ).observe(elapsed)
+            span = OBS.tracer.current
+            if span is not None:
+                span.event(
+                    "journal:append_many", first_seq=records[0]["seq"],
+                    records=len(records), bytes=len(blob), seconds=elapsed,
+                )
+        self._records.extend(records)
+        return [record["seq"] for record in records]
+
     def truncate(self, keep: int) -> None:
         """Keep the first *keep* records, atomically rewriting the file."""
         if keep < 0 or keep > len(self._records):

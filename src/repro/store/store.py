@@ -248,6 +248,39 @@ class Store:
             ).inc()
         self._maybe_autosnapshot()
 
+    def commit_batch(self, transactions) -> list[int]:
+        """Journal several already-applied transaction batches at once.
+
+        *transactions* is a sequence of update lists (each the
+        ``(operation, subject)`` pairs of one transaction, in order). The
+        commit records land with ONE journal fsync (group commit) and one
+        redo-tail check instead of one each — the concurrent service's
+        durability path. The engine must already reflect every update;
+        this only makes them durable and advances the revision cursor.
+        """
+        self._check_open()
+        if self._transaction is not None:
+            raise StoreError("cannot group-commit inside a transaction")
+        transactions = list(transactions)
+        if not transactions:
+            return []
+        self._drop_redo_tail()
+        seqs = self.journal.append_many(
+            commit_record(updates) for updates in transactions
+        )
+        self._revision = seqs[-1]
+        if OBS.enabled:
+            OBS.metrics.counter(
+                "repro_txn_commits_total",
+                "Transactions committed as single journal revisions",
+            ).inc(len(seqs))
+            OBS.metrics.counter(
+                "repro_txn_group_commits_total",
+                "Group commits (one fsync covering several transactions)",
+            ).inc()
+        self._maybe_autosnapshot()
+        return seqs
+
     def _drop_redo_tail(self) -> None:
         if self._revision < len(self.journal):
             # Snapshots above the cut describe revisions that no longer

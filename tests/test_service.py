@@ -1,0 +1,363 @@
+"""The concurrent revision service: executor, merge, store, server.
+
+The load-bearing property everywhere: admitting a batch through the
+scheduled-parallel path must leave the engine (and the store) in exactly
+the state of a submission-order serial replay — models byte-identical,
+canonical supports byte-identical, journal identical. The stress test
+drives that differential across every registered engine with real worker
+threads via the fuzzer's threaded mode.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.analysis.fuzz import fuzz_parallel_service
+from repro.core.registry import ENGINE_NAMES, create_engine
+from repro.datalog.parser import parse_fact
+from repro.service import RevisionService
+from repro.service.executor import ParallelExecutor
+from repro.service.merge import (
+    MergeConflict,
+    StateDelta,
+    fold_results,
+    merge_deltas,
+)
+from repro.service.server import RevisionServer, ServiceClient, parse_update
+from repro.store import open_store
+from repro.workloads.families import sharded_by_key
+from repro.workloads.updates import keyed_transactions
+
+EDB = ("account", "deposit", "withdrawal", "voided", "whitelisted")
+ARITIES = {
+    "account": 1,
+    "deposit": 2,
+    "withdrawal": 2,
+    "voided": 2,
+    "whitelisted": 1,
+}
+
+
+def _ledger_batch(seed: int = 0, per_txn: int = 2):
+    program = sharded_by_key()
+    batch = keyed_transactions(
+        program,
+        EDB,
+        ARITIES,
+        updates_per_transaction=per_txn,
+        seed=seed,
+    )
+    return program, batch
+
+
+def _factory(engine_name):
+    def make():
+        return create_engine(engine_name, "", build=False)
+
+    return make
+
+
+# ----------------------------------------------------------------------
+# Executor: parallel == serial on every engine
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("engine_name", ENGINE_NAMES)
+def test_executor_matches_serial_replay(engine_name):
+    program, batch = _ledger_batch(seed=1)
+    serial = create_engine(engine_name, program)
+    for _, updates in batch:
+        for operation, fact in updates:
+            serial.apply(operation, fact)
+
+    engine = create_engine(engine_name, program)
+    with ParallelExecutor(
+        engine, _factory(engine_name), max_workers=4
+    ) as executor:
+        report = executor.execute(batch)
+
+    assert all(outcome.committed for outcome in report.outcomes)
+    assert engine.state_dict() == serial.state_dict()
+    # Disjoint-key traffic must actually exercise the parallel path.
+    assert report.parallel_groups > 0
+
+
+def test_executor_rejects_inadmissible_and_preserves_rest():
+    program, batch = _ledger_batch(seed=2)
+    bad = ("delete_fact", parse_fact("deposit(acct_nope, 77)"))
+    batch = list(batch)
+    batch.insert(1, ("txn_bad", [bad]))
+
+    engine = create_engine("factlevel", program)
+    with ParallelExecutor(engine, _factory("factlevel")) as executor:
+        report = executor.execute(batch)
+
+    outcomes = {o.name: o for o in report.outcomes}
+    assert not outcomes["txn_bad"].committed
+    assert outcomes["txn_bad"].error
+    accepted = report.accepted()
+    assert [name for name, _ in accepted] == [
+        name for name, _ in batch if name != "txn_bad"
+    ]
+
+    serial = create_engine("factlevel", program)
+    for _, updates in accepted:
+        for operation, fact in updates:
+            serial.apply(operation, fact)
+    assert engine.state_dict() == serial.state_dict()
+
+
+def test_executor_serializes_rule_updates():
+    program, batch = _ledger_batch(seed=3)
+    batch = list(batch)[:3]
+    batch.append(
+        ("txn_rule", [("insert_rule", "flagged(A) :- overdrawn(A).")])
+    )
+    engine = create_engine("cascade", program)
+    with ParallelExecutor(engine, _factory("cascade")) as executor:
+        report = executor.execute(batch)
+    assert all(outcome.committed for outcome in report.outcomes)
+    assert all(outcome.mode == "serial" for outcome in report.outcomes)
+    assert report.parallel_groups == 0
+
+
+# ----------------------------------------------------------------------
+# Merge primitives
+# ----------------------------------------------------------------------
+
+
+def test_fold_results_last_verdict_wins():
+    class R:
+        def __init__(self, added, removed):
+            self.added = set(added)
+            self.removed = set(removed)
+
+    base = {"kept", "gone"}
+    added, removed = fold_results(
+        [
+            R({"new", "kept"}, set()),  # "kept" is re-derivation noise
+            R(set(), {"new", "gone"}),  # genuine removals
+        ],
+        base,
+    )
+    assert added == set()
+    assert removed == {"gone"}
+
+
+def test_merge_deltas_detects_collisions():
+    a = StateDelta("a", frozenset({"x"}), frozenset(), {})
+    b = StateDelta("b", frozenset(), frozenset({"x"}), {})
+    with pytest.raises(MergeConflict):
+        merge_deltas([a, b])
+
+    c = StateDelta("c", frozenset(), frozenset(), {("s",): {1: {"p"}}})
+    d = StateDelta("d", frozenset(), frozenset(), {("s",): {1: {"q"}}})
+    with pytest.raises(MergeConflict):
+        merge_deltas([c, d])
+
+    # Equal rewrites of one slot merge silently.
+    e = StateDelta("e", frozenset(), frozenset(), {("s",): {1: {"p"}}})
+    added, removed, supports = merge_deltas([c, e])
+    assert supports == {("s",): {1: {"p"}}}
+    assert added == set() and removed == set()
+
+
+# ----------------------------------------------------------------------
+# Service over a durable store
+# ----------------------------------------------------------------------
+
+
+def test_service_group_commit_equals_serial_store(tmp_path):
+    program, batch = _ledger_batch(seed=4)
+
+    serial = open_store(
+        tmp_path / "serial", program=str(program), engine="factlevel"
+    )
+    for _, updates in batch:
+        with serial.transaction():
+            for operation, fact in updates:
+                serial.apply(operation, fact)
+
+    service = RevisionService(
+        open_store(
+            tmp_path / "parallel", program=str(program), engine="factlevel"
+        ),
+        max_workers=4,
+    )
+    with service:
+        result = service.submit_batch(batch)
+        assert result.committed == len(batch)
+        assert result.revision == service.revision
+        assert (
+            service.store.engine.state_dict() == serial.engine.state_dict()
+        )
+    serial.close()
+
+
+def test_service_read_view_pins_epoch(tmp_path):
+    program, batch = _ledger_batch(seed=5)
+    store = open_store(tmp_path / "s", program=str(program), engine="cascade")
+    with RevisionService(store) as service:
+        before = service.read_view()
+        result = service.submit_batch(batch)
+        assert result.committed == len(batch)
+        after = service.read_view()
+        # The pinned view is immutable across later commits.
+        assert before.epoch == 0
+        assert after.epoch == service.revision
+        assert len(before.model) < len(after.model)
+        inserted = next(
+            fact
+            for _, updates in batch
+            for operation, fact in updates
+            if operation == "insert_fact"
+        )
+        assert not before.holds(inserted)
+        assert after.holds(inserted)
+        before.release()
+        after.release()
+
+
+def test_service_undo_redo_replays_group_commit(tmp_path):
+    program, batch = _ledger_batch(seed=6)
+    store = open_store(tmp_path / "s", program=str(program), engine="dynamic")
+    with RevisionService(store) as service:
+        result = service.submit_batch(batch)
+        head = service.revision
+        final = service.store.engine.state_dict()
+        assert result.committed == len(batch)
+        service.undo(len(batch))
+        assert service.revision == head - len(batch)
+        service.redo(len(batch))
+        assert service.revision == head
+        assert service.store.engine.state_dict() == final
+
+
+def test_service_concurrent_submitters(tmp_path):
+    """Many threads share one service; total state == serial replay."""
+    program, batch = _ledger_batch(seed=7)
+    chunks = [batch[i::4] for i in range(4)]
+
+    store = open_store(tmp_path / "s", program=str(program), engine="factlevel")
+    errors = []
+    with RevisionService(store, max_workers=4) as service:
+
+        def submit(chunk):
+            try:
+                result = service.submit_batch(chunk)
+                assert result.committed == len(chunk)
+            except Exception as error:  # noqa: BLE001
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=submit, args=(chunk,))
+            for chunk in chunks
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert service.revision == len(batch)
+        # All updates landed exactly once, whatever the interleaving.
+        serial = create_engine("factlevel", program)
+        for _, updates in batch:
+            for operation, fact in updates:
+                serial.apply(operation, fact)
+        assert set(service.store.model) == set(serial.model)
+
+
+# ----------------------------------------------------------------------
+# Stress: the fuzzer's threaded differential on every engine
+# ----------------------------------------------------------------------
+
+
+def test_threaded_fuzz_parallel_equals_serial_all_engines():
+    report = fuzz_parallel_service(
+        range(2), transactions=8, rng_seed=11
+    )
+    assert report.ok, report.summary()
+    assert report.parallel_batches >= len(ENGINE_NAMES)
+    assert report.parallel_groups > 0
+
+
+# ----------------------------------------------------------------------
+# Protocol front-end
+# ----------------------------------------------------------------------
+
+
+def test_parse_update_forms():
+    operation, fact = parse_update("+deposit(acct1, 5).")
+    assert operation == "insert_fact" and fact == parse_fact(
+        "deposit(acct1, 5)"
+    )
+    operation, fact = parse_update("-deposit(acct1, 5)")
+    assert operation == "delete_fact"
+    operation, subject = parse_update(
+        {"op": "insert_rule", "subject": "p(X) :- q(X)."}
+    )
+    assert operation == "insert_rule"
+    with pytest.raises(ValueError):
+        parse_update(42)
+
+
+def test_server_sessions_commit_and_pin(tmp_path):
+    program, batch = _ledger_batch(seed=8)
+    store = open_store(tmp_path / "s", program=str(program), engine="factlevel")
+
+    async def drive():
+        service = RevisionService(store, max_workers=4)
+        server = RevisionServer(service, batch_window=0.001)
+        await server.start()
+        try:
+            control = await ServiceClient.connect(server.host, server.port)
+            pin = await control.request("pin")
+            assert pin["ok"] and pin["epoch"] == 0
+            baseline = await control.request(
+                "rows", relation="posted", view=pin["view"]
+            )
+
+            async def session(chunk):
+                client = await ServiceClient.connect(server.host, server.port)
+                try:
+                    count = 0
+                    for _, updates in chunk:
+                        specs = [
+                            ("+" if op == "insert_fact" else "-") + str(fact)
+                            for op, fact in updates
+                        ]
+                        response = await client.commit(specs)
+                        assert response["committed"], response
+                        count += 1
+                    return count
+                finally:
+                    await client.close()
+
+            chunks = [batch[i::3] for i in range(3)]
+            counts = await asyncio.gather(*map(session, chunks))
+            assert sum(counts) == len(batch)
+
+            pong = await control.request("ping")
+            assert pong["revision"] == len(batch)
+            # The pinned view still shows the epoch-0 rows; the live
+            # model has moved on.
+            stale = await control.request(
+                "rows", relation="posted", view=pin["view"]
+            )
+            assert stale["rows"] == baseline["rows"]
+            live = await control.request("rows", relation="posted")
+            assert live["rows"] != stale["rows"]
+            await control.request("release", view=pin["view"])
+            await control.close()
+        finally:
+            await server.stop()
+            service.close()
+
+    asyncio.run(drive())
+    serial = create_engine("factlevel", program)
+    for _, updates in batch:
+        for operation, fact in updates:
+            serial.apply(operation, fact)
+    assert set(store.engine.model) == set(serial.model)
+    store.close()
